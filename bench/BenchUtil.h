@@ -1,0 +1,63 @@
+//===--- BenchUtil.h - shared helpers for the benchmark binaries -*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_BENCH_BENCHUTIL_H
+#define CHECKFENCE_BENCH_BENCHUTIL_H
+
+#include "harness/Catalog.h"
+#include "impls/Impls.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+/// True when CF_BENCH_FULL=1: run the paper's full test grid instead of
+/// the quick default subset.
+inline bool fullRun() {
+  const char *E = std::getenv("CF_BENCH_FULL");
+  return E && std::string(E) == "1";
+}
+
+/// The (impl, test) pairs exercised by the Fig. 10-style benches. The
+/// quick subset keeps every bench binary under a few minutes.
+inline std::vector<std::pair<std::string, std::string>> benchGrid() {
+  using P = std::pair<std::string, std::string>;
+  std::vector<P> Quick = {
+      {"ms2", "T0"},      {"ms2", "Tpc2"}, {"ms2", "Ti2"},
+      {"msn", "T0"},      {"msn", "Tpc2"},
+      {"lazylist", "Sac"}, {"lazylist", "Sar"},
+      {"harris", "Sac"},  {"harris", "Sar"},
+      {"snark", "Da"},    {"snark", "D0"},
+  };
+  if (!fullRun())
+    return Quick;
+  std::vector<P> Full = Quick;
+  for (const char *T : {"T1", "Tpc3", "Ti3", "T53"})
+    Full.push_back({"ms2", T});
+  for (const char *T : {"Ti2", "Tpc3"})
+    Full.push_back({"msn", T});
+  for (const char *T : {"Sacr", "Saa"})
+    Full.push_back({"lazylist", T});
+  Full.push_back({"harris", "Saa"});
+  Full.push_back({"snark", "Db"});
+  return Full;
+}
+
+/// Runs a catalog test on an implementation and returns the result.
+inline checkfence::checker::CheckResult
+runOne(const std::string &Impl, const std::string &Test,
+       checkfence::harness::RunOptions Opts) {
+  using namespace checkfence;
+  return harness::runTest(impls::sourceFor(Impl),
+                          harness::testByName(Test), Opts);
+}
+
+} // namespace benchutil
+
+#endif // CHECKFENCE_BENCH_BENCHUTIL_H

@@ -1,0 +1,41 @@
+//===--- bench_catalog.cpp - E1: Table 1 and Fig. 8 inventory ---------------===//
+//
+// Prints the studied implementations (paper Table 1) and the symbolic test
+// catalog (paper Fig. 8) with their expansion sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Catalog.h"
+#include "impls/Impls.h"
+
+#include <cstdio>
+
+using namespace checkfence;
+using namespace checkfence::harness;
+
+int main() {
+  std::printf("=== Table 1: the studied implementations ===\n");
+  for (const impls::ImplInfo &I : impls::allImpls())
+    std::printf("  %-9s %-6s %s\n", I.Name.c_str(), I.Kind.c_str(),
+                I.Description.c_str());
+
+  std::printf("\n=== Fig. 8: the symbolic tests ===\n");
+  std::printf("  %-8s %-6s %-36s %8s %8s\n", "name", "kind", "notation",
+              "threads", "ops");
+  for (const CatalogEntry &E : paperTests()) {
+    TestSpec T = testByName(E.Name);
+    std::printf("  %-8s %-6s %-36s %8zu %8d\n", E.Name.c_str(),
+                E.Kind.c_str(), E.Notation.c_str(), T.Threads.size(),
+                T.numOperations());
+  }
+
+  std::printf("\n=== extension tests (Treiber stack, beyond the paper) "
+              "===\n");
+  for (const CatalogEntry &E : extensionTests()) {
+    TestSpec T = testByName(E.Name);
+    std::printf("  %-8s %-6s %-36s %8zu %8d\n", E.Name.c_str(),
+                E.Kind.c_str(), E.Notation.c_str(), T.Threads.size(),
+                T.numOperations());
+  }
+  return 0;
+}

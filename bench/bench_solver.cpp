@@ -1,0 +1,92 @@
+//===--- bench_solver.cpp - SAT substrate microbenchmarks -------------------===//
+//
+// google-benchmark timings for the CDCL solver itself (the zChaff
+// stand-in): pigeonhole refutations, random 3-SAT near the phase
+// transition, and the incremental blocking-clause pattern used by
+// specification mining.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace checkfence::sat;
+
+namespace {
+
+Lit pos(Var V) { return Lit::make(V); }
+Lit neg(Var V) { return Lit::make(V, true); }
+
+void addPigeonhole(Solver &S, int Pigeons, int Holes) {
+  std::vector<std::vector<Var>> X(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : X)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int P = 0; P < Pigeons; ++P) {
+    std::vector<Lit> C;
+    for (int H = 0; H < Holes; ++H)
+      C.push_back(pos(X[P][H]));
+    S.addClause(C);
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause(neg(X[P1][H]), neg(X[P2][H]));
+}
+
+void BM_PigeonholeUnsat(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Solver S;
+    addPigeonhole(S, N + 1, N);
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_PigeonholeUnsat)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_Random3Sat(benchmark::State &State) {
+  int Vars = static_cast<int>(State.range(0));
+  int Clauses = static_cast<int>(Vars * 4.2);
+  for (auto _ : State) {
+    std::mt19937 Rng(12345);
+    Solver S;
+    for (int I = 0; I < Vars; ++I)
+      S.newVar();
+    std::uniform_int_distribution<int> VarDist(0, Vars - 1);
+    for (int I = 0; I < Clauses; ++I)
+      S.addClause(Lit::make(VarDist(Rng), Rng() & 1),
+                  Lit::make(VarDist(Rng), Rng() & 1),
+                  Lit::make(VarDist(Rng), Rng() & 1));
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_Random3Sat)->Arg(60)->Arg(100)->Arg(140);
+
+/// The mining pattern: repeatedly solve and block the found model.
+void BM_IncrementalEnumeration(benchmark::State &State) {
+  int Bits = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Solver S;
+    std::vector<Var> Vs;
+    for (int I = 0; I < Bits; ++I)
+      Vs.push_back(S.newVar());
+    int Count = 0;
+    while (S.solve() == SolveResult::Sat) {
+      std::vector<Lit> Block;
+      for (Var V : Vs)
+        Block.push_back(Lit::make(V, S.modelValue(V) == LBool::True));
+      if (!S.addClause(Block))
+        break;
+      ++Count;
+    }
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(BM_IncrementalEnumeration)->Arg(6)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+//===--- fence_synthesis.cpp - derive fence placements automatically --------===//
+//
+// The paper places fences by hand, guided by counterexample traces
+// (Sec. 4.2/4.3). This example automates that loop with the FenceSynth
+// module: strip every fence from the Michael & Scott non-blocking queue,
+// then let the counterexample-guided synthesizer rediscover a sufficient
+// and minimal placement for each memory model.
+//
+// Expected shape of the output:
+//   * Relaxed needs store-store fences (publication, CAS ordering) and
+//     load-load fences (dependent loads, recheck sequences);
+//   * PSO needs only the store-store fences (load order is automatic);
+//   * TSO needs no fences at all - the Sec. 4.2 observation that the
+//     studied algorithms run unmodified on TSO-like architectures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FenceSynth.h"
+#include "impls/Impls.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace checkfence;
+using namespace checkfence::harness;
+
+namespace {
+
+/// Source line \p Line of \p Source (1-based), trimmed.
+std::string sourceLine(const std::string &Source, int Line) {
+  std::istringstream In(Source);
+  std::string Text;
+  for (int I = 0; I < Line && std::getline(In, Text); ++I)
+    ;
+  size_t Begin = Text.find_first_not_of(" \t");
+  return Begin == std::string::npos ? Text : Text.substr(Begin);
+}
+
+} // namespace
+
+int main() {
+  std::string Source = impls::sourceFor("msn");
+  int PreludeLines = 0;
+  for (char C : impls::preludeSource())
+    PreludeLines += C == '\n';
+
+  const memmodel::ModelKind Models[] = {memmodel::ModelKind::Relaxed,
+                                        memmodel::ModelKind::PSO,
+                                        memmodel::ModelKind::TSO};
+
+  for (memmodel::ModelKind Model : Models) {
+    std::printf("=== synthesizing fences for msn (T0) on %s ===\n",
+                memmodel::modelName(Model));
+    SynthOptions Opts;
+    Opts.Check.Model = Model;
+    Opts.MinLine = PreludeLines + 1; // fences go in the implementation
+    SynthResult R =
+        synthesizeFences(Source, {testByName("T0")}, Opts);
+
+    for (const std::string &Step : R.Log)
+      std::printf("  %s\n", Step.c_str());
+    if (!R.Success) {
+      std::printf("  synthesis failed: %s\n\n", R.Message.c_str());
+      continue;
+    }
+    std::printf("  -> %s (%d checks, %.1fs)\n", R.Message.c_str(),
+                R.ChecksRun, R.TotalSeconds);
+    for (const FencePlacement &P : R.Fences)
+      std::printf("     insert %-28s | %s\n", placementStr(P).c_str(),
+                  sourceLine(Source, P.Line).c_str());
+    std::printf("\n");
+  }
+
+  std::printf("The paper's own Fig. 9 placement was verified against the "
+              "full Fig. 10 test\nset; placements synthesized from T0 "
+              "alone cover the failure classes that\nsmall test "
+              "exercises. Pass more tests to synthesizeFences() to "
+              "tighten them.\n");
+  return 0;
+}

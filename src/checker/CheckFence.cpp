@@ -1,0 +1,187 @@
+//===--- CheckFence.cpp - top-level checking driver --------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/CheckFence.h"
+
+#include "support/Timing.h"
+
+using namespace checkfence;
+using namespace checkfence::checker;
+
+const char *checkfence::checker::checkStatusName(CheckStatus S) {
+  switch (S) {
+  case CheckStatus::Pass:
+    return "PASS";
+  case CheckStatus::Fail:
+    return "FAIL";
+  case CheckStatus::SequentialBug:
+    return "SEQUENTIAL-BUG";
+  case CheckStatus::BoundsExhausted:
+    return "BOUNDS-EXHAUSTED";
+  case CheckStatus::Error:
+    return "ERROR";
+  }
+  return "<bad-status>";
+}
+
+CheckResult checkfence::checker::runCheck(
+    const lsl::Program &ImplProg, const std::vector<std::string> &ThreadProcs,
+    const CheckOptions &Opts, const lsl::Program *SpecProg) {
+  Timer Total;
+  CheckResult Result;
+  trans::LoopBounds Bounds = Opts.InitialBounds; // implementation bounds
+  trans::LoopBounds SpecBounds; // reference-program bounds (refset mode)
+  int ProbesLeft = Opts.MaxProbes;
+
+  for (int Iter = 0; Iter < Opts.MaxBoundIterations; ++Iter) {
+    Result.Stats.BoundIterations = Iter + 1;
+
+    // Phase 1: specification mining under the Serial model.
+    ProblemConfig MineCfg;
+    MineCfg.Model = memmodel::ModelKind::Serial;
+    MineCfg.Order = Opts.Order;
+    MineCfg.RangeAnalysis = Opts.RangeAnalysis;
+    MineCfg.ConflictBudget = Opts.ConflictBudget;
+    const lsl::Program &MineProg = SpecProg ? *SpecProg : ImplProg;
+    trans::LoopBounds &MineBounds = SpecProg ? SpecBounds : Bounds;
+    {
+      Timer MineTimer;
+      EncodedProblem MineProb(MineProg, ThreadProcs, MineBounds, MineCfg);
+      MiningOutcome Mined =
+          mineSpecification(MineProb, Opts.MaxObservations);
+      Result.Stats.MiningSeconds += MineTimer.seconds();
+      Result.Stats.MiningEncodeSeconds += MineProb.stats().EncodeSeconds;
+      Result.Stats.MiningSolveSeconds += MineProb.stats().SolveSeconds;
+      if (!Mined.Ok) {
+        Result.Status = CheckStatus::Error;
+        Result.Message = Mined.Error;
+        return Result;
+      }
+      if (Mined.SequentialBug) {
+        Result.Status = CheckStatus::SequentialBug;
+        Result.Message =
+            "a serial execution raises an error (see counterexample)";
+        Result.Counterexample = Mined.BugTrace;
+        Result.Stats.TotalSeconds = Total.seconds();
+        return Result;
+      }
+      Result.Spec = std::move(Mined.Spec);
+      Result.Stats.ObservationCount =
+          static_cast<int>(Result.Spec.size());
+    }
+
+    // Phase 2: inclusion check under the target model.
+    ProblemConfig IncCfg;
+    IncCfg.Model = Opts.Model;
+    IncCfg.Order = Opts.Order;
+    IncCfg.RangeAnalysis = Opts.RangeAnalysis;
+    IncCfg.ConflictBudget = Opts.ConflictBudget;
+    {
+      EncodedProblem IncProb(ImplProg, ThreadProcs, Bounds, IncCfg);
+      InclusionOutcome Inc = checkInclusion(IncProb, Result.Spec);
+      Result.Stats.UnrolledInstrs = IncProb.stats().UnrolledInstrs;
+      Result.Stats.Loads = IncProb.stats().Loads;
+      Result.Stats.Stores = IncProb.stats().Stores;
+      Result.Stats.EncodeSeconds = IncProb.stats().EncodeSeconds;
+      Result.Stats.SatVars = IncProb.stats().SatVars;
+      Result.Stats.SatClauses = IncProb.stats().SatClauses;
+      Result.Stats.SolverMemBytes = IncProb.stats().SolverMemBytes;
+      Result.Stats.SolveSeconds = IncProb.stats().SolveSeconds;
+      if (!Inc.Ok) {
+        Result.Status = CheckStatus::Error;
+        Result.Message = Inc.Error;
+        return Result;
+      }
+      if (!Inc.Pass) {
+        // Counterexamples hold regardless of bounds (Sec. 3.3).
+        Result.Status = CheckStatus::Fail;
+        Result.Message = "inclusion check found a counterexample";
+        Result.Counterexample = Inc.Counterexample;
+        Result.FinalBounds = Bounds;
+        Result.Stats.TotalSeconds = Total.seconds();
+        return Result;
+      }
+    }
+
+    // Phase 3: probe for executions that exceed the current loop bounds,
+    // growing exactly the exceeded loop instances until none remain (or
+    // the probe budget runs out). Mining and inclusion then re-run once
+    // over the stabilized bounds.
+    ProblemConfig ProbeCfg;
+    ProbeCfg.Model = Opts.Model;
+    ProbeCfg.Order = Opts.Order;
+    ProbeCfg.RangeAnalysis = Opts.RangeAnalysis;
+    ProbeCfg.ProbeBounds = true;
+    ProbeCfg.ConflictBudget = Opts.ConflictBudget;
+    bool Grown = false;
+    while (ProbesLeft-- > 0) {
+      Timer ProbeTimer;
+      EncodedProblem Probe(ImplProg, ThreadProcs, Bounds, ProbeCfg);
+      if (!Probe.ok()) {
+        Result.Status = CheckStatus::Error;
+        Result.Message = Probe.error();
+        return Result;
+      }
+      sat::SolveResult R = Probe.solve();
+      Result.Stats.ProbeSeconds += ProbeTimer.seconds();
+      if (R == sat::SolveResult::Unknown) {
+        Result.Status = CheckStatus::Error;
+        Result.Message = "solver budget exhausted during bound probe";
+        return Result;
+      }
+      if (R == sat::SolveResult::Unsat)
+        break;
+      bool GrewThisProbe = false;
+      for (const std::string &Key : Probe.exceededLoops()) {
+        int &B = Bounds[Key];
+        B = (B == 0 ? 1 : B) + 1;
+        GrewThisProbe = true;
+      }
+      if (!GrewThisProbe) {
+        Result.Status = CheckStatus::Error;
+        Result.Message = "bound probe satisfiable but no mark decoded";
+        return Result;
+      }
+      Grown = true;
+    }
+    if (ProbesLeft < 0) {
+      Result.Status = CheckStatus::BoundsExhausted;
+      Result.Message = "loop bounds kept growing past the probe limit";
+      Result.FinalBounds = Bounds;
+      Result.Stats.TotalSeconds = Total.seconds();
+      return Result;
+    }
+
+    // Probe the reference program separately when mining from it.
+    if (!Grown && SpecProg) {
+      ProblemConfig SpecProbeCfg = ProbeCfg;
+      SpecProbeCfg.Model = memmodel::ModelKind::Serial;
+      EncodedProblem Probe(*SpecProg, ThreadProcs, SpecBounds,
+                           SpecProbeCfg);
+      if (Probe.ok() && Probe.solve() == sat::SolveResult::Sat) {
+        for (const std::string &Key : Probe.exceededLoops()) {
+          int &B = SpecBounds[Key];
+          B = (B == 0 ? 1 : B) + 1;
+          Grown = true;
+        }
+      }
+    }
+
+    if (!Grown) {
+      Result.Status = CheckStatus::Pass;
+      Result.Message = "all executions are observationally serial";
+      Result.FinalBounds = Bounds;
+      Result.Stats.TotalSeconds = Total.seconds();
+      return Result;
+    }
+  }
+
+  Result.Status = CheckStatus::BoundsExhausted;
+  Result.Message = "loop bounds kept growing past the iteration limit";
+  Result.FinalBounds = Bounds;
+  Result.Stats.TotalSeconds = Total.seconds();
+  return Result;
+}

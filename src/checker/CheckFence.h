@@ -1,0 +1,112 @@
+//===--- CheckFence.h - top-level checking driver ---------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full CheckFence pipeline (Fig. 1/3): given an LSL program containing
+/// the implementation and test-thread procedures, it
+///
+///   1. mines the specification (observation set) under the Serial model,
+///   2. checks inclusion of all executions under the target memory model,
+///   3. probes for executions exceeding the current loop bounds and grows
+///      exactly the exceeded loop instances (lazy unrolling, Sec. 3.3),
+///
+/// iterating until the bounds are sufficient, a counterexample is found,
+/// or a sequential bug is detected during mining.
+///
+/// Specifications can optionally be mined from a separate (simpler)
+/// reference implementation - the "refset" mode of Fig. 11a.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_CHECKER_CHECKFENCE_H
+#define CHECKFENCE_CHECKER_CHECKFENCE_H
+
+#include "checker/Encoder.h"
+#include "checker/InclusionChecker.h"
+#include "checker/SpecMiner.h"
+
+#include <optional>
+
+namespace checkfence {
+namespace checker {
+
+struct CheckOptions {
+  memmodel::ModelKind Model = memmodel::ModelKind::Relaxed;
+  encode::OrderMode Order = encode::OrderMode::Pairwise;
+  bool RangeAnalysis = true;
+  /// Outer mine/include/probe rounds (bounds stabilize in round one via
+  /// the inner probe loop, so two rounds usually suffice).
+  int MaxBoundIterations = 8;
+  /// Cap on individual bound-growing probes across the whole run.
+  int MaxProbes = 64;
+  int64_t ConflictBudget = -1;
+  size_t MaxObservations = 1 << 20;
+  /// Starting per-loop bounds (e.g. the FinalBounds of a previous run, to
+  /// skip the lazy-unrolling phase as the paper's Fig. 10 timings do).
+  trans::LoopBounds InitialBounds;
+};
+
+enum class CheckStatus {
+  Pass,            ///< all executions within spec, bounds sufficient
+  Fail,            ///< counterexample found
+  SequentialBug,   ///< a *serial* execution already misbehaves
+  BoundsExhausted, ///< lazy unrolling hit MaxBoundIterations
+  Error,           ///< frontend/encoder/solver problem (see Message)
+};
+
+const char *checkStatusName(CheckStatus S);
+
+/// Aggregate statistics across the whole run (Fig. 10/11 columns).
+struct CheckStats {
+  // Inclusion problem (final iteration).
+  int UnrolledInstrs = 0;
+  int Loads = 0;
+  int Stores = 0;
+  double EncodeSeconds = 0;
+  int SatVars = 0;
+  uint64_t SatClauses = 0;
+  size_t SolverMemBytes = 0;
+  double SolveSeconds = 0;
+  // Specification mining (totals across iterations).
+  double MiningSeconds = 0;
+  double MiningEncodeSeconds = 0;
+  double MiningSolveSeconds = 0;
+  int ObservationCount = 0;
+  // Lazy unrolling.
+  int BoundIterations = 0;
+  double ProbeSeconds = 0;
+  // Whole run.
+  double TotalSeconds = 0;
+};
+
+struct CheckResult {
+  CheckStatus Status = CheckStatus::Error;
+  std::string Message;
+  ObservationSet Spec;
+  std::optional<Trace> Counterexample;
+  CheckStats Stats;
+  trans::LoopBounds FinalBounds;
+
+  bool passed() const { return Status == CheckStatus::Pass; }
+  bool failed() const {
+    return Status == CheckStatus::Fail ||
+           Status == CheckStatus::SequentialBug;
+  }
+};
+
+/// Runs the full check. \p ThreadProcs lists the test thread procedures
+/// (index 0 is the initialization thread). If \p SpecProg is non-null the
+/// specification is mined from it instead of \p ImplProg (both programs
+/// must define the same thread procedures and observation layout).
+CheckResult runCheck(const lsl::Program &ImplProg,
+                     const std::vector<std::string> &ThreadProcs,
+                     const CheckOptions &Opts,
+                     const lsl::Program *SpecProg = nullptr);
+
+} // namespace checker
+} // namespace checkfence
+
+#endif // CHECKFENCE_CHECKER_CHECKFENCE_H

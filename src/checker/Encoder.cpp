@@ -1,0 +1,242 @@
+//===--- Encoder.cpp - end-to-end problem encoding --------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Encoder.h"
+
+#include "support/Format.h"
+#include "support/Timing.h"
+
+using namespace checkfence;
+using namespace checkfence::checker;
+using namespace checkfence::encode;
+using namespace checkfence::trans;
+
+EncodedProblem::EncodedProblem(const lsl::Program &Prog,
+                               const std::vector<std::string> &ThreadProcs,
+                               const LoopBounds &Bounds,
+                               const ProblemConfig &Cfg) {
+  Timer EncodeTimer;
+  if (Cfg.ProofLog)
+    Solver.enableProofLog();
+
+  // 1. Flatten every thread (thread 0 is the init sequence).
+  Flattener F(Prog, Flat, Bounds);
+  for (size_t T = 0; T < ThreadProcs.size(); ++T) {
+    if (!F.flattenThread(ThreadProcs[T], static_cast<int>(T))) {
+      fail("flattening failed: " + F.error());
+      return;
+    }
+  }
+  Stats.UnrolledInstrs = Flat.UnrolledInstrCount;
+  Stats.Loads = Flat.numLoads();
+  Stats.Stores = Flat.numStores();
+
+  // 2. Range analysis (always computed: the encoding needs the pointer
+  //    universe; the Cfg.RangeAnalysis switch controls whether its results
+  //    are exploited).
+  Ranges = analyzeRanges(Flat);
+
+  // 3. Thread-local encoding.
+  Cnf = std::make_unique<CnfBuilder>(Solver);
+  EncodeOptions EO;
+  EO.FixConstants = Cfg.RangeAnalysis;
+  EO.MinimalWidths = Cfg.RangeAnalysis;
+  EO.AliasPruning = Cfg.RangeAnalysis;
+  Values = std::make_unique<ValueEncoder>(*Cnf, Flat, Ranges, EO);
+  if (!Values->encodeAll()) {
+    fail("value encoding failed: " + Values->error());
+    return;
+  }
+
+  // 4. Memory model.
+  Model = std::make_unique<memmodel::MemoryModelEncoder>(
+      *Values, Flat, Ranges, Cfg.Model, Cfg.Order, EO);
+  if (!Model->encode()) {
+    fail("memory model encoding failed");
+    return;
+  }
+
+  // 5. Side conditions, error flag, loop bounds.
+  encodeChecksAndBounds(Cfg);
+
+  Solver.ConflictBudget = Cfg.ConflictBudget;
+  Stats.EncodeSeconds = EncodeTimer.seconds();
+  Stats.SatVars = Solver.numVars();
+  Stats.SatClauses = Solver.numClauses();
+  Stats.SolverMemBytes = Solver.memoryBytes();
+}
+
+void EncodedProblem::encodeChecksAndBounds(const ProblemConfig &Cfg) {
+  std::vector<Lit> ErrorTerms;
+  for (const FlatCheck &C : Flat.Checks) {
+    Lit G = Values->guardLit(C.Guard);
+    const EncValue &E = Values->value(C.Cond);
+    Lit UndefL = Cnf->andLit(~E.IsInt, ~E.IsPtr);
+    switch (C.K) {
+    case FlatCheck::Kind::Assume: {
+      Lit Truthy = Values->truthyLit(E);
+      // Executions continue past an assume only if it holds or its
+      // condition is undefined (which raises the error flag).
+      Cnf->addClause(~G, UndefL, Truthy);
+      Lit Term = Cnf->andLit(G, UndefL);
+      if (!Cnf->isFalse(Term)) {
+        ErrorTerms.push_back(Term);
+        ErrorSources.push_back(
+            {Term, formatString("assume() on undefined value (thread %d, "
+                                "line %d)",
+                                C.Thread, C.Loc.Line)});
+      }
+      break;
+    }
+    case FlatCheck::Kind::Assert: {
+      Lit Truthy = Values->truthyLit(E);
+      Lit Term = Cnf->andLit(G, Cnf->orLit(UndefL, ~Truthy));
+      if (!Cnf->isFalse(Term)) {
+        ErrorTerms.push_back(Term);
+        ErrorSources.push_back(
+            {Term, formatString("assertion failed (thread %d, line %d)",
+                                C.Thread, C.Loc.Line)});
+      }
+      break;
+    }
+    case FlatCheck::Kind::CheckAddr: {
+      Lit Term = Cnf->andLit(G, ~E.IsPtr);
+      if (!Cnf->isFalse(Term)) {
+        ErrorTerms.push_back(Term);
+        ErrorSources.push_back(
+            {Term, formatString("invalid or undefined address dereferenced "
+                                "(thread %d, line %d)",
+                                C.Thread, C.Loc.Line)});
+      }
+      break;
+    }
+    case FlatCheck::Kind::CheckBranch: {
+      Lit Term = Cnf->andLit(G, UndefL);
+      if (!Cnf->isFalse(Term)) {
+        ErrorTerms.push_back(Term);
+        ErrorSources.push_back(
+            {Term, formatString("branch on undefined value (thread %d, "
+                                "line %d)",
+                                C.Thread, C.Loc.Line)});
+      }
+      break;
+    }
+    case FlatCheck::Kind::CheckDef: {
+      Lit Term = Cnf->andLit(G, UndefL);
+      if (!Cnf->isFalse(Term)) {
+        ErrorTerms.push_back(Term);
+        ErrorSources.push_back(
+            {Term, formatString("undefined value used in a computation "
+                                "(thread %d, line %d)",
+                                C.Thread, C.Loc.Line)});
+      }
+      break;
+    }
+    }
+  }
+  ErrorLit = Cnf->orLits(ErrorTerms);
+
+  // Loop bounds (Sec. 3.3): within-bounds checking assumes no mark fires;
+  // the probe asks for at least one non-restricted mark to fire.
+  std::vector<Lit> ProbeLits;
+  for (const FlatBoundMark &M : Flat.BoundMarks) {
+    Lit L = Values->guardLit(M.Guard);
+    if (M.Restricted || !Cfg.ProbeBounds) {
+      Solver.addClause(~L);
+      continue;
+    }
+    ProbeLits.push_back(L);
+    ProbeMarks.push_back({L, M.LoopKey});
+  }
+  if (Cfg.ProbeBounds)
+    Cnf->addClause(ProbeLits.empty() ? std::vector<Lit>{Cnf->falseLit()}
+                                     : ProbeLits);
+}
+
+sat::SolveResult EncodedProblem::solve() {
+  Timer T;
+  sat::SolveResult R = Solver.solve();
+  Stats.SolveSeconds += T.seconds();
+  Stats.SolverMemBytes = std::max(Stats.SolverMemBytes,
+                                  Solver.memoryBytes());
+  return R;
+}
+
+Observation EncodedProblem::decodeObservation() {
+  Observation O;
+  O.Error = Solver.modelValue(ErrorLit) == sat::LBool::True;
+  for (const FlatObservation &Slot : Flat.Observations)
+    O.Values.push_back(Values->decode(Solver, Slot.Val));
+  return O;
+}
+
+std::vector<sat::Lit> EncodedProblem::mismatchClause(const Observation &O) {
+  std::vector<Lit> Clause;
+  // Error-flag component.
+  Clause.push_back(O.Error ? ~ErrorLit : ErrorLit);
+  assert(O.Values.size() == Flat.Observations.size() &&
+         "observation arity mismatch");
+  for (size_t I = 0; I < Flat.Observations.size(); ++I) {
+    Lit Match = Values->eqConstLit(Flat.Observations[I].Val, O.Values[I]);
+    if (Cnf->isTrue(Match))
+      continue; // this component always matches; cannot contribute
+    Clause.push_back(~Match);
+  }
+  return Clause;
+}
+
+bool EncodedProblem::requireObservation(const Observation &O) {
+  bool Ok = Solver.addClause(O.Error ? ErrorLit : ~ErrorLit);
+  assert(O.Values.size() == Flat.Observations.size() &&
+         "observation arity mismatch");
+  for (size_t I = 0; I < Flat.Observations.size(); ++I) {
+    Lit Match = Values->eqConstLit(Flat.Observations[I].Val, O.Values[I]);
+    Ok = Solver.addClause(Match) && Ok;
+  }
+  return Ok;
+}
+
+std::vector<std::string> EncodedProblem::observationLabels() const {
+  std::vector<std::string> Labels;
+  for (const FlatObservation &Slot : Flat.Observations)
+    Labels.push_back(Slot.Label);
+  return Labels;
+}
+
+Trace EncodedProblem::decodeTrace() {
+  Trace T;
+  T.Obs = decodeObservation();
+  T.ObsLabels = observationLabels();
+  for (const ErrorSource &E : ErrorSources)
+    if (Solver.modelValue(E.L) == sat::LBool::True)
+      T.Errors.push_back(E.Description);
+
+  for (int Ev : Model->modelOrderedAccesses(Solver)) {
+    const FlatEvent &E = Flat.Events[Ev];
+    TraceEntry Entry;
+    Entry.Thread = E.Thread;
+    Entry.IsStore = E.isStore();
+    Entry.Addr = Values->decode(Solver, E.Addr);
+    Entry.Data = Values->decode(Solver, E.Data);
+    Entry.Loc = E.Loc;
+    Entry.PoIndex = E.IndexInThread;
+    Entry.CallLines = E.CallLines;
+    Entry.OpInvId = E.OpInvId;
+    if (E.OpInvId >= 0 &&
+        E.OpInvId < static_cast<int>(Flat.OpInvocations.size()))
+      Entry.OpName = Flat.OpInvocations[E.OpInvId].Name;
+    T.MemoryOrder.push_back(Entry);
+  }
+  return T;
+}
+
+std::vector<std::string> EncodedProblem::exceededLoops() {
+  std::vector<std::string> Keys;
+  for (const MarkLit &M : ProbeMarks)
+    if (Solver.modelValue(M.L) == sat::LBool::True)
+      Keys.push_back(M.Key);
+  return Keys;
+}

@@ -1,0 +1,139 @@
+//===--- Encoder.h - end-to-end problem encoding ---------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles the full formula Phi(T,I,Y) (Sec. 3.2.1) for one test program:
+/// flatten the thread procedures, run the range analysis, encode the
+/// thread-local dataflow (Delta_k), the memory model (Theta), the side
+/// conditions (assumes as hard constraints, asserts and runtime-type checks
+/// as the error flag), the loop-bound marks, and the observation vector.
+///
+/// The same class serves specification mining (Serial model, iterate with
+/// blocking clauses), inclusion checking (weak model, mismatch clauses for
+/// every specification element), and the lazy-unrolling bound probe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_CHECKER_ENCODER_H
+#define CHECKFENCE_CHECKER_ENCODER_H
+
+#include "checker/Observation.h"
+#include "checker/Trace.h"
+#include "encode/ValueEncoding.h"
+#include "memmodel/MemoryModel.h"
+#include "trans/Flattener.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace checkfence {
+namespace checker {
+
+struct ProblemConfig {
+  memmodel::ModelKind Model = memmodel::ModelKind::Relaxed;
+  encode::OrderMode Order = encode::OrderMode::Pairwise;
+  /// Use the range-analysis results to fix constants, minimize widths, and
+  /// prune aliases (Fig. 11c ablation switch).
+  bool RangeAnalysis = true;
+  /// Encode the bound-exceed probe instead of within-bounds checking.
+  bool ProbeBounds = false;
+  /// Give up (Unknown) after this many conflicts; -1 = no budget.
+  int64_t ConflictBudget = -1;
+  /// Record a DRAT-style clausal proof (sat/Proof.h); an Unsat inclusion
+  /// check (a PASS verdict) can then be validated independently.
+  bool ProofLog = false;
+};
+
+/// Size/time statistics for one encoded problem (Fig. 10 columns).
+struct EncodeStats {
+  int UnrolledInstrs = 0;
+  int Loads = 0;
+  int Stores = 0;
+  double EncodeSeconds = 0;
+  int SatVars = 0;
+  uint64_t SatClauses = 0;
+  size_t SolverMemBytes = 0;
+  double SolveSeconds = 0; ///< accumulated over all solve() calls
+};
+
+/// One fully encoded test problem with its solver.
+class EncodedProblem {
+public:
+  EncodedProblem(const lsl::Program &Prog,
+                 const std::vector<std::string> &ThreadProcs,
+                 const trans::LoopBounds &Bounds, const ProblemConfig &Cfg);
+
+  bool ok() const { return ErrorMsg.empty(); }
+  const std::string &error() const { return ErrorMsg; }
+
+  /// Solves under the current constraints; accumulates solve time.
+  sat::SolveResult solve();
+
+  /// Decodes the observation of the current model (after Sat).
+  Observation decodeObservation();
+
+  /// Clause asserting "observation != O" (used both as the mining blocking
+  /// clause and as the inclusion-check constraint).
+  std::vector<sat::Lit> mismatchClause(const Observation &O);
+
+  /// Adds the clause; returns false if the solver became unsat.
+  bool addMismatch(const Observation &O) {
+    return Solver.addClause(mismatchClause(O));
+  }
+
+  /// Constrains the problem to executions with exactly observation \p O
+  /// (used by the litmus tests: "is this outcome reachable?").
+  bool requireObservation(const Observation &O);
+
+  /// Decodes a full counterexample trace (after Sat).
+  Trace decodeTrace();
+
+  /// Probe mode, after Sat: keys of the loop instances whose bounds were
+  /// exceeded in the current model.
+  std::vector<std::string> exceededLoops();
+
+  const trans::FlatProgram &flat() const { return Flat; }
+  const EncodeStats &stats() const { return Stats; }
+  std::vector<std::string> observationLabels() const;
+
+  /// The recorded proof (nullptr unless ProblemConfig::ProofLog was set).
+  const sat::ProofLog *proofLog() const { return Solver.proofLog(); }
+
+private:
+  void encodeChecksAndBounds(const ProblemConfig &Cfg);
+  void fail(const std::string &Msg) {
+    if (ErrorMsg.empty())
+      ErrorMsg = Msg;
+  }
+
+  sat::Solver Solver;
+  std::unique_ptr<encode::CnfBuilder> Cnf;
+  trans::FlatProgram Flat;
+  trans::RangeInfo Ranges;
+  std::unique_ptr<encode::ValueEncoder> Values;
+  std::unique_ptr<memmodel::MemoryModelEncoder> Model;
+
+  encode::Lit ErrorLit;
+  struct ErrorSource {
+    encode::Lit L;
+    std::string Description;
+  };
+  std::vector<ErrorSource> ErrorSources;
+  struct MarkLit {
+    encode::Lit L;
+    std::string Key;
+  };
+  std::vector<MarkLit> ProbeMarks;
+
+  EncodeStats Stats;
+  std::string ErrorMsg;
+};
+
+} // namespace checker
+} // namespace checkfence
+
+#endif // CHECKFENCE_CHECKER_ENCODER_H

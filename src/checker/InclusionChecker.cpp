@@ -1,0 +1,44 @@
+//===--- InclusionChecker.cpp - the inclusion check --------------------------===//
+
+#include "checker/InclusionChecker.h"
+
+using namespace checkfence;
+using namespace checkfence::checker;
+
+InclusionOutcome
+checkfence::checker::checkInclusion(EncodedProblem &Prob,
+                                    const ObservationSet &Spec) {
+  InclusionOutcome Out;
+  if (!Prob.ok()) {
+    Out.Error = Prob.error();
+    return Out;
+  }
+
+  bool Consistent = true;
+  for (const Observation &O : Spec)
+    Consistent = Prob.addMismatch(O) && Consistent;
+  if (!Consistent) {
+    // The constraints alone are unsatisfiable: no execution escapes the
+    // specification.
+    Out.Ok = true;
+    Out.Pass = true;
+    return Out;
+  }
+
+  sat::SolveResult R = Prob.solve();
+  switch (R) {
+  case sat::SolveResult::Unknown:
+    Out.Error = "solver budget exhausted during inclusion check";
+    return Out;
+  case sat::SolveResult::Unsat:
+    Out.Ok = true;
+    Out.Pass = true;
+    return Out;
+  case sat::SolveResult::Sat:
+    Out.Ok = true;
+    Out.Pass = false;
+    Out.Counterexample = Prob.decodeTrace();
+    return Out;
+  }
+  return Out;
+}

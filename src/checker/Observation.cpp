@@ -1,0 +1,20 @@
+//===--- Observation.cpp - observation vectors and sets --------------------===//
+
+#include "checker/Observation.h"
+
+#include "support/Format.h"
+
+using namespace checkfence;
+using namespace checkfence::checker;
+
+std::string Observation::str(const std::vector<std::string> &Labels) const {
+  std::string Out = formatString("err=%d (", Error ? 1 : 0);
+  for (size_t I = 0; I < Values.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    if (I < Labels.size() && !Labels[I].empty())
+      Out += Labels[I] + "=";
+    Out += Values[I].str();
+  }
+  return Out + ")";
+}

@@ -1,0 +1,55 @@
+//===--- Observation.h - observation vectors and sets -----------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An observation (Sec. 2.2) is the vector of argument and return values of
+/// the operations in an execution, extended with an error flag (assertion
+/// failure or undefined-value use). The observation set of the serial
+/// executions is the mined specification; the inclusion check asks whether
+/// every concurrent execution's observation is in that set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_CHECKER_OBSERVATION_H
+#define CHECKFENCE_CHECKER_OBSERVATION_H
+
+#include "lsl/Value.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace checker {
+
+struct Observation {
+  bool Error = false;
+  std::vector<lsl::Value> Values;
+
+  bool operator<(const Observation &O) const {
+    if (Error != O.Error)
+      return Error < O.Error;
+    if (Values.size() != O.Values.size())
+      return Values.size() < O.Values.size();
+    for (size_t I = 0; I < Values.size(); ++I)
+      if (Values[I] != O.Values[I])
+        return Values[I] < O.Values[I];
+    return false;
+  }
+  bool operator==(const Observation &O) const {
+    return !(*this < O) && !(O < *this);
+  }
+
+  /// "err=0 (A=1, X=0, ...)" using \p Labels where available.
+  std::string str(const std::vector<std::string> &Labels = {}) const;
+};
+
+using ObservationSet = std::set<Observation>;
+
+} // namespace checker
+} // namespace checkfence
+
+#endif // CHECKFENCE_CHECKER_OBSERVATION_H

@@ -1,0 +1,78 @@
+//===--- Trace.cpp - counterexample traces ----------------------------------===//
+
+#include "checker/Trace.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace checkfence;
+using namespace checkfence::checker;
+
+std::string Trace::str() const {
+  std::string Out = "observation: " + Obs.str(ObsLabels) + "\n";
+  for (const std::string &E : Errors)
+    Out += "error: " + E + "\n";
+  Out += "memory order (executed accesses):\n";
+  for (size_t I = 0; I < MemoryOrder.size(); ++I) {
+    const TraceEntry &T = MemoryOrder[I];
+    Out += formatString("  %2zu. t%d %-5s %-12s %s", I, T.Thread,
+                        T.IsStore ? "store" : "load", T.Addr.str().c_str(),
+                        T.Data.str().c_str());
+    if (!T.OpName.empty())
+      Out += formatString("  [%s #%d]", T.OpName.c_str(), T.OpInvId);
+    if (T.Loc.isValid())
+      Out += formatString("  (line %d)", T.Loc.Line);
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string Trace::columns() const {
+  std::string Out = "observation: " + Obs.str(ObsLabels) + "\n";
+  for (const std::string &E : Errors)
+    Out += "error: " + E + "\n";
+  if (MemoryOrder.empty())
+    return Out;
+
+  int NumThreads = 0;
+  for (const TraceEntry &T : MemoryOrder)
+    NumThreads = std::max(NumThreads, T.Thread + 1);
+
+  // One cell per access: "store [a]=v @ln" / "load  [a]->v @ln", with a
+  // '^' marker when the access overtook a program-order-earlier one.
+  std::vector<std::string> Cells;
+  std::vector<int> MaxPoSeen(NumThreads, -1);
+  size_t Width = 10;
+  for (const TraceEntry &T : MemoryOrder) {
+    bool Overtook = T.PoIndex < MaxPoSeen[T.Thread];
+    MaxPoSeen[T.Thread] = std::max(MaxPoSeen[T.Thread], T.PoIndex);
+    std::string Cell = formatString(
+        "%s%s %s%s%s", Overtook ? "^" : "", T.IsStore ? "store" : "load",
+        T.Addr.str().c_str(), T.IsStore ? "=" : "->",
+        T.Data.str().c_str());
+    if (T.Loc.isValid())
+      Cell += formatString(" @%d", T.Loc.Line);
+    Width = std::max(Width, Cell.size());
+    Cells.push_back(std::move(Cell));
+  }
+
+  auto Pad = [&](const std::string &S) {
+    return S + std::string(Width + 2 - S.size(), ' ');
+  };
+  std::string Header = "     ";
+  for (int T = 0; T < NumThreads; ++T)
+    Header += Pad(formatString("thread %d", T));
+  Out += Header + "\n";
+  for (size_t I = 0; I < MemoryOrder.size(); ++I) {
+    Out += formatString("%3zu. ", I);
+    for (int T = 0; T < NumThreads; ++T)
+      Out += Pad(MemoryOrder[I].Thread == T ? Cells[I] : "");
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += "\n";
+  }
+  Out += "('^' marks an access performed before a program-order-earlier "
+         "access of its thread)\n";
+  return Out;
+}

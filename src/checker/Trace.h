@@ -1,0 +1,60 @@
+//===--- Trace.h - counterexample traces ------------------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decoded execution: the observation, the executed memory accesses in
+/// memory order (with addresses and values), and descriptions of any fired
+/// error checks. Presented to the user when the inclusion check fails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_CHECKER_TRACE_H
+#define CHECKFENCE_CHECKER_TRACE_H
+
+#include "checker/Observation.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace checker {
+
+struct TraceEntry {
+  int Thread = 0;
+  bool IsStore = false;
+  lsl::Value Addr;
+  lsl::Value Data;
+  SourceLoc Loc;
+  int OpInvId = -1;
+  std::string OpName;
+  /// Program-order position within the thread (FlatEvent::IndexInThread);
+  /// comparing it with the position in Trace::MemoryOrder exposes the
+  /// program-order/memory-order inversions of a relaxed execution.
+  int PoIndex = 0;
+  /// Call-site lines the access was inlined through, outermost first.
+  std::vector<int> CallLines;
+};
+
+struct Trace {
+  Observation Obs;
+  std::vector<std::string> ObsLabels;
+  std::vector<TraceEntry> MemoryOrder;
+  std::vector<std::string> Errors;
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+
+  /// Columnar rendering: one column per thread, rows in memory order.
+  /// Accesses that overtook a program-order-earlier access of their own
+  /// thread (the relaxations a weak model permits) are marked with '^'.
+  std::string columns() const;
+};
+
+} // namespace checker
+} // namespace checkfence
+
+#endif // CHECKFENCE_CHECKER_TRACE_H

@@ -1,0 +1,142 @@
+//===--- CnfBuilder.cpp - Tseitin circuit construction ---------------------===//
+
+#include "encode/CnfBuilder.h"
+
+#include <algorithm>
+
+using namespace checkfence;
+using namespace checkfence::encode;
+
+namespace {
+enum GateOp { OpAnd = 1, OpXor = 2, OpIte = 3 };
+} // namespace
+
+Lit CnfBuilder::andLit(Lit A, Lit B) {
+  if (isFalse(A) || isFalse(B))
+    return falseLit();
+  if (isTrue(A))
+    return B;
+  if (isTrue(B))
+    return A;
+  if (A == B)
+    return A;
+  if (A == ~B)
+    return falseLit();
+  int X = std::min(A.Code, B.Code), Y = std::max(A.Code, B.Code);
+  auto Key = std::make_tuple(static_cast<int>(OpAnd), X, Y);
+  auto It = BinCache.find(Key);
+  if (It != BinCache.end())
+    return It->second;
+  Lit Out = fresh();
+  addClause(~Out, A);
+  addClause(~Out, B);
+  addClause(Out, ~A, ~B);
+  BinCache[Key] = Out;
+  return Out;
+}
+
+Lit CnfBuilder::orLit(Lit A, Lit B) { return ~andLit(~A, ~B); }
+
+Lit CnfBuilder::xorLit(Lit A, Lit B) {
+  if (isFalse(A))
+    return B;
+  if (isFalse(B))
+    return A;
+  if (isTrue(A))
+    return ~B;
+  if (isTrue(B))
+    return ~A;
+  if (A == B)
+    return falseLit();
+  if (A == ~B)
+    return trueLit();
+  // Normalize: strip signs into a result inversion so the cache hits for
+  // all four sign combinations.
+  bool Invert = false;
+  if (A.negated()) {
+    A = ~A;
+    Invert = !Invert;
+  }
+  if (B.negated()) {
+    B = ~B;
+    Invert = !Invert;
+  }
+  int X = std::min(A.Code, B.Code), Y = std::max(A.Code, B.Code);
+  auto Key = std::make_tuple(static_cast<int>(OpXor), X, Y);
+  auto It = BinCache.find(Key);
+  if (It != BinCache.end())
+    return It->second ^ Invert;
+  Lit Out = fresh();
+  addClause(~Out, A, B);
+  addClause(~Out, ~A, ~B);
+  addClause(Out, ~A, B);
+  addClause(Out, A, ~B);
+  BinCache[Key] = Out;
+  return Out ^ Invert;
+}
+
+Lit CnfBuilder::iteLit(Lit C, Lit A, Lit B) {
+  if (isTrue(C))
+    return A;
+  if (isFalse(C))
+    return B;
+  if (A == B)
+    return A;
+  if (isTrue(A))
+    return orLit(C, B);
+  if (isFalse(A))
+    return andLit(~C, B);
+  if (isTrue(B))
+    return orLit(~C, A);
+  if (isFalse(B))
+    return andLit(C, A);
+  if (A == ~B)
+    return xorLit(~C, A) /* C ? A : ~A == C <-> A */;
+  auto Key = std::make_tuple((static_cast<int>(OpIte) << 24) ^ C.Code, A.Code,
+                             B.Code);
+  auto It = IteCache.find(Key);
+  if (It != IteCache.end())
+    return It->second;
+  Lit Out = fresh();
+  addClause(~C, ~A, Out);
+  addClause(~C, A, ~Out);
+  addClause(C, ~B, Out);
+  addClause(C, B, ~Out);
+  IteCache[Key] = Out;
+  return Out;
+}
+
+Lit CnfBuilder::andLits(const std::vector<Lit> &Ls) {
+  // Fold constants first, then build a clause-based conjunction:
+  // Out -> each Li; (all Li) -> Out.
+  std::vector<Lit> Used;
+  for (Lit L : Ls) {
+    if (isFalse(L))
+      return falseLit();
+    if (!isTrue(L))
+      Used.push_back(L);
+  }
+  if (Used.empty())
+    return trueLit();
+  if (Used.size() == 1)
+    return Used[0];
+  if (Used.size() == 2)
+    return andLit(Used[0], Used[1]);
+  Lit Out = fresh();
+  std::vector<Lit> Long;
+  Long.push_back(Out);
+  for (Lit L : Used) {
+    addClause(~Out, L);
+    Long.push_back(~L);
+  }
+  addClause(Long);
+  return Out;
+}
+
+Lit CnfBuilder::orLits(const std::vector<Lit> &Ls) {
+  std::vector<Lit> Neg;
+  Neg.reserve(Ls.size());
+  for (Lit L : Ls)
+    Neg.push_back(~L);
+  return ~andLits(Neg);
+}

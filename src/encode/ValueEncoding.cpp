@@ -1,0 +1,391 @@
+//===--- ValueEncoding.cpp - tagged LSL values as SAT circuits -------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "encode/ValueEncoding.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace checkfence;
+using namespace checkfence::encode;
+using namespace checkfence::trans;
+
+using lsl::PrimOpKind;
+using lsl::Value;
+
+ValueEncoder::ValueEncoder(CnfBuilder &B, const FlatProgram &P,
+                           const RangeInfo &R, const EncodeOptions &Opts)
+    : Cnf(B), P(P), R(R), Opts(Opts) {
+  PtrWidth = R.PointerUniverse.empty()
+                 ? 1
+                 : RangeInfo::bitsFor(R.PointerUniverse.size() - 1);
+}
+
+EncValue ValueEncoder::constValue(const Value &V) {
+  EncValue E;
+  switch (V.kind()) {
+  case Value::Kind::Undefined:
+    E.IsInt = Cnf.falseLit();
+    E.IsPtr = Cnf.falseLit();
+    E.IntBits = BitVec::constant(Cnf, 0, 1);
+    E.PtrBits = BitVec::constant(Cnf, 0, PtrWidth);
+    return E;
+  case Value::Kind::Int: {
+    E.IsInt = Cnf.trueLit();
+    E.IsPtr = Cnf.falseLit();
+    int64_t N = V.intValue();
+    assert(N >= 0 && "negative integers unsupported by the encoding");
+    int W = RangeInfo::bitsFor(static_cast<uint64_t>(N));
+    E.IntBits = BitVec::constant(Cnf, static_cast<uint64_t>(N), W);
+    E.PtrBits = BitVec::constant(Cnf, 0, PtrWidth);
+    return E;
+  }
+  case Value::Kind::Ptr: {
+    E.IsInt = Cnf.falseLit();
+    E.IsPtr = Cnf.trueLit();
+    int Idx = R.universeIndex(V);
+    assert(Idx >= 0 && "pointer constant missing from universe");
+    E.IntBits = BitVec::constant(Cnf, 0, 1);
+    E.PtrBits = BitVec::constant(Cnf, static_cast<uint64_t>(Idx), PtrWidth);
+    return E;
+  }
+  }
+  return E;
+}
+
+EncValue ValueEncoder::freshForSet(const ValueSet &Set) {
+  EncValue E;
+  bool MayUndef = Set.mayBeUndef();
+  bool MayInt = Set.mayBeInt();
+  bool MayPtr = Set.mayBePtr();
+
+  // Tag literals, constant where the set rules a kind out.
+  if (MayInt && (MayUndef || MayPtr))
+    E.IsInt = Cnf.fresh();
+  else
+    E.IsInt = Cnf.boolLit(MayInt);
+  if (MayPtr && (MayUndef || MayInt))
+    E.IsPtr = Cnf.fresh();
+  else
+    E.IsPtr = Cnf.boolLit(MayPtr);
+  if (!Cnf.isConst(E.IsInt) && !Cnf.isConst(E.IsPtr))
+    Cnf.addClause(~E.IsInt, ~E.IsPtr); // tags are mutually exclusive
+
+  int IntW = Opts.MinimalWidths ? R.intBitsFor(Set, RangeOpts)
+                                : R.GlobalIntBits;
+  E.IntBits = MayInt ? BitVec::fresh(Cnf, IntW)
+                     : BitVec::constant(Cnf, 0, 1);
+  E.PtrBits = MayPtr ? BitVec::fresh(Cnf, PtrWidth)
+                     : BitVec::constant(Cnf, 0, PtrWidth);
+  return E;
+}
+
+void ValueEncoder::addDomainConstraint(const EncValue &E,
+                                       const ValueSet &Set) {
+  if (Set.Top)
+    return; // unconstrained
+  std::vector<Lit> Options;
+  Options.reserve(Set.Values.size());
+  for (const Value &V : Set.Values)
+    Options.push_back(eqConstLit(E, V));
+  Cnf.addClause(Options.empty() ? std::vector<Lit>{Cnf.falseLit()}
+                                : Options);
+}
+
+Lit ValueEncoder::eqConstLit(const EncValue &E, const Value &V) {
+  switch (V.kind()) {
+  case Value::Kind::Undefined:
+    return Cnf.andLit(~E.IsInt, ~E.IsPtr);
+  case Value::Kind::Int: {
+    int64_t N = V.intValue();
+    if (N < 0)
+      return Cnf.falseLit(); // negatives unreachable by construction
+    return Cnf.andLit(E.IsInt,
+                      bvEqConst(Cnf, E.IntBits, static_cast<uint64_t>(N)));
+  }
+  case Value::Kind::Ptr: {
+    int Idx = R.universeIndex(V);
+    if (Idx < 0)
+      return Cnf.falseLit();
+    return Cnf.andLit(E.IsPtr, bvEqConst(Cnf, E.PtrBits,
+                                         static_cast<uint64_t>(Idx)));
+  }
+  }
+  return Cnf.falseLit();
+}
+
+Lit ValueEncoder::eqLit(const EncValue &A, const EncValue &B) {
+  Lit BothUndef = Cnf.andLits({~A.IsInt, ~A.IsPtr, ~B.IsInt, ~B.IsPtr});
+  Lit IntEq = Cnf.andLits({A.IsInt, B.IsInt, bvEq(Cnf, A.IntBits, B.IntBits)});
+  Lit PtrEq = Cnf.andLits({A.IsPtr, B.IsPtr, bvEq(Cnf, A.PtrBits, B.PtrBits)});
+  return Cnf.orLits({BothUndef, IntEq, PtrEq});
+}
+
+Lit ValueEncoder::truthyLit(const EncValue &E) {
+  return Cnf.orLit(E.IsPtr, Cnf.andLit(E.IsInt, bvNonZero(Cnf, E.IntBits)));
+}
+
+Lit ValueEncoder::guardLit(ValueId Id) {
+  auto It = GuardCache.find(Id);
+  if (It != GuardCache.end())
+    return It->second;
+  Lit L = truthyLit(value(Id));
+  GuardCache[Id] = L;
+  return L;
+}
+
+bool ValueEncoder::encodeAll() {
+  Values.resize(P.Defs.size());
+  for (size_t I = 0; I < P.Defs.size(); ++I)
+    if (!encodeDef(static_cast<ValueId>(I)))
+      return false;
+  return true;
+}
+
+bool ValueEncoder::encodeDef(ValueId Id) {
+  const FlatDef &D = P.Defs[Id];
+  const ValueSet &Set = R.DefSets[Id];
+
+  // Constants (always) and singleton-range definitions (when the range
+  // analysis results are enabled) become constant encodings.
+  if (D.K == FlatDef::Kind::Const) {
+    Values[Id] = constValue(D.Val);
+    return true;
+  }
+  if (Opts.FixConstants && Set.isSingleton()) {
+    Values[Id] = constValue(*Set.Values.begin());
+    return true;
+  }
+
+  switch (D.K) {
+  case FlatDef::Kind::Const:
+    return true; // handled above
+
+  case FlatDef::Kind::Choice: {
+    EncValue E = freshForSet(Set);
+    // The domain constraint *is* the semantics of a nondeterministic pick.
+    addDomainConstraint(E, Set);
+    Values[Id] = E;
+    return true;
+  }
+
+  case FlatDef::Kind::LoadVal: {
+    // Constrained later by the memory-model axioms; the domain constraint
+    // (a superset of reachable values) improves propagation.
+    EncValue E = freshForSet(Set);
+    addDomainConstraint(E, Set);
+    Values[Id] = E;
+    return true;
+  }
+
+  case FlatDef::Kind::Op: {
+    // Prefer the enumerated table; fall back to circuits for wide values.
+    size_t Product = 1;
+    bool Tablable = true;
+    for (ValueId O : D.Operands) {
+      const ValueSet &OS = R.DefSets[O];
+      if (OS.Top) {
+        Tablable = false;
+        break;
+      }
+      Product *= OS.Values.size();
+      if (Product > Opts.TableLimit) {
+        Tablable = false;
+        break;
+      }
+    }
+    if (Tablable)
+      return encodeOpTable(Id, D);
+    return encodeOpCircuit(Id, D);
+  }
+  }
+  return true;
+}
+
+bool ValueEncoder::encodeOpTable(ValueId Id, const FlatDef &D) {
+  const ValueSet &Set = R.DefSets[Id];
+  EncValue E = freshForSet(Set);
+  addDomainConstraint(E, Set);
+  Values[Id] = E;
+
+  // Enumerate the operand product; each combination implies the result.
+  // Completeness holds because every operand carries a domain constraint.
+  size_t N = D.Operands.size();
+  std::vector<std::vector<Value>> Opts2(N);
+  for (size_t I = 0; I < N; ++I) {
+    const ValueSet &OS = R.DefSets[D.Operands[I]];
+    Opts2[I].assign(OS.Values.begin(), OS.Values.end());
+    if (Opts2[I].empty())
+      return true; // operand set empty: dead code, nothing to constrain
+  }
+  std::vector<size_t> Iter(N, 0);
+  std::vector<Value> Args(N);
+  for (;;) {
+    std::vector<Lit> Combo;
+    bool ComboPossible = true;
+    for (size_t I = 0; I < N; ++I) {
+      Args[I] = Opts2[I][Iter[I]];
+      Lit M = eqConstLit(value(D.Operands[I]), Args[I]);
+      if (Cnf.isFalse(M)) {
+        ComboPossible = false;
+        break;
+      }
+      if (!Cnf.isTrue(M))
+        Combo.push_back(M);
+    }
+    if (ComboPossible) {
+      Value Result = lsl::evalPrimOp(D.Op, Args, D.Imm);
+      Lit ResLit = eqConstLit(E, Result);
+      std::vector<Lit> Clause;
+      for (Lit C : Combo)
+        Clause.push_back(~C);
+      Clause.push_back(ResLit);
+      Cnf.addClause(Clause);
+    }
+    size_t I = 0;
+    for (; I < N; ++I) {
+      if (++Iter[I] < Opts2[I].size())
+        break;
+      Iter[I] = 0;
+    }
+    if (I == N)
+      break;
+  }
+  return true;
+}
+
+bool ValueEncoder::encodeOpCircuit(ValueId Id, const FlatDef &D) {
+  const ValueSet &Set = R.DefSets[Id];
+  auto A = [&](size_t I) -> const EncValue & {
+    return value(D.Operands[I]);
+  };
+  int OutIntW = Opts.MinimalWidths ? R.intBitsFor(Set, RangeOpts)
+                                   : R.GlobalIntBits;
+
+  EncValue E;
+  E.PtrBits = BitVec::constant(Cnf, 0, PtrWidth);
+  E.IsPtr = Cnf.falseLit();
+
+  auto BoolResult = [&](Lit Defined, Lit Bit) {
+    E.IsInt = Defined;
+    E.IntBits = BitVec(std::vector<Lit>{Bit});
+  };
+
+  switch (D.Op) {
+  case PrimOpKind::Copy:
+    Values[Id] = A(0);
+    return true;
+
+  case PrimOpKind::Add:
+  case PrimOpKind::Sub:
+  case PrimOpKind::Mul: {
+    Lit BothInt = Cnf.andLit(A(0).IsInt, A(1).IsInt);
+    E.IsInt = BothInt;
+    if (D.Op == PrimOpKind::Add)
+      E.IntBits = bvAdd(Cnf, A(0).IntBits, A(1).IntBits, OutIntW);
+    else if (D.Op == PrimOpKind::Sub)
+      E.IntBits = bvSub(Cnf, A(0).IntBits, A(1).IntBits, OutIntW);
+    else
+      E.IntBits = bvMul(Cnf, A(0).IntBits, A(1).IntBits, OutIntW);
+    break;
+  }
+
+  case PrimOpKind::BitAnd:
+    E.IsInt = Cnf.andLit(A(0).IsInt, A(1).IsInt);
+    E.IntBits = bvAnd(Cnf, A(0).IntBits, A(1).IntBits);
+    break;
+  case PrimOpKind::BitOr:
+    E.IsInt = Cnf.andLit(A(0).IsInt, A(1).IsInt);
+    E.IntBits = bvOr(Cnf, A(0).IntBits, A(1).IntBits);
+    break;
+  case PrimOpKind::BitXor:
+    E.IsInt = Cnf.andLit(A(0).IsInt, A(1).IsInt);
+    E.IntBits = bvXor(Cnf, A(0).IntBits, A(1).IntBits);
+    break;
+
+  case PrimOpKind::Eq:
+  case PrimOpKind::Ne: {
+    Lit Defined = Cnf.andLit(definedLit(A(0)), definedLit(A(1)));
+    Lit Raw = eqLit(A(0), A(1));
+    BoolResult(Defined, D.Op == PrimOpKind::Eq ? Raw : ~Raw);
+    break;
+  }
+
+  case PrimOpKind::Lt:
+  case PrimOpKind::Gt: {
+    const EncValue &X = D.Op == PrimOpKind::Lt ? A(0) : A(1);
+    const EncValue &Y = D.Op == PrimOpKind::Lt ? A(1) : A(0);
+    Lit BothInt = Cnf.andLit(A(0).IsInt, A(1).IsInt);
+    BoolResult(BothInt, bvUlt(Cnf, X.IntBits, Y.IntBits));
+    break;
+  }
+  case PrimOpKind::Le:
+  case PrimOpKind::Ge: {
+    const EncValue &X = D.Op == PrimOpKind::Le ? A(1) : A(0);
+    const EncValue &Y = D.Op == PrimOpKind::Le ? A(0) : A(1);
+    Lit BothInt = Cnf.andLit(A(0).IsInt, A(1).IsInt);
+    BoolResult(BothInt, ~bvUlt(Cnf, X.IntBits, Y.IntBits));
+    break;
+  }
+
+  case PrimOpKind::LNot: {
+    BoolResult(definedLit(A(0)), ~truthyLit(A(0)));
+    break;
+  }
+  case PrimOpKind::LAnd: {
+    // Kleene semantics (see evalPrimOp): defined if either side is
+    // defined-false or both sides are defined.
+    Lit AFalse = Cnf.andLit(definedLit(A(0)), ~truthyLit(A(0)));
+    Lit BFalse = Cnf.andLit(definedLit(A(1)), ~truthyLit(A(1)));
+    Lit BothDef = Cnf.andLit(definedLit(A(0)), definedLit(A(1)));
+    Lit Defined = Cnf.orLits({AFalse, BFalse, BothDef});
+    BoolResult(Defined, Cnf.andLit(truthyLit(A(0)), truthyLit(A(1))));
+    break;
+  }
+  case PrimOpKind::LOr: {
+    Lit ATrue = truthyLit(A(0));
+    Lit BTrue = truthyLit(A(1));
+    Lit BothDef = Cnf.andLit(definedLit(A(0)), definedLit(A(1)));
+    Lit Defined = Cnf.orLits({ATrue, BTrue, BothDef});
+    BoolResult(Defined, Cnf.orLit(ATrue, BTrue));
+    break;
+  }
+
+  case PrimOpKind::Select: {
+    Lit CDef = definedLit(A(0));
+    Lit CT = truthyLit(A(0));
+    E.IsInt = Cnf.andLit(CDef, Cnf.iteLit(CT, A(1).IsInt, A(2).IsInt));
+    E.IsPtr = Cnf.andLit(CDef, Cnf.iteLit(CT, A(1).IsPtr, A(2).IsPtr));
+    E.IntBits = bvMux(Cnf, CT, A(1).IntBits, A(2).IntBits);
+    E.PtrBits = bvMux(Cnf, CT, A(1).PtrBits, A(2).PtrBits);
+    break;
+  }
+
+  default:
+    fail(formatString("cannot encode %s over wide operand sets",
+                      lsl::primOpName(D.Op)));
+    return false;
+  }
+
+  Values[Id] = E;
+  return true;
+}
+
+lsl::Value ValueEncoder::decode(const sat::Solver &S, ValueId Id) const {
+  const EncValue &E = Values[Id];
+  bool IsInt = S.modelValue(E.IsInt) == sat::LBool::True;
+  bool IsPtr = S.modelValue(E.IsPtr) == sat::LBool::True;
+  if (IsInt)
+    return Value::integer(
+        static_cast<int64_t>(bvModelValue(S, Cnf, E.IntBits)));
+  if (IsPtr) {
+    uint64_t Idx = bvModelValue(S, Cnf, E.PtrBits);
+    if (Idx < R.PointerUniverse.size())
+      return R.PointerUniverse[Idx];
+  }
+  return Value::undef();
+}

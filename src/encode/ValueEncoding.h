@@ -1,0 +1,120 @@
+//===--- ValueEncoding.h - tagged LSL values as SAT circuits ----*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes the SSA definitions of a FlatProgram into SAT (the thread-local
+/// Delta_k formulae of Sec. 3.2.1). Every LSL value is a tagged record:
+///
+///   tag     : IsInt / IsPtr literals (both false = undefined)
+///   payload : an integer bitvector (width from the range analysis) or a
+///             pointer-universe index bitvector
+///
+/// Definitions whose range set is a singleton become constants ("fixing
+/// individual bits", Sec. 3.4 use (3)). Operations over small candidate
+/// sets are encoded as enumerated tables driven by lsl::evalPrimOp - the
+/// single source of operator semantics - with bit-level circuits (adders,
+/// comparators, muxes) as the fallback for wide values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_ENCODE_VALUEENCODING_H
+#define CHECKFENCE_ENCODE_VALUEENCODING_H
+
+#include "encode/BitVec.h"
+#include "trans/FlatProgram.h"
+#include "trans/RangeAnalysis.h"
+
+#include <map>
+#include <string>
+
+namespace checkfence {
+namespace encode {
+
+/// A tagged value at the SAT level.
+struct EncValue {
+  Lit IsInt;
+  Lit IsPtr;
+  BitVec IntBits;
+  BitVec PtrBits;
+};
+
+/// Switches that implement the range-analysis ablation (Fig. 11c): with
+/// all three off, the encoder still knows the candidate sets (they are
+/// required to encode pointer operations at all) but derives no constants,
+/// no minimized widths, and no alias pruning from them.
+struct EncodeOptions {
+  bool FixConstants = true;
+  bool MinimalWidths = true;
+  bool AliasPruning = true;
+  size_t TableLimit = 512; ///< max operand-set product for table encoding
+};
+
+/// Encodes all definitions of a FlatProgram.
+class ValueEncoder {
+public:
+  ValueEncoder(CnfBuilder &B, const trans::FlatProgram &P,
+               const trans::RangeInfo &R, const EncodeOptions &Opts);
+
+  /// Runs the encoding. Returns false if an unsupported construct was hit
+  /// (message in error()).
+  bool encodeAll();
+
+  const EncValue &value(trans::ValueId Id) const { return Values[Id]; }
+
+  /// The 0/1 execution literal of a guard value (truthiness; undefined
+  /// guards coerce to false - a CheckBranch flags them as errors).
+  Lit guardLit(trans::ValueId Id);
+
+  /// enc == v, as a literal.
+  Lit eqConstLit(const EncValue &E, const lsl::Value &V);
+  Lit eqConstLit(trans::ValueId Id, const lsl::Value &V) {
+    return eqConstLit(value(Id), V);
+  }
+
+  /// Total value equality (undefined == undefined holds), as a literal.
+  Lit eqLit(const EncValue &A, const EncValue &B);
+
+  /// Literal "E is defined" (int or pointer).
+  Lit definedLit(const EncValue &E) { return Cnf.orLit(E.IsInt, E.IsPtr); }
+  /// Literal "E is truthy" (pointer, or nonzero int).
+  Lit truthyLit(const EncValue &E);
+
+  /// Encodes the constant \p V.
+  EncValue constValue(const lsl::Value &V);
+
+  /// Decodes the model value of definition \p Id after a Sat result.
+  lsl::Value decode(const sat::Solver &S, trans::ValueId Id) const;
+
+  const std::string &error() const { return ErrorMsg; }
+  CnfBuilder &cnf() { return Cnf; }
+
+private:
+  EncValue freshForSet(const trans::ValueSet &Set);
+  void addDomainConstraint(const EncValue &E, const trans::ValueSet &Set);
+  bool encodeDef(trans::ValueId Id);
+  bool encodeOpTable(trans::ValueId Id, const trans::FlatDef &D);
+  bool encodeOpCircuit(trans::ValueId Id, const trans::FlatDef &D);
+  void fail(const std::string &Msg) {
+    if (ErrorMsg.empty())
+      ErrorMsg = Msg;
+  }
+
+  CnfBuilder &Cnf;
+  const trans::FlatProgram &P;
+  const trans::RangeInfo &R;
+  EncodeOptions Opts;
+  trans::RangeOptions RangeOpts;
+
+  std::vector<EncValue> Values;
+  std::map<int, Lit> GuardCache;
+  std::string ErrorMsg;
+  int PtrWidth = 0;
+};
+
+} // namespace encode
+} // namespace checkfence
+
+#endif // CHECKFENCE_ENCODE_VALUEENCODING_H

@@ -1,0 +1,27 @@
+//===--- AST.cpp - CheckFence-C abstract syntax ----------------------------===//
+
+#include "frontend/AST.h"
+
+#include "support/Format.h"
+
+using namespace checkfence;
+using namespace checkfence::frontend;
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Int:
+    return "int";
+  case Kind::Ptr:
+    return (Pointee ? Pointee->str() : "?") + "*";
+  case Kind::Struct:
+    return "struct " + (Struct ? Struct->Name : "?");
+  case Kind::Array:
+    return formatString("%s[%d]", Elem ? Elem->str().c_str() : "?",
+                        ArraySize);
+  }
+  return "?";
+}

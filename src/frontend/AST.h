@@ -1,0 +1,292 @@
+//===--- AST.h - CheckFence-C abstract syntax -------------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the C subset. The paper used CIL to obtain a cleaned-up AST; we
+/// parse the subset the five studied algorithms (and their test preludes)
+/// need: typedefs, structs, enums, pointers, arrays, full integer
+/// arithmetic, control flow, atomic blocks, and calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_FRONTEND_AST_H
+#define CHECKFENCE_FRONTEND_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace frontend {
+
+struct StructDecl;
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Static C types. Only the structure that matters for lowering is kept:
+/// pointers (for dereferencing), structs (for field offsets), arrays (for
+/// indexing). All scalar flavours collapse to Int/Bool.
+struct Type {
+  enum class Kind : uint8_t { Void, Bool, Int, Ptr, Struct, Array };
+  Kind K = Kind::Int;
+  const Type *Pointee = nullptr; // Ptr
+  StructDecl *Struct = nullptr;  // Struct
+  const Type *Elem = nullptr;    // Array
+  int ArraySize = 0;             // Array
+
+  bool isPtr() const { return K == Kind::Ptr; }
+  bool isStruct() const { return K == Kind::Struct; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isScalar() const {
+    return K == Kind::Int || K == Kind::Bool || K == Kind::Ptr ||
+           K == Kind::Void;
+  }
+  std::string str() const;
+};
+
+struct FieldDecl {
+  std::string Name;
+  const Type *Ty = nullptr;
+  int Index = 0; // offset ordinal within the struct (paper Fig. 5)
+};
+
+struct StructDecl {
+  std::string Name; // tag or typedef name; may be synthetic
+  std::vector<FieldDecl> Fields;
+  bool Complete = false;
+
+  const FieldDecl *findField(const std::string &Name) const {
+    for (const FieldDecl &F : Fields)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class UnaryOp : uint8_t {
+  Neg,
+  LNot,
+  BitNot,
+  Deref,
+  AddrOf,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LAnd,
+  LOr,
+};
+
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,
+    StrLit,
+    Ident,
+    Unary,
+    Binary,
+    Assign, // LHS = RHS; CompoundOp tracks += / -=
+    Cond,   // Cond3 ? LHS : RHS
+    Call,
+    Member, // Base.Field or Base->Field (IsArrow)
+    Index,  // Base[RHS]
+    Cast,
+  };
+
+  Kind K;
+  SourceLoc Loc;
+
+  int64_t IntVal = 0;   // IntLit
+  std::string Str;      // StrLit contents / Ident name / Member field name
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+  bool HasCompoundOp = false; // Assign: true for += / -=
+  BinaryOp CompoundOp = BinaryOp::Add;
+  Expr *LHS = nullptr;
+  Expr *RHS = nullptr;
+  Expr *Cond3 = nullptr;
+  Expr *Base = nullptr; // Member/Index/Call callee
+  bool IsArrow = false;
+  std::vector<Expr *> CallArgs;
+  const Type *CastTy = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements and declarations
+//===----------------------------------------------------------------------===//
+
+struct VarDecl {
+  std::string Name;
+  const Type *Ty = nullptr;
+  Expr *Init = nullptr;
+  SourceLoc Loc;
+  bool IsGlobal = false;
+};
+
+struct CStmt {
+  enum class Kind : uint8_t {
+    Compound,
+    If,
+    While,
+    DoWhile,
+    For,
+    Return,
+    Break,
+    Continue,
+    ExprStmt,
+    DeclStmt,
+    Atomic,
+    Empty,
+  };
+
+  Kind K;
+  SourceLoc Loc;
+  std::vector<CStmt *> Body; // Compound/Atomic
+  Expr *CondE = nullptr;     // If/While/DoWhile/For
+  CStmt *Then = nullptr;
+  CStmt *Else = nullptr;
+  CStmt *InitS = nullptr; // For
+  Expr *IncE = nullptr;   // For
+  Expr *E = nullptr;      // ExprStmt/Return (may be null for bare return)
+  VarDecl *Var = nullptr; // DeclStmt
+};
+
+struct ParamDecl {
+  std::string Name;
+  const Type *Ty = nullptr;
+};
+
+struct FuncDecl {
+  std::string Name;
+  const Type *RetTy = nullptr;
+  std::vector<ParamDecl> Params;
+  CStmt *Body = nullptr; // null for extern declarations
+  SourceLoc Loc;
+};
+
+/// A parsed translation unit: owns all AST nodes via arenas.
+class TranslationUnit {
+public:
+  Expr *newExpr(Expr::Kind K, SourceLoc Loc) {
+    ExprArena.emplace_back();
+    ExprArena.back().K = K;
+    ExprArena.back().Loc = Loc;
+    return &ExprArena.back();
+  }
+  CStmt *newStmt(CStmt::Kind K, SourceLoc Loc) {
+    StmtArena.emplace_back();
+    StmtArena.back().K = K;
+    StmtArena.back().Loc = Loc;
+    return &StmtArena.back();
+  }
+  Type *newType(Type::Kind K) {
+    TypeArena.emplace_back();
+    TypeArena.back().K = K;
+    return &TypeArena.back();
+  }
+  StructDecl *newStruct(const std::string &Name) {
+    StructArena.emplace_back();
+    StructArena.back().Name = Name;
+    return &StructArena.back();
+  }
+  VarDecl *newVarDecl() {
+    VarArena.emplace_back();
+    return &VarArena.back();
+  }
+  FuncDecl *newFunc() {
+    FuncArena.emplace_back();
+    return &FuncArena.back();
+  }
+
+  // Interned basic types.
+  const Type *voidTy() { return &VoidType; }
+  const Type *intTy() { return &IntType; }
+  const Type *boolTy() { return &BoolType; }
+  const Type *ptrTo(const Type *Pointee) {
+    auto It = PtrTypes.find(Pointee);
+    if (It != PtrTypes.end())
+      return It->second;
+    Type *T = newType(Type::Kind::Ptr);
+    T->Pointee = Pointee;
+    PtrTypes[Pointee] = T;
+    return T;
+  }
+  const Type *arrayOf(const Type *Elem, int Size) {
+    Type *T = newType(Type::Kind::Array);
+    T->Elem = Elem;
+    T->ArraySize = Size;
+    return T;
+  }
+  const Type *structTy(StructDecl *S) {
+    auto It = StructTypes.find(S);
+    if (It != StructTypes.end())
+      return It->second;
+    Type *T = newType(Type::Kind::Struct);
+    T->Struct = S;
+    StructTypes[S] = T;
+    return T;
+  }
+
+  /// Top-level contents, in declaration order.
+  std::vector<FuncDecl *> Functions;
+  std::vector<VarDecl *> Globals;
+  std::map<std::string, const Type *> Typedefs;
+  std::map<std::string, StructDecl *> StructTags;
+  std::map<std::string, int64_t> EnumConstants;
+
+  FuncDecl *findFunction(const std::string &Name) const {
+    for (FuncDecl *F : Functions)
+      if (F->Name == Name)
+        return F;
+    return nullptr;
+  }
+
+private:
+  std::deque<Expr> ExprArena;
+  std::deque<CStmt> StmtArena;
+  std::deque<Type> TypeArena;
+  std::deque<StructDecl> StructArena;
+  std::deque<VarDecl> VarArena;
+  std::deque<FuncDecl> FuncArena;
+  Type VoidType{Type::Kind::Void, nullptr, nullptr, nullptr, 0};
+  Type IntType{Type::Kind::Int, nullptr, nullptr, nullptr, 0};
+  Type BoolType{Type::Kind::Bool, nullptr, nullptr, nullptr, 0};
+  std::map<const Type *, const Type *> PtrTypes;
+  std::map<const StructDecl *, const Type *> StructTypes;
+};
+
+} // namespace frontend
+} // namespace checkfence
+
+#endif // CHECKFENCE_FRONTEND_AST_H

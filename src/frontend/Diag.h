@@ -1,0 +1,52 @@
+//===--- Diag.h - frontend diagnostics --------------------------*- C++ -*-==//
+///
+/// \file
+/// Error collection for the CheckFence-C frontend. The library never throws;
+/// phases append diagnostics and callers check hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_FRONTEND_DIAG_H
+#define CHECKFENCE_FRONTEND_DIAG_H
+
+#include "support/Format.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace frontend {
+
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics across frontend phases.
+class DiagEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back(Diagnostic{Loc, Msg});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics as "line:col: message" lines.
+  std::string str() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags)
+      Out += formatString("%d:%d: error: %s\n", D.Loc.Line, D.Loc.Col,
+                          D.Message.c_str());
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace frontend
+} // namespace checkfence
+
+#endif // CHECKFENCE_FRONTEND_DIAG_H

@@ -1,0 +1,325 @@
+//===--- Lexer.cpp - tokenizer for CheckFence-C ----------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace checkfence;
+using namespace checkfence::frontend;
+
+const char *checkfence::frontend::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::String:
+    return "string";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Assign:
+    return "'='";
+  default:
+    return "token";
+  }
+}
+
+static const std::map<std::string, TokKind> &keywordMap() {
+  static const std::map<std::string, TokKind> Map = {
+      {"typedef", TokKind::KwTypedef},   {"struct", TokKind::KwStruct},
+      {"enum", TokKind::KwEnum},         {"extern", TokKind::KwExtern},
+      {"static", TokKind::KwStatic},     {"const", TokKind::KwConst},
+      {"volatile", TokKind::KwVolatile}, {"unsigned", TokKind::KwUnsigned},
+      {"signed", TokKind::KwSigned},     {"void", TokKind::KwVoid},
+      {"int", TokKind::KwInt},           {"long", TokKind::KwLong},
+      {"short", TokKind::KwShort},       {"char", TokKind::KwChar},
+      {"bool", TokKind::KwBool},         {"_Bool", TokKind::KwBool},
+      {"true", TokKind::KwTrue},         {"false", TokKind::KwFalse},
+      {"NULL", TokKind::KwNull},         {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},         {"while", TokKind::KwWhile},
+      {"do", TokKind::KwDo},             {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},     {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"atomic", TokKind::KwAtomic},
+      {"goto", TokKind::KwGoto},
+  };
+  return Map;
+}
+
+std::vector<Token> checkfence::frontend::lex(const std::string &Source,
+                                             DiagEngine &Diags) {
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  const size_t N = Source.size();
+  int Line = 1, Col = 1;
+
+  auto Advance = [&](size_t Count = 1) {
+    for (size_t I = 0; I < Count && Pos < N; ++I) {
+      if (Source[Pos] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+      ++Pos;
+    }
+  };
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return Pos + Ahead < N ? Source[Pos + Ahead] : '\0';
+  };
+  auto Emit = [&](TokKind K, SourceLoc Loc) {
+    Token T;
+    T.K = K;
+    T.Loc = Loc;
+    Toks.push_back(T);
+  };
+
+  while (Pos < N) {
+    char C = Peek();
+    SourceLoc Loc{Line, Col};
+
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Peek(1) == '/') {
+      while (Pos < N && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    if (C == '/' && Peek(1) == '*') {
+      Advance(2);
+      while (Pos < N && !(Peek() == '*' && Peek(1) == '/'))
+        Advance();
+      if (Pos >= N)
+        Diags.error(Loc, "unterminated block comment");
+      Advance(2);
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (Pos < N && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                         Peek() == '_')) {
+        Text += Peek();
+        Advance();
+      }
+      auto It = keywordMap().find(Text);
+      Token T;
+      T.Loc = Loc;
+      if (It != keywordMap().end()) {
+        T.K = It->second;
+      } else {
+        T.K = TokKind::Identifier;
+        T.Text = Text;
+      }
+      Toks.push_back(T);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t Val = 0;
+      if (C == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+        Advance(2);
+        while (Pos < N &&
+               std::isxdigit(static_cast<unsigned char>(Peek()))) {
+          char D = Peek();
+          int Digit = std::isdigit(static_cast<unsigned char>(D))
+                          ? D - '0'
+                          : std::tolower(D) - 'a' + 10;
+          Val = Val * 16 + Digit;
+          Advance();
+        }
+      } else {
+        while (Pos < N && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Val = Val * 10 + (Peek() - '0');
+          Advance();
+        }
+      }
+      // Skip integer suffixes (u, U, l, L).
+      while (Pos < N && (Peek() == 'u' || Peek() == 'U' || Peek() == 'l' ||
+                         Peek() == 'L'))
+        Advance();
+      Token T;
+      T.K = TokKind::Number;
+      T.Loc = Loc;
+      T.IntVal = Val;
+      Toks.push_back(T);
+      continue;
+    }
+    // Strings.
+    if (C == '"') {
+      Advance();
+      std::string Text;
+      while (Pos < N && Peek() != '"') {
+        if (Peek() == '\\' && Pos + 1 < N) {
+          Advance();
+          char E = Peek();
+          Text += (E == 'n' ? '\n' : E == 't' ? '\t' : E);
+          Advance();
+          continue;
+        }
+        Text += Peek();
+        Advance();
+      }
+      if (Pos >= N) {
+        Diags.error(Loc, "unterminated string literal");
+        break;
+      }
+      Advance(); // closing quote
+      Token T;
+      T.K = TokKind::String;
+      T.Loc = Loc;
+      T.Text = Text;
+      Toks.push_back(T);
+      continue;
+    }
+    // Punctuation.
+    auto Two = [&](char A, char B) { return C == A && Peek(1) == B; };
+    if (Two('-', '>')) {
+      Emit(TokKind::Arrow, Loc);
+      Advance(2);
+    } else if (Two('=', '=')) {
+      Emit(TokKind::EqEq, Loc);
+      Advance(2);
+    } else if (Two('!', '=')) {
+      Emit(TokKind::BangEq, Loc);
+      Advance(2);
+    } else if (Two('<', '=')) {
+      Emit(TokKind::Le, Loc);
+      Advance(2);
+    } else if (Two('>', '=')) {
+      Emit(TokKind::Ge, Loc);
+      Advance(2);
+    } else if (Two('<', '<')) {
+      Emit(TokKind::Shl, Loc);
+      Advance(2);
+    } else if (Two('>', '>')) {
+      Emit(TokKind::Shr, Loc);
+      Advance(2);
+    } else if (Two('&', '&')) {
+      Emit(TokKind::AmpAmp, Loc);
+      Advance(2);
+    } else if (Two('|', '|')) {
+      Emit(TokKind::PipePipe, Loc);
+      Advance(2);
+    } else if (Two('+', '+')) {
+      Emit(TokKind::PlusPlus, Loc);
+      Advance(2);
+    } else if (Two('-', '-')) {
+      Emit(TokKind::MinusMinus, Loc);
+      Advance(2);
+    } else if (Two('+', '=')) {
+      Emit(TokKind::PlusAssign, Loc);
+      Advance(2);
+    } else if (Two('-', '=')) {
+      Emit(TokKind::MinusAssign, Loc);
+      Advance(2);
+    } else {
+      TokKind K;
+      switch (C) {
+      case '(':
+        K = TokKind::LParen;
+        break;
+      case ')':
+        K = TokKind::RParen;
+        break;
+      case '{':
+        K = TokKind::LBrace;
+        break;
+      case '}':
+        K = TokKind::RBrace;
+        break;
+      case '[':
+        K = TokKind::LBracket;
+        break;
+      case ']':
+        K = TokKind::RBracket;
+        break;
+      case ';':
+        K = TokKind::Semi;
+        break;
+      case ',':
+        K = TokKind::Comma;
+        break;
+      case ':':
+        K = TokKind::Colon;
+        break;
+      case '?':
+        K = TokKind::Question;
+        break;
+      case '=':
+        K = TokKind::Assign;
+        break;
+      case '+':
+        K = TokKind::Plus;
+        break;
+      case '-':
+        K = TokKind::Minus;
+        break;
+      case '*':
+        K = TokKind::Star;
+        break;
+      case '/':
+        K = TokKind::Slash;
+        break;
+      case '%':
+        K = TokKind::Percent;
+        break;
+      case '&':
+        K = TokKind::Amp;
+        break;
+      case '|':
+        K = TokKind::Pipe;
+        break;
+      case '^':
+        K = TokKind::Caret;
+        break;
+      case '~':
+        K = TokKind::Tilde;
+        break;
+      case '!':
+        K = TokKind::Bang;
+        break;
+      case '<':
+        K = TokKind::Lt;
+        break;
+      case '>':
+        K = TokKind::Gt;
+        break;
+      case '.':
+        K = TokKind::Dot;
+        break;
+      default:
+        Diags.error(Loc, formatString("unexpected character '%c'", C));
+        Advance();
+        continue;
+      }
+      Emit(K, Loc);
+      Advance();
+    }
+  }
+
+  Token Eof;
+  Eof.K = TokKind::Eof;
+  Eof.Loc = SourceLoc{Line, Col};
+  Toks.push_back(Eof);
+  return Toks;
+}

@@ -1,0 +1,119 @@
+//===--- Lexer.h - tokenizer for CheckFence-C -------------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the C subset accepted by the frontend. Handles //- and
+/// /**/-comments, identifiers/keywords, integer literals (decimal and hex),
+/// string literals (used only as fence()/builtin arguments), and the C
+/// punctuation the subset needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_FRONTEND_LEXER_H
+#define CHECKFENCE_FRONTEND_LEXER_H
+
+#include "frontend/Diag.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace frontend {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  Number,
+  String,
+  // Keywords.
+  KwTypedef,
+  KwStruct,
+  KwEnum,
+  KwExtern,
+  KwStatic,
+  KwConst,
+  KwVolatile,
+  KwUnsigned,
+  KwSigned,
+  KwVoid,
+  KwInt,
+  KwLong,
+  KwShort,
+  KwChar,
+  KwBool,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwAtomic,
+  KwGoto,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Question,
+  Assign,      // =
+  PlusAssign,  // +=
+  MinusAssign, // -=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Tilde,
+  Bang,
+  EqEq,
+  BangEq,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Shl,
+  Shr,
+  Arrow,
+  Dot,
+  PlusPlus,
+  MinusMinus,
+};
+
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind K = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   // identifier spelling or string contents
+  int64_t IntVal = 0; // Number
+
+  bool is(TokKind Kind) const { return K == Kind; }
+};
+
+/// Tokenizes \p Source (already preprocessed). Appends an Eof token.
+std::vector<Token> lex(const std::string &Source, DiagEngine &Diags);
+
+} // namespace frontend
+} // namespace checkfence
+
+#endif // CHECKFENCE_FRONTEND_LEXER_H

@@ -1,0 +1,981 @@
+//===--- Lowering.cpp - C AST to LSL lowering ------------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lowering.h"
+
+#include "frontend/Parser.h"
+#include "frontend/Preprocessor.h"
+#include "frontend/Sema.h"
+
+#include <cassert>
+#include <map>
+
+using namespace checkfence;
+using namespace checkfence::frontend;
+
+using lsl::PrimOpKind;
+using lsl::Reg;
+using lsl::RegNone;
+using lsl::StmtKind;
+using lsl::Value;
+
+namespace {
+
+/// An rvalue: register holding the value plus its static C type (the type
+/// is used only for layout decisions; LSL itself is untyped).
+struct RVal {
+  Reg R = RegNone;
+  const Type *Ty = nullptr;
+};
+
+/// An lvalue: either register-backed (plain scalar local) or memory-backed
+/// (globals, address-taken locals, aggregates, dereferences).
+struct LValue {
+  bool InMemory = false;
+  Reg R = RegNone;    // register-backed
+  Reg Addr = RegNone; // memory-backed
+  const Type *Ty = nullptr;
+};
+
+class UnitLowering {
+public:
+  UnitLowering(const TranslationUnit &TU, lsl::Program &Prog,
+               DiagEngine &Diags, const LoweringOptions &Opts)
+      : TU(TU), Prog(Prog), Diags(Diags), Opts(Opts) {}
+
+  void run() {
+    for (const VarDecl *G : TU.Globals)
+      GlobalIndex[G->Name] = Prog.addGlobal(G->Name);
+    lowerGlobalInit();
+    for (const FuncDecl *F : TU.Functions) {
+      if (!F->Body)
+        continue; // extern declaration (builtin or prelude interface)
+      if (classifyBuiltin(F->Name) != BuiltinKind::None) {
+        Diags.error(F->Loc, "cannot define builtin '" + F->Name + "'");
+        continue;
+      }
+      lowerFunction(*F);
+    }
+  }
+
+private:
+  const TranslationUnit &TU;
+  lsl::Program &Prog;
+  DiagEngine &Diags;
+  const LoweringOptions &Opts;
+
+  std::map<std::string, uint32_t> GlobalIndex;
+
+  // Per-function state.
+  lsl::Proc *P = nullptr;
+  std::vector<std::vector<lsl::Stmt *> *> ListStack;
+  struct LocalInfo {
+    bool InMemory = false;
+    Reg R = RegNone;    // register-backed value
+    Reg Addr = RegNone; // memory-backed stack-slot address
+    const Type *Ty = nullptr;
+  };
+  std::map<std::string, LocalInfo> Locals;
+  std::set<std::string> AddrTaken;
+  struct LoopCtx {
+    int BreakTag;
+    int BodyTag;
+  };
+  std::vector<LoopCtx> LoopStack;
+  int FuncTag = -1;
+
+  //===--------------------------------------------------------------------===//
+  // Emission helpers
+  //===--------------------------------------------------------------------===//
+
+  lsl::Stmt *emit(StmtKind K, SourceLoc Loc) {
+    lsl::Stmt *S = Prog.create(K);
+    S->Loc = Loc;
+    assert(!ListStack.empty() && "no emission target");
+    ListStack.back()->push_back(S);
+    return S;
+  }
+
+  Reg emitConst(Value V, SourceLoc Loc, const std::string &Name = "") {
+    lsl::Stmt *S = emit(StmtKind::Const, Loc);
+    S->Def = P->newReg(Name);
+    S->ConstVal = V;
+    return S->Def;
+  }
+
+  Reg emitOp(PrimOpKind Op, std::vector<Reg> Args, int64_t Imm,
+             SourceLoc Loc, const std::string &Name = "") {
+    lsl::Stmt *S = emit(StmtKind::PrimOp, Loc);
+    S->Def = P->newReg(Name);
+    S->Op = Op;
+    S->Args = std::move(Args);
+    S->Imm = Imm;
+    return S->Def;
+  }
+
+  /// Assigns Src into the existing register Dst (mutable registers; the
+  /// flattener performs SSA renaming later).
+  void emitCopyTo(Reg Dst, Reg Src, SourceLoc Loc) {
+    lsl::Stmt *S = emit(StmtKind::PrimOp, Loc);
+    S->Def = Dst;
+    S->Op = PrimOpKind::Copy;
+    S->Args = {Src};
+  }
+
+  Reg emitLoad(Reg Addr, SourceLoc Loc, const std::string &Name = "") {
+    lsl::Stmt *S = emit(StmtKind::Load, Loc);
+    S->Def = P->newReg(Name);
+    S->Addr = Addr;
+    return S->Def;
+  }
+
+  void emitStore(Reg Addr, Reg Val, SourceLoc Loc) {
+    lsl::Stmt *S = emit(StmtKind::Store, Loc);
+    S->Addr = Addr;
+    S->Args = {Val};
+  }
+
+  /// Emits an unconditional break out of \p Tag.
+  void emitAlwaysBreak(int Tag, SourceLoc Loc) {
+    Reg One = emitConst(Value::integer(1), Loc);
+    lsl::Stmt *S = emit(StmtKind::Break, Loc);
+    S->Cond = One;
+    S->TargetTag = Tag;
+  }
+
+  /// Opens a Block/Atomic statement and redirects emission into it.
+  lsl::Stmt *beginNested(StmtKind K, SourceLoc Loc, int Tag = -1) {
+    lsl::Stmt *S = emit(K, Loc);
+    S->BlockTag = Tag;
+    ListStack.push_back(&S->Body);
+    return S;
+  }
+  void endNested() { ListStack.pop_back(); }
+
+  //===--------------------------------------------------------------------===//
+  // Type helpers
+  //===--------------------------------------------------------------------===//
+
+  const Type *pointee(const Type *Ty, SourceLoc Loc) {
+    if (Ty && Ty->isPtr())
+      return Ty->Pointee;
+    Diags.error(Loc, "dereference of non-pointer type " +
+                         (Ty ? Ty->str() : std::string("<none>")));
+    return TU2().voidTy();
+  }
+
+  // The TranslationUnit is logically const but the type factories cache.
+  TranslationUnit &TU2() { return const_cast<TranslationUnit &>(TU); }
+
+  //===--------------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------------===//
+
+  void lowerGlobalInit() {
+    P = Prog.getOrCreateProc("__global_init");
+    Locals.clear();
+    LoopStack.clear();
+    AddrTaken.clear();
+    ListStack.clear();
+    ListStack.push_back(&P->Body);
+    FuncTag = P->newTag();
+    lsl::Stmt *Outer = beginNested(StmtKind::Block, SourceLoc(), FuncTag);
+    (void)Outer;
+    for (const VarDecl *G : TU.Globals) {
+      if (!G->Init)
+        continue;
+      if (!G->Ty || !G->Ty->isScalar()) {
+        Diags.error(G->Loc, "unsupported initializer for aggregate global '" +
+                                G->Name + "'");
+        continue;
+      }
+      RVal V = lowerExpr(G->Init);
+      Reg Addr = emitConst(Value::pointer({GlobalIndex[G->Name]}), G->Loc,
+                           G->Name + ".addr");
+      emitStore(Addr, V.R, G->Loc);
+    }
+    endNested();
+    ListStack.pop_back();
+  }
+
+  void lowerFunction(const FuncDecl &F) {
+    P = Prog.getOrCreateProc(F.Name);
+    P->NumParams = static_cast<int>(F.Params.size());
+    Locals.clear();
+    LoopStack.clear();
+    ListStack.clear();
+    AddrTaken = collectAddressTaken(F);
+
+    // Parameter registers are 0..N-1 by convention.
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      Reg R = P->newReg(F.Params[I].Name);
+      assert(R == static_cast<int>(I) && "parameter register numbering");
+      LocalInfo LI;
+      LI.R = R;
+      LI.Ty = F.Params[I].Ty;
+      Locals[F.Params[I].Name] = LI;
+    }
+
+    if (F.RetTy && F.RetTy->K != Type::Kind::Void)
+      P->RetRegs = {P->newReg("ret")};
+
+    ListStack.push_back(&P->Body);
+    FuncTag = P->newTag();
+    beginNested(StmtKind::Block, F.Loc, FuncTag);
+
+    // Spill address-taken parameters to stack cells.
+    for (const ParamDecl &Param : F.Params) {
+      if (!AddrTaken.count(Param.Name))
+        continue;
+      LocalInfo &LI = Locals[Param.Name];
+      lsl::Stmt *A = emit(StmtKind::Alloc, F.Loc);
+      A->Def = P->newReg(Param.Name + ".slot");
+      A->AllocSite = Prog.newAllocSite();
+      emitStore(A->Def, LI.R, F.Loc);
+      LI.InMemory = true;
+      LI.Addr = A->Def;
+    }
+
+    lowerStmt(F.Body);
+    endNested();
+    ListStack.pop_back();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void lowerStmt(const CStmt *S) {
+    if (!S)
+      return;
+    switch (S->K) {
+    case CStmt::Kind::Compound:
+      for (const CStmt *C : S->Body)
+        lowerStmt(C);
+      return;
+    case CStmt::Kind::Empty:
+      return;
+    case CStmt::Kind::ExprStmt:
+      lowerExpr(S->E);
+      return;
+    case CStmt::Kind::DeclStmt:
+      lowerLocalDecl(S->Var);
+      return;
+    case CStmt::Kind::If:
+      lowerIf(S);
+      return;
+    case CStmt::Kind::While:
+      lowerLoop(S, /*TestFirst=*/true, /*ForStmt=*/false);
+      return;
+    case CStmt::Kind::DoWhile:
+      lowerLoop(S, /*TestFirst=*/false, /*ForStmt=*/false);
+      return;
+    case CStmt::Kind::For:
+      lowerLoop(S, /*TestFirst=*/true, /*ForStmt=*/true);
+      return;
+    case CStmt::Kind::Return: {
+      if (S->E) {
+        RVal V = lowerExpr(S->E);
+        if (P->RetRegs.empty())
+          Diags.error(S->Loc, "returning a value from a void function");
+        else
+          emitCopyTo(P->RetRegs[0], V.R, S->Loc);
+      }
+      emitAlwaysBreak(FuncTag, S->Loc);
+      return;
+    }
+    case CStmt::Kind::Break:
+      if (LoopStack.empty())
+        Diags.error(S->Loc, "break outside of a loop");
+      else
+        emitAlwaysBreak(LoopStack.back().BreakTag, S->Loc);
+      return;
+    case CStmt::Kind::Continue:
+      if (LoopStack.empty())
+        Diags.error(S->Loc, "continue outside of a loop");
+      else
+        emitAlwaysBreak(LoopStack.back().BodyTag, S->Loc);
+      return;
+    case CStmt::Kind::Atomic: {
+      beginNested(StmtKind::Atomic, S->Loc);
+      for (const CStmt *C : S->Body)
+        lowerStmt(C);
+      endNested();
+      return;
+    }
+    }
+  }
+
+  void lowerLocalDecl(const VarDecl *V) {
+    bool NeedsMemory =
+        AddrTaken.count(V->Name) || (V->Ty && !V->Ty->isScalar());
+    LocalInfo LI;
+    LI.Ty = V->Ty;
+    if (NeedsMemory) {
+      lsl::Stmt *A = emit(StmtKind::Alloc, V->Loc);
+      A->Def = P->newReg(V->Name + ".slot");
+      A->AllocSite = Prog.newAllocSite();
+      LI.InMemory = true;
+      LI.Addr = A->Def;
+      Locals[V->Name] = LI;
+      if (V->Init) {
+        if (!V->Ty->isScalar()) {
+          Diags.error(V->Loc, "initializer on aggregate local unsupported");
+          return;
+        }
+        RVal Init = lowerExpr(V->Init);
+        emitStore(LI.Addr, Init.R, V->Loc);
+      }
+      return;
+    }
+    LI.R = P->newReg(V->Name);
+    Locals[V->Name] = LI;
+    if (V->Init) {
+      RVal Init = lowerExpr(V->Init);
+      emitCopyTo(LI.R, Init.R, V->Loc);
+    }
+  }
+
+  void lowerIf(const CStmt *S) {
+    RVal C = lowerExpr(S->CondE);
+    Reg NotC = emitOp(PrimOpKind::LNot, {C.R}, 0, S->Loc);
+    if (!S->Else) {
+      int ThenTag = P->newTag();
+      beginNested(StmtKind::Block, S->Loc, ThenTag);
+      lsl::Stmt *Br = emit(StmtKind::Break, S->Loc);
+      Br->Cond = NotC;
+      Br->TargetTag = ThenTag;
+      lowerStmt(S->Then);
+      endNested();
+      return;
+    }
+    int OuterTag = P->newTag();
+    int ThenTag = P->newTag();
+    beginNested(StmtKind::Block, S->Loc, OuterTag);
+    {
+      beginNested(StmtKind::Block, S->Loc, ThenTag);
+      lsl::Stmt *Br = emit(StmtKind::Break, S->Loc);
+      Br->Cond = NotC;
+      Br->TargetTag = ThenTag;
+      lowerStmt(S->Then);
+      emitAlwaysBreak(OuterTag, S->Loc);
+      endNested();
+      lowerStmt(S->Else);
+    }
+    endNested();
+  }
+
+  /// Lowers while / do-while / for loops into a labeled block whose last
+  /// statement is a conditional (or unconditional) continue:
+  ///
+  ///   tL: { cond; if (!cond) break tL;      (while/for only)
+  ///         tB: { body }                    (C continue = break tB)
+  ///         inc;                            (for only)
+  ///         if (1) continue tL }
+  void lowerLoop(const CStmt *S, bool TestFirst, bool ForStmt) {
+    if (ForStmt && S->InitS)
+      lowerStmt(S->InitS);
+
+    int LoopTag = P->newTag();
+    int BodyTag = P->newTag();
+    beginNested(StmtKind::Block, S->Loc, LoopTag);
+
+    if (TestFirst && S->CondE) {
+      RVal C = lowerExpr(S->CondE);
+      Reg NotC = emitOp(PrimOpKind::LNot, {C.R}, 0, S->Loc);
+      lsl::Stmt *Br = emit(StmtKind::Break, S->Loc);
+      Br->Cond = NotC;
+      Br->TargetTag = LoopTag;
+    }
+
+    LoopStack.push_back(LoopCtx{LoopTag, BodyTag});
+    beginNested(StmtKind::Block, S->Loc, BodyTag);
+    lowerStmt(S->Then);
+    endNested();
+    LoopStack.pop_back();
+
+    if (ForStmt && S->IncE)
+      lowerExpr(S->IncE);
+
+    if (TestFirst) {
+      Reg One = emitConst(Value::integer(1), S->Loc);
+      lsl::Stmt *Cont = emit(StmtKind::Continue, S->Loc);
+      Cont->Cond = One;
+      Cont->TargetTag = LoopTag;
+    } else {
+      RVal C = lowerExpr(S->CondE);
+      lsl::Stmt *Cont = emit(StmtKind::Continue, S->Loc);
+      Cont->Cond = C.R;
+      Cont->TargetTag = LoopTag;
+    }
+    endNested();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // LValues
+  //===--------------------------------------------------------------------===//
+
+  LValue lowerLValue(const Expr *E) {
+    switch (E->K) {
+    case Expr::Kind::Ident: {
+      auto It = Locals.find(E->Str);
+      if (It != Locals.end()) {
+        LValue LV;
+        LV.InMemory = It->second.InMemory;
+        LV.R = It->second.R;
+        LV.Addr = It->second.Addr;
+        LV.Ty = It->second.Ty;
+        return LV;
+      }
+      auto G = GlobalIndex.find(E->Str);
+      if (G != GlobalIndex.end()) {
+        LValue LV;
+        LV.InMemory = true;
+        LV.Addr = emitConst(Value::pointer({G->second}), E->Loc, E->Str);
+        for (const VarDecl *V : TU.Globals)
+          if (V->Name == E->Str)
+            LV.Ty = V->Ty;
+        return LV;
+      }
+      Diags.error(E->Loc, "use of undeclared identifier '" + E->Str + "'");
+      LValue LV;
+      LV.R = emitConst(Value::undef(), E->Loc);
+      LV.Ty = TU2().intTy();
+      return LV;
+    }
+    case Expr::Kind::Unary: {
+      if (E->UOp != UnaryOp::Deref)
+        break;
+      RVal Ptr = lowerExpr(E->LHS);
+      LValue LV;
+      LV.InMemory = true;
+      LV.Addr = Ptr.R;
+      LV.Ty = pointee(Ptr.Ty, E->Loc);
+      return LV;
+    }
+    case Expr::Kind::Member: {
+      const Type *StructTy = nullptr;
+      Reg BaseAddr = RegNone;
+      if (E->IsArrow) {
+        RVal Ptr = lowerExpr(E->Base);
+        StructTy = pointee(Ptr.Ty, E->Loc);
+        BaseAddr = Ptr.R;
+      } else {
+        LValue BaseLV = lowerLValue(E->Base);
+        if (!BaseLV.InMemory) {
+          Diags.error(E->Loc, "member access on non-memory value");
+          break;
+        }
+        StructTy = BaseLV.Ty;
+        BaseAddr = BaseLV.Addr;
+      }
+      if (!StructTy || !StructTy->isStruct() || !StructTy->Struct ||
+          !StructTy->Struct->Complete) {
+        Diags.error(E->Loc, "member access on non-struct type " +
+                                (StructTy ? StructTy->str()
+                                          : std::string("<none>")));
+        break;
+      }
+      const FieldDecl *F = StructTy->Struct->findField(E->Str);
+      if (!F) {
+        Diags.error(E->Loc, "no field '" + E->Str + "' in struct " +
+                                StructTy->Struct->Name);
+        break;
+      }
+      LValue LV;
+      LV.InMemory = true;
+      LV.Addr = emitOp(PrimOpKind::PtrField, {BaseAddr}, F->Index, E->Loc,
+                       E->Str);
+      LV.Ty = F->Ty;
+      return LV;
+    }
+    case Expr::Kind::Index: {
+      // Array variable or pointer base.
+      const Type *ElemTy = nullptr;
+      Reg BaseAddr = RegNone;
+      RVal Idx = lowerExpr(E->RHS);
+      if (E->Base->K == Expr::Kind::Ident || E->Base->K == Expr::Kind::Member) {
+        LValue BaseLV = lowerLValue(E->Base);
+        if (BaseLV.Ty && BaseLV.Ty->isArray()) {
+          ElemTy = BaseLV.Ty->Elem;
+          BaseAddr = BaseLV.Addr;
+        } else if (BaseLV.Ty && BaseLV.Ty->isPtr()) {
+          Reg PtrVal = readLValue(BaseLV, E->Loc);
+          ElemTy = BaseLV.Ty->Pointee;
+          BaseAddr = PtrVal;
+        }
+      } else {
+        RVal Base = lowerExpr(E->Base);
+        if (Base.Ty && Base.Ty->isPtr()) {
+          ElemTy = Base.Ty->Pointee;
+          BaseAddr = Base.R;
+        }
+      }
+      if (BaseAddr == RegNone) {
+        Diags.error(E->Loc, "subscript of non-array, non-pointer value");
+        break;
+      }
+      LValue LV;
+      LV.InMemory = true;
+      LV.Addr = emitOp(PrimOpKind::PtrIndex, {BaseAddr, Idx.R}, 0, E->Loc);
+      LV.Ty = ElemTy ? ElemTy : TU2().intTy();
+      return LV;
+    }
+    default:
+      break;
+    }
+    Diags.error(E->Loc, "expression is not assignable");
+    LValue LV;
+    LV.R = emitConst(Value::undef(), E->Loc);
+    LV.Ty = TU2().intTy();
+    return LV;
+  }
+
+  Reg readLValue(const LValue &LV, SourceLoc Loc) {
+    if (!LV.InMemory)
+      return LV.R;
+    return emitLoad(LV.Addr, Loc);
+  }
+
+  void writeLValue(const LValue &LV, Reg Val, SourceLoc Loc) {
+    if (!LV.InMemory) {
+      emitCopyTo(LV.R, Val, Loc);
+      return;
+    }
+    emitStore(LV.Addr, Val, Loc);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  RVal lowerExpr(const Expr *E) {
+    if (!E)
+      return RVal{emitConst(Value::undef(), SourceLoc()), TU2().intTy()};
+
+    switch (E->K) {
+    case Expr::Kind::IntLit:
+      return RVal{emitConst(Value::integer(E->IntVal), E->Loc),
+                  TU2().intTy()};
+
+    case Expr::Kind::StrLit:
+      Diags.error(E->Loc,
+                  "string literals are only valid as fence() arguments");
+      return RVal{emitConst(Value::undef(), E->Loc), TU2().intTy()};
+
+    case Expr::Kind::Ident:
+    case Expr::Kind::Member:
+    case Expr::Kind::Index: {
+      LValue LV = lowerLValue(E);
+      // Arrays decay to a pointer to their storage.
+      if (LV.Ty && LV.Ty->isArray())
+        return RVal{LV.Addr, TU2().ptrTo(LV.Ty->Elem)};
+      if (LV.Ty && LV.Ty->isStruct()) {
+        Diags.error(E->Loc, "whole-struct reads are unsupported");
+        return RVal{emitConst(Value::undef(), E->Loc), TU2().intTy()};
+      }
+      return RVal{readLValue(LV, E->Loc), LV.Ty};
+    }
+
+    case Expr::Kind::Unary:
+      return lowerUnary(E);
+
+    case Expr::Kind::Binary:
+      return lowerBinary(E);
+
+    case Expr::Kind::Assign: {
+      LValue LV = lowerLValue(E->LHS);
+      RVal RHS = lowerExpr(E->RHS);
+      Reg Stored = RHS.R;
+      if (E->HasCompoundOp) {
+        Reg Old = readLValue(LV, E->Loc);
+        PrimOpKind Op = E->CompoundOp == BinaryOp::Add ? PrimOpKind::Add
+                                                       : PrimOpKind::Sub;
+        Stored = emitOp(Op, {Old, RHS.R}, 0, E->Loc);
+      }
+      writeLValue(LV, Stored, E->Loc);
+      return RVal{Stored, LV.Ty};
+    }
+
+    case Expr::Kind::Cond: {
+      RVal C = lowerExpr(E->Cond3);
+      Reg Res = P->newReg("cond.res");
+      int OuterTag = P->newTag();
+      int ThenTag = P->newTag();
+      beginNested(StmtKind::Block, E->Loc, OuterTag);
+      {
+        beginNested(StmtKind::Block, E->Loc, ThenTag);
+        Reg NotC = emitOp(PrimOpKind::LNot, {C.R}, 0, E->Loc);
+        lsl::Stmt *Br = emit(StmtKind::Break, E->Loc);
+        Br->Cond = NotC;
+        Br->TargetTag = ThenTag;
+        RVal T = lowerExpr(E->LHS);
+        emitCopyTo(Res, T.R, E->Loc);
+        emitAlwaysBreak(OuterTag, E->Loc);
+        endNested();
+        RVal F = lowerExpr(E->RHS);
+        emitCopyTo(Res, F.R, E->Loc);
+      }
+      endNested();
+      RVal T{Res, nullptr};
+      T.Ty = TU2().intTy();
+      return T;
+    }
+
+    case Expr::Kind::Call:
+      return lowerCall(E);
+
+    case Expr::Kind::Cast: {
+      RVal V = lowerExpr(E->LHS);
+      return RVal{V.R, E->CastTy};
+    }
+    }
+    Diags.error(E->Loc, "unsupported expression");
+    return RVal{emitConst(Value::undef(), E->Loc), TU2().intTy()};
+  }
+
+  RVal lowerUnary(const Expr *E) {
+    switch (E->UOp) {
+    case UnaryOp::Neg: {
+      RVal V = lowerExpr(E->LHS);
+      Reg Zero = emitConst(Value::integer(0), E->Loc);
+      return RVal{emitOp(PrimOpKind::Sub, {Zero, V.R}, 0, E->Loc),
+                  TU2().intTy()};
+    }
+    case UnaryOp::LNot: {
+      RVal V = lowerExpr(E->LHS);
+      return RVal{emitOp(PrimOpKind::LNot, {V.R}, 0, E->Loc), TU2().boolTy()};
+    }
+    case UnaryOp::BitNot: {
+      RVal V = lowerExpr(E->LHS);
+      return RVal{emitOp(PrimOpKind::BitNot, {V.R}, 0, E->Loc),
+                  TU2().intTy()};
+    }
+    case UnaryOp::Deref: {
+      RVal Ptr = lowerExpr(E->LHS);
+      const Type *Pointee = pointee(Ptr.Ty, E->Loc);
+      if (Pointee->isStruct()) {
+        Diags.error(E->Loc, "whole-struct reads are unsupported");
+        return RVal{emitConst(Value::undef(), E->Loc), TU2().intTy()};
+      }
+      return RVal{emitLoad(Ptr.R, E->Loc), Pointee};
+    }
+    case UnaryOp::AddrOf: {
+      LValue LV = lowerLValue(E->LHS);
+      if (!LV.InMemory) {
+        Diags.error(E->Loc, "cannot take the address of a register value");
+        return RVal{emitConst(Value::undef(), E->Loc), TU2().intTy()};
+      }
+      return RVal{LV.Addr, TU2().ptrTo(LV.Ty ? LV.Ty : TU2().intTy())};
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+      LValue LV = lowerLValue(E->LHS);
+      Reg Old = readLValue(LV, E->Loc);
+      Reg One = emitConst(Value::integer(1), E->Loc);
+      bool IsInc = E->UOp == UnaryOp::PreInc || E->UOp == UnaryOp::PostInc;
+      Reg New = emitOp(IsInc ? PrimOpKind::Add : PrimOpKind::Sub, {Old, One},
+                       0, E->Loc);
+      writeLValue(LV, New, E->Loc);
+      bool IsPre = E->UOp == UnaryOp::PreInc || E->UOp == UnaryOp::PreDec;
+      return RVal{IsPre ? New : Old, LV.Ty};
+    }
+    }
+    return RVal{emitConst(Value::undef(), E->Loc), TU2().intTy()};
+  }
+
+  RVal lowerBinary(const Expr *E) {
+    // Short-circuit forms lower to control flow so that the right operand
+    // is only evaluated when needed (a guarded dereference in the RHS must
+    // not fault when the guard is false).
+    if (E->BOp == BinaryOp::LAnd || E->BOp == BinaryOp::LOr) {
+      bool IsAnd = E->BOp == BinaryOp::LAnd;
+      RVal L = lowerExpr(E->LHS);
+      Reg Res = P->newReg(IsAnd ? "and.res" : "or.res");
+      Reg LBool = emitOp(PrimOpKind::LNot, {L.R}, 0, E->Loc);
+      Reg LTruth = emitOp(PrimOpKind::LNot, {LBool}, 0, E->Loc);
+      emitCopyTo(Res, LTruth, E->Loc);
+      int Tag = P->newTag();
+      beginNested(StmtKind::Block, E->Loc, Tag);
+      {
+        // Skip RHS if LHS already decides the result.
+        lsl::Stmt *Br = emit(StmtKind::Break, E->Loc);
+        Br->Cond = IsAnd ? LBool : LTruth;
+        Br->TargetTag = Tag;
+        RVal R = lowerExpr(E->RHS);
+        Reg RBool = emitOp(PrimOpKind::LNot, {R.R}, 0, E->Loc);
+        Reg RTruth = emitOp(PrimOpKind::LNot, {RBool}, 0, E->Loc);
+        emitCopyTo(Res, RTruth, E->Loc);
+      }
+      endNested();
+      return RVal{Res, TU2().boolTy()};
+    }
+
+    RVal L = lowerExpr(E->LHS);
+    RVal R = lowerExpr(E->RHS);
+    PrimOpKind Op;
+    switch (E->BOp) {
+    case BinaryOp::Add:
+      Op = PrimOpKind::Add;
+      break;
+    case BinaryOp::Sub:
+      Op = PrimOpKind::Sub;
+      break;
+    case BinaryOp::Mul:
+      Op = PrimOpKind::Mul;
+      break;
+    case BinaryOp::Div:
+      Op = PrimOpKind::Div;
+      break;
+    case BinaryOp::Mod:
+      Op = PrimOpKind::Mod;
+      break;
+    case BinaryOp::BitAnd:
+      Op = PrimOpKind::BitAnd;
+      break;
+    case BinaryOp::BitOr:
+      Op = PrimOpKind::BitOr;
+      break;
+    case BinaryOp::BitXor:
+      Op = PrimOpKind::BitXor;
+      break;
+    case BinaryOp::Shl:
+      Op = PrimOpKind::Shl;
+      break;
+    case BinaryOp::Shr:
+      Op = PrimOpKind::Shr;
+      break;
+    case BinaryOp::Eq:
+      Op = PrimOpKind::Eq;
+      break;
+    case BinaryOp::Ne:
+      Op = PrimOpKind::Ne;
+      break;
+    case BinaryOp::Lt:
+      Op = PrimOpKind::Lt;
+      break;
+    case BinaryOp::Le:
+      Op = PrimOpKind::Le;
+      break;
+    case BinaryOp::Gt:
+      Op = PrimOpKind::Gt;
+      break;
+    case BinaryOp::Ge:
+      Op = PrimOpKind::Ge;
+      break;
+    default:
+      Op = PrimOpKind::Add;
+      break;
+    }
+    bool IsCompare = E->BOp >= BinaryOp::Eq && E->BOp <= BinaryOp::Ge;
+    return RVal{emitOp(Op, {L.R, R.R}, 0, E->Loc),
+                IsCompare ? TU2().boolTy() : TU2().intTy()};
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Calls and builtins
+  //===--------------------------------------------------------------------===//
+
+  RVal lowerCall(const Expr *E) {
+    if (!E->Base || E->Base->K != Expr::Kind::Ident) {
+      Diags.error(E->Loc, "only direct calls are supported");
+      return RVal{emitConst(Value::undef(), E->Loc), TU2().intTy()};
+    }
+    const std::string &Name = E->Base->Str;
+    BuiltinKind BK = classifyBuiltin(Name);
+
+    switch (BK) {
+    case BuiltinKind::Fence: {
+      if (E->CallArgs.size() != 1 ||
+          E->CallArgs[0]->K != Expr::Kind::StrLit) {
+        Diags.error(E->Loc, "fence() takes one string literal argument");
+        return RVal{RegNone, TU2().voidTy()};
+      }
+      lsl::FenceKind FK;
+      if (!lsl::parseFenceKind(E->CallArgs[0]->Str, FK)) {
+        Diags.error(E->Loc, "unknown fence kind '" + E->CallArgs[0]->Str +
+                                "'");
+        return RVal{RegNone, TU2().voidTy()};
+      }
+      if (Opts.StripFences || Opts.StripFenceLines.count(E->Loc.Line))
+        return RVal{RegNone, TU2().voidTy()};
+      lsl::Stmt *S = emit(StmtKind::Fence, E->Loc);
+      S->FenceK = FK;
+      return RVal{RegNone, TU2().voidTy()};
+    }
+    case BuiltinKind::Assert:
+    case BuiltinKind::Assume: {
+      if (E->CallArgs.size() != 1) {
+        Diags.error(E->Loc, Name + "() takes one argument");
+        return RVal{RegNone, TU2().voidTy()};
+      }
+      RVal C = lowerExpr(E->CallArgs[0]);
+      lsl::Stmt *S = emit(BK == BuiltinKind::Assert ? StmtKind::Assert
+                                                    : StmtKind::Assume,
+                          E->Loc);
+      S->Cond = C.R;
+      return RVal{RegNone, TU2().voidTy()};
+    }
+    case BuiltinKind::Observe: {
+      if (E->CallArgs.size() != 1) {
+        Diags.error(E->Loc, "observe() takes one argument");
+        return RVal{RegNone, TU2().voidTy()};
+      }
+      RVal V = lowerExpr(E->CallArgs[0]);
+      lsl::Stmt *S = emit(StmtKind::Observe, E->Loc);
+      S->Args = {V.R};
+      return RVal{RegNone, TU2().voidTy()};
+    }
+    case BuiltinKind::Commit: {
+      // commit() marks the immediately preceding access as the operation's
+      // commit point; commit(k) designates the access k positions earlier.
+      int64_t Back = 0;
+      if (E->CallArgs.size() == 1 &&
+          E->CallArgs[0]->K == Expr::Kind::IntLit)
+        Back = E->CallArgs[0]->IntVal;
+      else if (!E->CallArgs.empty())
+        Diags.error(E->Loc, "commit() takes an optional literal offset");
+      emit(StmtKind::Commit, E->Loc)->Imm = Back;
+      return RVal{RegNone, TU2().voidTy()};
+    }
+    case BuiltinKind::NewNode: {
+      lsl::Stmt *S = emit(StmtKind::Alloc, E->Loc);
+      S->Def = P->newReg("node");
+      S->AllocSite = Prog.newAllocSite();
+      const FuncDecl *Decl = TU.findFunction(Name);
+      const Type *Ty =
+          Decl && Decl->RetTy ? Decl->RetTy : TU2().ptrTo(TU2().voidTy());
+      return RVal{S->Def, Ty};
+    }
+    case BuiltinKind::DeleteNode: {
+      for (const Expr *A : E->CallArgs)
+        lowerExpr(A); // evaluate for effects; reclamation is a no-op
+      return RVal{RegNone, TU2().voidTy()};
+    }
+    case BuiltinKind::SpinLock:
+    case BuiltinKind::SpinUnlock: {
+      if (E->CallArgs.size() != 1) {
+        Diags.error(E->Loc, Name + "() takes the lock address");
+        return RVal{RegNone, TU2().voidTy()};
+      }
+      RVal L = lowerExpr(E->CallArgs[0]);
+      if (BK == BuiltinKind::SpinLock)
+        emitSpinLock(L.R, E->Loc);
+      else
+        emitSpinUnlock(L.R, E->Loc);
+      return RVal{RegNone, TU2().voidTy()};
+    }
+    case BuiltinKind::PtrMark: {
+      if (E->CallArgs.size() != 2) {
+        Diags.error(E->Loc, "ptr_mark(p, bit) takes two arguments");
+        return RVal{RegNone, TU2().voidTy()};
+      }
+      RVal Pv = lowerExpr(E->CallArgs[0]);
+      RVal Bv = lowerExpr(E->CallArgs[1]);
+      return RVal{emitOp(PrimOpKind::PtrMark, {Pv.R, Bv.R}, 0, E->Loc),
+                  Pv.Ty};
+    }
+    case BuiltinKind::PtrIsMarked: {
+      RVal Pv = lowerExpr(E->CallArgs[0]);
+      return RVal{emitOp(PrimOpKind::PtrGetMark, {Pv.R}, 0, E->Loc),
+                  TU2().intTy()};
+    }
+    case BuiltinKind::PtrUnmark: {
+      RVal Pv = lowerExpr(E->CallArgs[0]);
+      return RVal{emitOp(PrimOpKind::PtrClearMark, {Pv.R}, 0, E->Loc),
+                  Pv.Ty};
+    }
+    case BuiltinKind::None:
+      break;
+    }
+
+    // Ordinary call.
+    const FuncDecl *Callee = TU.findFunction(Name);
+    if (!Callee) {
+      Diags.error(E->Loc, "call to unknown function '" + Name + "'");
+      return RVal{emitConst(Value::undef(), E->Loc), TU2().intTy()};
+    }
+    if (Callee->Params.size() != E->CallArgs.size())
+      Diags.error(E->Loc,
+                  formatString("'%s' expects %zu arguments, got %zu",
+                               Name.c_str(), Callee->Params.size(),
+                               E->CallArgs.size()));
+    lsl::Stmt *S = Prog.create(StmtKind::Call);
+    S->Loc = E->Loc;
+    S->Callee = Name;
+    for (const Expr *A : E->CallArgs)
+      S->Args.push_back(lowerExpr(A).R);
+    Reg Ret = RegNone;
+    if (Callee->RetTy && Callee->RetTy->K != Type::Kind::Void) {
+      Ret = P->newReg(Name + ".ret");
+      S->Rets = {Ret};
+    }
+    ListStack.back()->push_back(S);
+    return RVal{Ret, Callee->RetTy ? Callee->RetTy : TU2().voidTy()};
+  }
+
+  /// Lock acquisition, reduced to a single successful iteration of the
+  /// spin loop (see DESIGN.md): atomically observe the lock free and take
+  /// it, then apply the Fig. 7 acquire-side fences.
+  void emitSpinLock(Reg LockAddr, SourceLoc Loc) {
+    beginNested(StmtKind::Atomic, Loc);
+    {
+      Reg V = emitLoad(LockAddr, Loc, "lockval");
+      Reg Free = emitConst(Value::integer(0), Loc);
+      Reg IsFree = emitOp(PrimOpKind::Eq, {V, Free}, 0, Loc);
+      lsl::Stmt *S = emit(StmtKind::Assume, Loc);
+      S->Cond = IsFree;
+      Reg Held = emitConst(Value::integer(1), Loc);
+      emitStore(LockAddr, Held, Loc);
+    }
+    endNested();
+    emit(StmtKind::Fence, Loc)->FenceK = lsl::FenceKind::LoadLoad;
+    emit(StmtKind::Fence, Loc)->FenceK = lsl::FenceKind::LoadStore;
+  }
+
+  /// Lock release with the Fig. 7 release-side fences.
+  void emitSpinUnlock(Reg LockAddr, SourceLoc Loc) {
+    emit(StmtKind::Fence, Loc)->FenceK = lsl::FenceKind::LoadStore;
+    emit(StmtKind::Fence, Loc)->FenceK = lsl::FenceKind::StoreStore;
+    beginNested(StmtKind::Atomic, Loc);
+    {
+      Reg V = emitLoad(LockAddr, Loc, "lockval");
+      Reg Held = emitConst(Value::integer(1), Loc);
+      Reg IsHeld = emitOp(PrimOpKind::Eq, {V, Held}, 0, Loc);
+      lsl::Stmt *S = emit(StmtKind::Assert, Loc);
+      S->Cond = IsHeld;
+      Reg Free = emitConst(Value::integer(0), Loc);
+      emitStore(LockAddr, Free, Loc);
+    }
+    endNested();
+  }
+};
+
+} // namespace
+
+bool checkfence::frontend::lowerTranslationUnit(const TranslationUnit &TU,
+                                                lsl::Program &Prog,
+                                                DiagEngine &Diags,
+                                                const LoweringOptions &Opts) {
+  UnitLowering L(TU, Prog, Diags, Opts);
+  L.run();
+  return !Diags.hasErrors();
+}
+
+bool checkfence::frontend::compileC(const std::string &Source,
+                                    const std::set<std::string> &Defines,
+                                    lsl::Program &Prog, DiagEngine &Diags,
+                                    const LoweringOptions &Opts) {
+  std::string Processed = preprocess(Source, Defines, Diags);
+  if (Diags.hasErrors())
+    return false;
+  TranslationUnit TU;
+  if (!parseTranslationUnit(Processed, TU, Diags))
+    return false;
+  return lowerTranslationUnit(TU, Prog, Diags, Opts);
+}

@@ -1,0 +1,59 @@
+//===--- Lowering.h - C AST to LSL lowering ---------------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed CheckFence-C translation unit into an LSL program:
+/// functions become procedures, locals become registers (or stack cells if
+/// address-taken), control flow becomes labeled blocks with conditional
+/// break/continue, and the builtins (fence, assert/assume, new_node, spin
+/// locks, pointer-mark packing) become their LSL forms.
+///
+/// This header also provides compileC(), the one-call frontend:
+/// preprocess -> lex -> parse -> lower.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_FRONTEND_LOWERING_H
+#define CHECKFENCE_FRONTEND_LOWERING_H
+
+#include "frontend/AST.h"
+#include "frontend/Diag.h"
+#include "lsl/Program.h"
+
+#include <set>
+#include <string>
+
+namespace checkfence {
+namespace frontend {
+
+struct LoweringOptions {
+  /// Drop all fence() calls from implementation code (used to reproduce the
+  /// "missing fences" failures of Sec. 4.2). Fences implied by the spin
+  /// lock/unlock builtins are kept: they are part of the lock specification.
+  bool StripFences = false;
+
+  /// Drop only the fence() calls whose source line is in this set (used by
+  /// the per-fence necessity experiments).
+  std::set<int> StripFenceLines;
+};
+
+/// Lowers \p TU into \p Prog. Global variables are registered with the
+/// program and a synthetic procedure "__global_init" stores any C-level
+/// initializers. Returns false if diagnostics were produced.
+bool lowerTranslationUnit(const TranslationUnit &TU, lsl::Program &Prog,
+                          DiagEngine &Diags,
+                          const LoweringOptions &Opts = LoweringOptions());
+
+/// Convenience frontend driver: preprocess, parse, and lower \p Source.
+/// \p Defines are preprocessor symbols (#ifdef variant selection).
+bool compileC(const std::string &Source, const std::set<std::string> &Defines,
+              lsl::Program &Prog, DiagEngine &Diags,
+              const LoweringOptions &Opts = LoweringOptions());
+
+} // namespace frontend
+} // namespace checkfence
+
+#endif // CHECKFENCE_FRONTEND_LOWERING_H

@@ -1,0 +1,791 @@
+//===--- Parser.cpp - recursive-descent parser for CheckFence-C -----------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+using namespace checkfence;
+using namespace checkfence::frontend;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, TranslationUnit &TU, DiagEngine &Diags)
+      : Toks(std::move(Tokens)), TU(TU), Diags(Diags) {}
+
+  void run() {
+    while (!is(TokKind::Eof) && !tooManyErrors())
+      parseTopLevel();
+  }
+
+private:
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  TranslationUnit &TU;
+  DiagEngine &Diags;
+  int AnonStructCount = 0;
+
+  bool tooManyErrors() const { return Diags.diagnostics().size() > 50; }
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool is(TokKind K) const { return cur().K == K; }
+  void advance() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+  bool accept(TokKind K) {
+    if (!is(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, const char *Context) {
+    if (accept(K))
+      return true;
+    Diags.error(cur().Loc, formatString("expected %s %s", tokKindName(K),
+                                        Context));
+    advance(); // ensure progress
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  bool isTypeToken(const Token &T) const {
+    switch (T.K) {
+    case TokKind::KwVoid:
+    case TokKind::KwBool:
+    case TokKind::KwInt:
+    case TokKind::KwLong:
+    case TokKind::KwShort:
+    case TokKind::KwChar:
+    case TokKind::KwUnsigned:
+    case TokKind::KwSigned:
+    case TokKind::KwStruct:
+    case TokKind::KwEnum:
+    case TokKind::KwConst:
+    case TokKind::KwVolatile:
+      return true;
+    case TokKind::Identifier:
+      return TU.Typedefs.count(T.Text) != 0;
+    default:
+      return false;
+    }
+  }
+
+  bool startsType() const { return isTypeToken(cur()); }
+
+  /// Parses declaration specifiers, producing a base type. Skips the
+  /// qualifiers and storage classes the subset ignores.
+  const Type *parseDeclSpec() {
+    // Skip leading qualifiers / storage classes.
+    while (is(TokKind::KwConst) || is(TokKind::KwVolatile) ||
+           is(TokKind::KwStatic) || is(TokKind::KwExtern))
+      advance();
+
+    const Type *Result = nullptr;
+    if (is(TokKind::KwStruct)) {
+      advance();
+      Result = parseStructRest();
+    } else if (is(TokKind::KwEnum)) {
+      advance();
+      Result = parseEnumRest();
+    } else if (is(TokKind::KwVoid)) {
+      advance();
+      Result = TU.voidTy();
+    } else if (is(TokKind::KwBool)) {
+      advance();
+      Result = TU.boolTy();
+    } else if (is(TokKind::KwUnsigned) || is(TokKind::KwSigned) ||
+               is(TokKind::KwInt) || is(TokKind::KwLong) ||
+               is(TokKind::KwShort) || is(TokKind::KwChar)) {
+      while (is(TokKind::KwUnsigned) || is(TokKind::KwSigned) ||
+             is(TokKind::KwInt) || is(TokKind::KwLong) ||
+             is(TokKind::KwShort) || is(TokKind::KwChar))
+        advance();
+      Result = TU.intTy();
+    } else if (is(TokKind::Identifier) && TU.Typedefs.count(cur().Text)) {
+      Result = TU.Typedefs[cur().Text];
+      advance();
+    } else {
+      Diags.error(cur().Loc, "expected a type");
+      advance();
+      Result = TU.intTy();
+    }
+
+    while (is(TokKind::KwConst) || is(TokKind::KwVolatile))
+      advance();
+    return Result;
+  }
+
+  /// Parses the rest of 'struct <tag>? { ... }?' after the keyword.
+  const Type *parseStructRest() {
+    std::string Tag;
+    if (is(TokKind::Identifier)) {
+      Tag = cur().Text;
+      advance();
+    }
+    StructDecl *S = nullptr;
+    if (!Tag.empty()) {
+      auto It = TU.StructTags.find(Tag);
+      if (It != TU.StructTags.end())
+        S = It->second;
+    }
+    if (!S) {
+      S = TU.newStruct(Tag.empty()
+                           ? formatString("<anon%d>", AnonStructCount++)
+                           : Tag);
+      if (!Tag.empty())
+        TU.StructTags[Tag] = S;
+    }
+    if (accept(TokKind::LBrace)) {
+      if (S->Complete)
+        Diags.error(cur().Loc, "redefinition of struct " + S->Name);
+      parseStructBody(S);
+      S->Complete = true;
+    }
+    return TU.structTy(S);
+  }
+
+  void parseStructBody(StructDecl *S) {
+    while (!is(TokKind::RBrace) && !is(TokKind::Eof) && !tooManyErrors()) {
+      const Type *Base = parseDeclSpec();
+      // One or more comma-separated declarators.
+      for (;;) {
+        std::string Name;
+        const Type *Ty = parseDeclarator(Base, Name);
+        if (Name.empty())
+          Diags.error(cur().Loc, "expected field name");
+        FieldDecl F;
+        F.Name = Name;
+        F.Ty = Ty;
+        F.Index = static_cast<int>(S->Fields.size());
+        S->Fields.push_back(F);
+        if (!accept(TokKind::Comma))
+          break;
+      }
+      expect(TokKind::Semi, "after struct field");
+    }
+    expect(TokKind::RBrace, "to close struct body");
+  }
+
+  const Type *parseEnumRest() {
+    if (is(TokKind::Identifier))
+      advance(); // tag, unused
+    if (accept(TokKind::LBrace)) {
+      int64_t Next = 0;
+      while (!is(TokKind::RBrace) && !is(TokKind::Eof) && !tooManyErrors()) {
+        if (!is(TokKind::Identifier)) {
+          Diags.error(cur().Loc, "expected enumerator name");
+          advance();
+          continue;
+        }
+        std::string Name = cur().Text;
+        advance();
+        if (accept(TokKind::Assign)) {
+          bool Negative = accept(TokKind::Minus);
+          if (is(TokKind::Number)) {
+            Next = Negative ? -cur().IntVal : cur().IntVal;
+            advance();
+          } else {
+            Diags.error(cur().Loc, "expected enumerator value");
+          }
+        }
+        TU.EnumConstants[Name] = Next++;
+        if (!accept(TokKind::Comma))
+          break;
+      }
+      expect(TokKind::RBrace, "to close enum body");
+    }
+    return TU.intTy();
+  }
+
+  /// Parses '*'* name '[N]'* over \p Base. \p Name may legitimately stay
+  /// empty (unnamed parameters).
+  const Type *parseDeclarator(const Type *Base, std::string &Name) {
+    const Type *Ty = Base;
+    while (accept(TokKind::Star)) {
+      Ty = TU.ptrTo(Ty);
+      while (is(TokKind::KwConst) || is(TokKind::KwVolatile))
+        advance();
+    }
+    if (is(TokKind::Identifier) && !TU.Typedefs.count(cur().Text)) {
+      Name = cur().Text;
+      advance();
+    }
+    // Array suffixes (outermost first in C semantics; we only need
+    // single-dimension arrays so build inside-out naively).
+    std::vector<int> Dims;
+    while (accept(TokKind::LBracket)) {
+      int Size = 0;
+      if (is(TokKind::Number)) {
+        Size = static_cast<int>(cur().IntVal);
+        advance();
+      } else if (is(TokKind::Identifier) &&
+                 TU.EnumConstants.count(cur().Text)) {
+        Size = static_cast<int>(TU.EnumConstants[cur().Text]);
+        advance();
+      } else {
+        Diags.error(cur().Loc, "expected constant array size");
+      }
+      expect(TokKind::RBracket, "after array size");
+      Dims.push_back(Size);
+    }
+    for (size_t I = Dims.size(); I > 0; --I)
+      Ty = TU.arrayOf(Ty, Dims[I - 1]);
+    return Ty;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Top level
+  //===--------------------------------------------------------------------===//
+
+  void parseTopLevel() {
+    if (accept(TokKind::Semi))
+      return;
+    if (accept(TokKind::KwTypedef)) {
+      const Type *Base = parseDeclSpec();
+      for (;;) {
+        std::string Name;
+        const Type *Ty = parseDeclarator(Base, Name);
+        if (Name.empty())
+          Diags.error(cur().Loc, "expected typedef name");
+        else
+          TU.Typedefs[Name] = Ty;
+        if (!accept(TokKind::Comma))
+          break;
+      }
+      expect(TokKind::Semi, "after typedef");
+      return;
+    }
+
+    const Type *Base = parseDeclSpec();
+    if (accept(TokKind::Semi))
+      return; // bare 'struct foo { ... };' or 'enum { ... };'
+
+    std::string Name;
+    const Type *Ty = parseDeclarator(Base, Name);
+
+    if (is(TokKind::LParen)) {
+      parseFunctionRest(Ty, Name);
+      return;
+    }
+
+    // Global variable(s).
+    for (;;) {
+      VarDecl *V = TU.newVarDecl();
+      V->Name = Name;
+      V->Ty = Ty;
+      V->IsGlobal = true;
+      V->Loc = cur().Loc;
+      if (accept(TokKind::Assign))
+        V->Init = parseAssign();
+      TU.Globals.push_back(V);
+      if (!accept(TokKind::Comma))
+        break;
+      Name.clear();
+      Ty = parseDeclarator(Base, Name);
+    }
+    expect(TokKind::Semi, "after global variable");
+  }
+
+  void parseFunctionRest(const Type *RetTy, const std::string &Name) {
+    FuncDecl *F = TU.newFunc();
+    F->Name = Name;
+    F->RetTy = RetTy;
+    F->Loc = cur().Loc;
+    expect(TokKind::LParen, "to start parameter list");
+    if (is(TokKind::KwVoid) && peek().K == TokKind::RParen) {
+      advance(); // (void)
+    } else if (!is(TokKind::RParen)) {
+      for (;;) {
+        const Type *PBase = parseDeclSpec();
+        std::string PName;
+        const Type *PTy = parseDeclarator(PBase, PName);
+        ParamDecl P;
+        P.Name = PName;
+        P.Ty = PTy;
+        F->Params.push_back(P);
+        if (!accept(TokKind::Comma))
+          break;
+      }
+    }
+    expect(TokKind::RParen, "to close parameter list");
+    if (is(TokKind::LBrace))
+      F->Body = parseCompound();
+    else
+      expect(TokKind::Semi, "after function declaration");
+
+    // A definition replaces an earlier extern declaration.
+    FuncDecl *Existing = TU.findFunction(Name);
+    if (Existing && Existing != F) {
+      if (F->Body && !Existing->Body) {
+        Existing->Body = F->Body;
+        Existing->Params = F->Params;
+        Existing->RetTy = F->RetTy;
+        return;
+      }
+      if (F->Body && Existing->Body)
+        Diags.error(F->Loc, "redefinition of function " + Name);
+      return;
+    }
+    TU.Functions.push_back(F);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  CStmt *parseCompound() {
+    CStmt *S = TU.newStmt(CStmt::Kind::Compound, cur().Loc);
+    expect(TokKind::LBrace, "to open block");
+    while (!is(TokKind::RBrace) && !is(TokKind::Eof) && !tooManyErrors())
+      S->Body.push_back(parseStmt());
+    expect(TokKind::RBrace, "to close block");
+    return S;
+  }
+
+  /// Parses a declaration statement; handles comma-separated declarators by
+  /// wrapping them in a synthetic compound.
+  CStmt *parseDeclStmt() {
+    SourceLoc Loc = cur().Loc;
+    const Type *Base = parseDeclSpec();
+    std::vector<CStmt *> Decls;
+    for (;;) {
+      std::string Name;
+      const Type *Ty = parseDeclarator(Base, Name);
+      if (Name.empty())
+        Diags.error(cur().Loc, "expected variable name");
+      VarDecl *V = TU.newVarDecl();
+      V->Name = Name;
+      V->Ty = Ty;
+      V->Loc = Loc;
+      if (accept(TokKind::Assign))
+        V->Init = parseAssign();
+      CStmt *D = TU.newStmt(CStmt::Kind::DeclStmt, Loc);
+      D->Var = V;
+      Decls.push_back(D);
+      if (!accept(TokKind::Comma))
+        break;
+    }
+    expect(TokKind::Semi, "after declaration");
+    if (Decls.size() == 1)
+      return Decls[0];
+    CStmt *Wrap = TU.newStmt(CStmt::Kind::Compound, Loc);
+    Wrap->Body = std::move(Decls);
+    return Wrap;
+  }
+
+  CStmt *parseStmt() {
+    SourceLoc Loc = cur().Loc;
+    switch (cur().K) {
+    case TokKind::LBrace:
+      return parseCompound();
+    case TokKind::Semi:
+      advance();
+      return TU.newStmt(CStmt::Kind::Empty, Loc);
+    case TokKind::KwIf: {
+      advance();
+      CStmt *S = TU.newStmt(CStmt::Kind::If, Loc);
+      expect(TokKind::LParen, "after 'if'");
+      S->CondE = parseExpr();
+      expect(TokKind::RParen, "after if condition");
+      S->Then = parseStmt();
+      if (accept(TokKind::KwElse))
+        S->Else = parseStmt();
+      return S;
+    }
+    case TokKind::KwWhile: {
+      advance();
+      CStmt *S = TU.newStmt(CStmt::Kind::While, Loc);
+      expect(TokKind::LParen, "after 'while'");
+      S->CondE = parseExpr();
+      expect(TokKind::RParen, "after while condition");
+      S->Then = parseStmt();
+      return S;
+    }
+    case TokKind::KwDo: {
+      advance();
+      CStmt *S = TU.newStmt(CStmt::Kind::DoWhile, Loc);
+      S->Then = parseStmt();
+      expect(TokKind::KwWhile, "after do-body");
+      expect(TokKind::LParen, "after 'while'");
+      S->CondE = parseExpr();
+      expect(TokKind::RParen, "after do-while condition");
+      expect(TokKind::Semi, "after do-while");
+      return S;
+    }
+    case TokKind::KwFor: {
+      advance();
+      CStmt *S = TU.newStmt(CStmt::Kind::For, Loc);
+      expect(TokKind::LParen, "after 'for'");
+      if (!is(TokKind::Semi)) {
+        if (startsType()) {
+          S->InitS = parseDeclStmt(); // consumes the ';'
+        } else {
+          CStmt *I = TU.newStmt(CStmt::Kind::ExprStmt, cur().Loc);
+          I->E = parseExpr();
+          S->InitS = I;
+          expect(TokKind::Semi, "after for-initializer");
+        }
+      } else {
+        advance();
+      }
+      if (!is(TokKind::Semi))
+        S->CondE = parseExpr();
+      expect(TokKind::Semi, "after for-condition");
+      if (!is(TokKind::RParen))
+        S->IncE = parseExpr();
+      expect(TokKind::RParen, "after for-increment");
+      S->Then = parseStmt();
+      return S;
+    }
+    case TokKind::KwReturn: {
+      advance();
+      CStmt *S = TU.newStmt(CStmt::Kind::Return, Loc);
+      if (!is(TokKind::Semi))
+        S->E = parseExpr();
+      expect(TokKind::Semi, "after return");
+      return S;
+    }
+    case TokKind::KwBreak:
+      advance();
+      expect(TokKind::Semi, "after break");
+      return TU.newStmt(CStmt::Kind::Break, Loc);
+    case TokKind::KwContinue:
+      advance();
+      expect(TokKind::Semi, "after continue");
+      return TU.newStmt(CStmt::Kind::Continue, Loc);
+    case TokKind::KwAtomic: {
+      advance();
+      CStmt *S = TU.newStmt(CStmt::Kind::Atomic, Loc);
+      CStmt *Body = parseCompound();
+      S->Body = Body->Body;
+      return S;
+    }
+    case TokKind::KwGoto:
+      Diags.error(Loc, "goto is not supported by the CheckFence-C subset");
+      while (!is(TokKind::Semi) && !is(TokKind::Eof))
+        advance();
+      accept(TokKind::Semi);
+      return TU.newStmt(CStmt::Kind::Empty, Loc);
+    default:
+      break;
+    }
+
+    if (startsType())
+      return parseDeclStmt();
+
+    CStmt *S = TU.newStmt(CStmt::Kind::ExprStmt, Loc);
+    S->E = parseExpr();
+    expect(TokKind::Semi, "after expression");
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Expr *parseExpr() { return parseAssign(); }
+
+  Expr *parseAssign() {
+    Expr *L = parseCond();
+    if (is(TokKind::Assign) || is(TokKind::PlusAssign) ||
+        is(TokKind::MinusAssign)) {
+      TokKind K = cur().K;
+      SourceLoc Loc = cur().Loc;
+      advance();
+      Expr *R = parseAssign();
+      Expr *A = TU.newExpr(Expr::Kind::Assign, Loc);
+      A->LHS = L;
+      A->RHS = R;
+      if (K != TokKind::Assign) {
+        A->HasCompoundOp = true;
+        A->CompoundOp =
+            (K == TokKind::PlusAssign) ? BinaryOp::Add : BinaryOp::Sub;
+      }
+      return A;
+    }
+    return L;
+  }
+
+  Expr *parseCond() {
+    Expr *C = parseBinary(0);
+    if (!is(TokKind::Question))
+      return C;
+    SourceLoc Loc = cur().Loc;
+    advance();
+    Expr *T = parseExpr();
+    expect(TokKind::Colon, "in conditional expression");
+    Expr *F = parseCond();
+    Expr *E = TU.newExpr(Expr::Kind::Cond, Loc);
+    E->Cond3 = C;
+    E->LHS = T;
+    E->RHS = F;
+    return E;
+  }
+
+  /// Binary operator precedence (higher binds tighter); -1 if not binary.
+  static int binPrec(TokKind K) {
+    switch (K) {
+    case TokKind::PipePipe:
+      return 1;
+    case TokKind::AmpAmp:
+      return 2;
+    case TokKind::Pipe:
+      return 3;
+    case TokKind::Caret:
+      return 4;
+    case TokKind::Amp:
+      return 5;
+    case TokKind::EqEq:
+    case TokKind::BangEq:
+      return 6;
+    case TokKind::Lt:
+    case TokKind::Le:
+    case TokKind::Gt:
+    case TokKind::Ge:
+      return 7;
+    case TokKind::Shl:
+    case TokKind::Shr:
+      return 8;
+    case TokKind::Plus:
+    case TokKind::Minus:
+      return 9;
+    case TokKind::Star:
+    case TokKind::Slash:
+    case TokKind::Percent:
+      return 10;
+    default:
+      return -1;
+    }
+  }
+
+  static BinaryOp binOpFor(TokKind K) {
+    switch (K) {
+    case TokKind::PipePipe:
+      return BinaryOp::LOr;
+    case TokKind::AmpAmp:
+      return BinaryOp::LAnd;
+    case TokKind::Pipe:
+      return BinaryOp::BitOr;
+    case TokKind::Caret:
+      return BinaryOp::BitXor;
+    case TokKind::Amp:
+      return BinaryOp::BitAnd;
+    case TokKind::EqEq:
+      return BinaryOp::Eq;
+    case TokKind::BangEq:
+      return BinaryOp::Ne;
+    case TokKind::Lt:
+      return BinaryOp::Lt;
+    case TokKind::Le:
+      return BinaryOp::Le;
+    case TokKind::Gt:
+      return BinaryOp::Gt;
+    case TokKind::Ge:
+      return BinaryOp::Ge;
+    case TokKind::Shl:
+      return BinaryOp::Shl;
+    case TokKind::Shr:
+      return BinaryOp::Shr;
+    case TokKind::Plus:
+      return BinaryOp::Add;
+    case TokKind::Minus:
+      return BinaryOp::Sub;
+    case TokKind::Star:
+      return BinaryOp::Mul;
+    case TokKind::Slash:
+      return BinaryOp::Div;
+    case TokKind::Percent:
+      return BinaryOp::Mod;
+    default:
+      return BinaryOp::Add;
+    }
+  }
+
+  Expr *parseBinary(int MinPrec) {
+    Expr *L = parseCast();
+    for (;;) {
+      int Prec = binPrec(cur().K);
+      if (Prec < 0 || Prec < MinPrec)
+        return L;
+      TokKind K = cur().K;
+      SourceLoc Loc = cur().Loc;
+      advance();
+      Expr *R = parseBinary(Prec + 1);
+      Expr *B = TU.newExpr(Expr::Kind::Binary, Loc);
+      B->BOp = binOpFor(K);
+      B->LHS = L;
+      B->RHS = R;
+      L = B;
+    }
+  }
+
+  Expr *parseCast() {
+    if (is(TokKind::LParen) && isTypeToken(peek())) {
+      SourceLoc Loc = cur().Loc;
+      advance(); // (
+      const Type *Base = parseDeclSpec();
+      std::string Dummy;
+      const Type *Ty = parseDeclarator(Base, Dummy);
+      expect(TokKind::RParen, "after cast type");
+      Expr *E = TU.newExpr(Expr::Kind::Cast, Loc);
+      E->CastTy = Ty;
+      E->LHS = parseCast();
+      return E;
+    }
+    return parseUnary();
+  }
+
+  Expr *parseUnary() {
+    SourceLoc Loc = cur().Loc;
+    auto MakeUnary = [&](UnaryOp Op) {
+      advance();
+      Expr *E = TU.newExpr(Expr::Kind::Unary, Loc);
+      E->UOp = Op;
+      E->LHS = parseCast();
+      return E;
+    };
+    switch (cur().K) {
+    case TokKind::Minus:
+      return MakeUnary(UnaryOp::Neg);
+    case TokKind::Bang:
+      return MakeUnary(UnaryOp::LNot);
+    case TokKind::Tilde:
+      return MakeUnary(UnaryOp::BitNot);
+    case TokKind::Star:
+      return MakeUnary(UnaryOp::Deref);
+    case TokKind::Amp:
+      return MakeUnary(UnaryOp::AddrOf);
+    case TokKind::PlusPlus:
+      return MakeUnary(UnaryOp::PreInc);
+    case TokKind::MinusMinus:
+      return MakeUnary(UnaryOp::PreDec);
+    default:
+      return parsePostfix();
+    }
+  }
+
+  Expr *parsePostfix() {
+    Expr *E = parsePrimary();
+    for (;;) {
+      SourceLoc Loc = cur().Loc;
+      if (accept(TokKind::LParen)) {
+        Expr *Call = TU.newExpr(Expr::Kind::Call, Loc);
+        Call->Base = E;
+        if (!is(TokKind::RParen)) {
+          for (;;) {
+            Call->CallArgs.push_back(parseAssign());
+            if (!accept(TokKind::Comma))
+              break;
+          }
+        }
+        expect(TokKind::RParen, "after call arguments");
+        E = Call;
+      } else if (accept(TokKind::LBracket)) {
+        Expr *Idx = TU.newExpr(Expr::Kind::Index, Loc);
+        Idx->Base = E;
+        Idx->RHS = parseExpr();
+        expect(TokKind::RBracket, "after array index");
+        E = Idx;
+      } else if (is(TokKind::Dot) || is(TokKind::Arrow)) {
+        bool Arrow = is(TokKind::Arrow);
+        advance();
+        Expr *M = TU.newExpr(Expr::Kind::Member, Loc);
+        M->Base = E;
+        M->IsArrow = Arrow;
+        if (is(TokKind::Identifier)) {
+          M->Str = cur().Text;
+          advance();
+        } else {
+          Diags.error(cur().Loc, "expected field name");
+        }
+        E = M;
+      } else if (is(TokKind::PlusPlus) || is(TokKind::MinusMinus)) {
+        Expr *U = TU.newExpr(Expr::Kind::Unary, Loc);
+        U->UOp = is(TokKind::PlusPlus) ? UnaryOp::PostInc : UnaryOp::PostDec;
+        U->LHS = E;
+        advance();
+        E = U;
+      } else {
+        return E;
+      }
+    }
+  }
+
+  Expr *parsePrimary() {
+    SourceLoc Loc = cur().Loc;
+    switch (cur().K) {
+    case TokKind::Number: {
+      Expr *E = TU.newExpr(Expr::Kind::IntLit, Loc);
+      E->IntVal = cur().IntVal;
+      advance();
+      return E;
+    }
+    case TokKind::KwTrue:
+    case TokKind::KwFalse: {
+      Expr *E = TU.newExpr(Expr::Kind::IntLit, Loc);
+      E->IntVal = is(TokKind::KwTrue) ? 1 : 0;
+      advance();
+      return E;
+    }
+    case TokKind::KwNull: {
+      Expr *E = TU.newExpr(Expr::Kind::IntLit, Loc);
+      E->IntVal = 0;
+      advance();
+      return E;
+    }
+    case TokKind::String: {
+      Expr *E = TU.newExpr(Expr::Kind::StrLit, Loc);
+      E->Str = cur().Text;
+      advance();
+      return E;
+    }
+    case TokKind::Identifier: {
+      auto It = TU.EnumConstants.find(cur().Text);
+      if (It != TU.EnumConstants.end()) {
+        Expr *E = TU.newExpr(Expr::Kind::IntLit, Loc);
+        E->IntVal = It->second;
+        advance();
+        return E;
+      }
+      Expr *E = TU.newExpr(Expr::Kind::Ident, Loc);
+      E->Str = cur().Text;
+      advance();
+      return E;
+    }
+    case TokKind::LParen: {
+      advance();
+      Expr *E = parseExpr();
+      expect(TokKind::RParen, "to close parenthesized expression");
+      return E;
+    }
+    default:
+      Diags.error(Loc, "expected an expression");
+      advance();
+      return TU.newExpr(Expr::Kind::IntLit, Loc);
+    }
+  }
+};
+
+} // namespace
+
+bool checkfence::frontend::parseTranslationUnit(const std::string &Source,
+                                                TranslationUnit &TU,
+                                                DiagEngine &Diags) {
+  std::vector<Token> Toks = lex(Source, Diags);
+  if (Diags.hasErrors())
+    return false;
+  Parser P(std::move(Toks), TU, Diags);
+  P.run();
+  return !Diags.hasErrors();
+}

@@ -1,0 +1,28 @@
+//===--- Parser.h - recursive-descent parser for CheckFence-C ---*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_FRONTEND_PARSER_H
+#define CHECKFENCE_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Diag.h"
+#include "frontend/Lexer.h"
+
+#include <memory>
+#include <set>
+
+namespace checkfence {
+namespace frontend {
+
+/// Parses preprocessed CheckFence-C source into \p TU. Returns false if
+/// any diagnostics were emitted.
+bool parseTranslationUnit(const std::string &Source, TranslationUnit &TU,
+                          DiagEngine &Diags);
+
+} // namespace frontend
+} // namespace checkfence
+
+#endif // CHECKFENCE_FRONTEND_PARSER_H

@@ -1,0 +1,110 @@
+//===--- Preprocessor.cpp - minimal #ifdef preprocessor --------------------===//
+
+#include "frontend/Preprocessor.h"
+
+#include <vector>
+
+using namespace checkfence;
+using namespace checkfence::frontend;
+
+namespace {
+
+/// Splits a line into the directive name and its single argument.
+/// Returns false if the line is not a directive.
+bool parseDirective(const std::string &Line, std::string &Name,
+                    std::string &Arg) {
+  size_t I = 0;
+  while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+    ++I;
+  if (I >= Line.size() || Line[I] != '#')
+    return false;
+  ++I;
+  while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+    ++I;
+  size_t NameStart = I;
+  while (I < Line.size() && std::isalpha(static_cast<unsigned char>(Line[I])))
+    ++I;
+  Name = Line.substr(NameStart, I - NameStart);
+  while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+    ++I;
+  size_t ArgStart = I;
+  while (I < Line.size() &&
+         (std::isalnum(static_cast<unsigned char>(Line[I])) ||
+          Line[I] == '_'))
+    ++I;
+  Arg = Line.substr(ArgStart, I - ArgStart);
+  return true;
+}
+
+} // namespace
+
+std::string checkfence::frontend::preprocess(
+    const std::string &Source, const std::set<std::string> &Defines,
+    DiagEngine &Diags) {
+  std::set<std::string> Active = Defines;
+
+  // Conditional stack: for each open #if, whether its branch is live and
+  // whether any branch so far was live (for #else handling).
+  struct CondState {
+    bool Live;
+    bool ParentLive;
+  };
+  std::vector<CondState> Stack;
+
+  auto CurrentlyLive = [&] {
+    return Stack.empty() || (Stack.back().Live && Stack.back().ParentLive);
+  };
+
+  std::string Out;
+  Out.reserve(Source.size());
+  size_t Pos = 0;
+  int LineNo = 0;
+  while (Pos <= Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    bool LastLine = (End == std::string::npos);
+    std::string Line =
+        Source.substr(Pos, LastLine ? std::string::npos : End - Pos);
+    ++LineNo;
+
+    std::string Name, Arg;
+    if (parseDirective(Line, Name, Arg)) {
+      SourceLoc Loc{LineNo, 1};
+      if (Name == "define") {
+        if (CurrentlyLive())
+          Active.insert(Arg);
+      } else if (Name == "undef") {
+        if (CurrentlyLive())
+          Active.erase(Arg);
+      } else if (Name == "ifdef" || Name == "ifndef") {
+        bool Has = Active.count(Arg) != 0;
+        bool Live = (Name == "ifdef") ? Has : !Has;
+        Stack.push_back(CondState{Live, CurrentlyLive()});
+      } else if (Name == "else") {
+        if (Stack.empty())
+          Diags.error(Loc, "#else without matching #ifdef");
+        else
+          Stack.back().Live = !Stack.back().Live;
+      } else if (Name == "endif") {
+        if (Stack.empty())
+          Diags.error(Loc, "#endif without matching #ifdef");
+        else
+          Stack.pop_back();
+      } else {
+        Diags.error(Loc, "unsupported preprocessor directive '#" + Name + "'");
+      }
+      Out += "\n"; // keep line numbering stable
+    } else {
+      if (CurrentlyLive())
+        Out += Line;
+      Out += "\n";
+    }
+
+    if (LastLine)
+      break;
+    Pos = End + 1;
+  }
+
+  if (!Stack.empty())
+    Diags.error(SourceLoc{LineNo, 1}, "unterminated #ifdef at end of file");
+  return Out;
+}

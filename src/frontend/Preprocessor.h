@@ -1,0 +1,32 @@
+//===--- Preprocessor.h - minimal #ifdef preprocessor -----------*- C++ -*-==//
+///
+/// \file
+/// A tiny line-based preprocessor supporting exactly the directives the
+/// implementation variants need: #define NAME, #undef NAME, #ifdef NAME,
+/// #ifndef NAME, #else, #endif. Lines excluded by conditionals are replaced
+/// with blank lines so that source line numbers are preserved for
+/// diagnostics and trace provenance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_FRONTEND_PREPROCESSOR_H
+#define CHECKFENCE_FRONTEND_PREPROCESSOR_H
+
+#include "frontend/Diag.h"
+
+#include <set>
+#include <string>
+
+namespace checkfence {
+namespace frontend {
+
+/// Runs the preprocessor over \p Source with \p Defines pre-defined.
+/// Returns the processed text (same number of lines as the input).
+std::string preprocess(const std::string &Source,
+                       const std::set<std::string> &Defines,
+                       DiagEngine &Diags);
+
+} // namespace frontend
+} // namespace checkfence
+
+#endif // CHECKFENCE_FRONTEND_PREPROCESSOR_H

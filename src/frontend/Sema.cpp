@@ -1,0 +1,74 @@
+//===--- Sema.cpp - light semantic analysis for CheckFence-C --------------===//
+
+#include "frontend/Sema.h"
+
+using namespace checkfence;
+using namespace checkfence::frontend;
+
+BuiltinKind checkfence::frontend::classifyBuiltin(const std::string &Name) {
+  if (Name == "fence")
+    return BuiltinKind::Fence;
+  if (Name == "assert")
+    return BuiltinKind::Assert;
+  if (Name == "assume")
+    return BuiltinKind::Assume;
+  if (Name == "observe")
+    return BuiltinKind::Observe;
+  if (Name == "commit")
+    return BuiltinKind::Commit;
+  if (Name == "new_node")
+    return BuiltinKind::NewNode;
+  if (Name == "delete_node" || Name == "free_node")
+    return BuiltinKind::DeleteNode;
+  if (Name == "spin_lock")
+    return BuiltinKind::SpinLock;
+  if (Name == "spin_unlock")
+    return BuiltinKind::SpinUnlock;
+  if (Name == "ptr_mark")
+    return BuiltinKind::PtrMark;
+  if (Name == "ptr_is_marked")
+    return BuiltinKind::PtrIsMarked;
+  if (Name == "ptr_unmark")
+    return BuiltinKind::PtrUnmark;
+  return BuiltinKind::None;
+}
+
+namespace {
+
+void visitExpr(const Expr *E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  if (E->K == Expr::Kind::Unary && E->UOp == UnaryOp::AddrOf &&
+      E->LHS->K == Expr::Kind::Ident)
+    Out.insert(E->LHS->Str);
+  visitExpr(E->LHS, Out);
+  visitExpr(E->RHS, Out);
+  visitExpr(E->Cond3, Out);
+  visitExpr(E->Base, Out);
+  for (const Expr *A : E->CallArgs)
+    visitExpr(A, Out);
+}
+
+void visitStmt(const CStmt *S, std::set<std::string> &Out) {
+  if (!S)
+    return;
+  visitExpr(S->CondE, Out);
+  visitExpr(S->IncE, Out);
+  visitExpr(S->E, Out);
+  if (S->Var)
+    visitExpr(S->Var->Init, Out);
+  visitStmt(S->Then, Out);
+  visitStmt(S->Else, Out);
+  visitStmt(S->InitS, Out);
+  for (const CStmt *C : S->Body)
+    visitStmt(C, Out);
+}
+
+} // namespace
+
+std::set<std::string>
+checkfence::frontend::collectAddressTaken(const FuncDecl &F) {
+  std::set<std::string> Out;
+  visitStmt(F.Body, Out);
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===--- Sema.h - light semantic analysis for CheckFence-C ------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers the lowering needs: classification of the builtin operations
+/// (fences, assert/assume, allocation, spin locks, pointer-mark packing)
+/// and the address-taken analysis that decides which locals live in memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_FRONTEND_SEMA_H
+#define CHECKFENCE_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+
+#include <set>
+#include <string>
+
+namespace checkfence {
+namespace frontend {
+
+/// Builtin operations that the lowering intercepts instead of emitting a
+/// call. They appear in implementation sources as 'extern' declarations
+/// (paper Fig. 9 declares assert/fence/cas/new_node this way; cas itself is
+/// written in CheckFence-C in the prelude using an atomic block).
+enum class BuiltinKind {
+  None,
+  Fence,       ///< fence("load-load") etc.
+  Assert,      ///< assert(expr)
+  Assume,      ///< assume(expr)
+  Observe,     ///< observe(expr) - appends to the observation vector
+  Commit,      ///< commit() - marks an operation's commit point
+  NewNode,     ///< new_node() - fresh heap cell group
+  DeleteNode,  ///< delete_node(p) - no-op (no memory reuse; see DESIGN.md)
+  SpinLock,    ///< spin_lock(l) - one-iteration acquire (spin reduction)
+  SpinUnlock,  ///< spin_unlock(l)
+  PtrMark,     ///< ptr_mark(p, b) - set packed mark bit
+  PtrIsMarked, ///< ptr_is_marked(p)
+  PtrUnmark,   ///< ptr_unmark(p)
+};
+
+/// Maps a callee name to its builtin, or BuiltinKind::None.
+BuiltinKind classifyBuiltin(const std::string &Name);
+
+/// Collects the names of local variables (and parameters) of \p F whose
+/// address is taken anywhere in its body; those must be lowered to memory
+/// cells rather than registers.
+std::set<std::string> collectAddressTaken(const FuncDecl &F);
+
+} // namespace frontend
+} // namespace checkfence
+
+#endif // CHECKFENCE_FRONTEND_SEMA_H

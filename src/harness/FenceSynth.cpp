@@ -1,0 +1,281 @@
+//===--- FenceSynth.cpp - automatic fence placement -------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FenceSynth.h"
+
+#include "frontend/Lowering.h"
+#include "support/Format.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace checkfence;
+using namespace checkfence::harness;
+using checker::CheckResult;
+using checker::CheckStatus;
+
+std::string checkfence::harness::placementStr(const FencePlacement &P) {
+  return formatString("%s fence before line %d", fenceKindName(P.Kind),
+                      P.Line);
+}
+
+namespace {
+
+/// Recursively finds the insertion point for \p Line: the first statement
+/// in pre-order whose source line matches. Non-block statements are
+/// preferred (the fence should sit directly before the access, not before
+/// an enclosing loop that merely starts on the same line).
+struct InsertionPoint {
+  std::vector<lsl::Stmt *> *Body = nullptr;
+  size_t Index = 0;
+  bool IsBlockLike = false;
+};
+
+void findLine(std::vector<lsl::Stmt *> &Body, int Line,
+              InsertionPoint &Best) {
+  for (size_t I = 0; I < Body.size(); ++I) {
+    lsl::Stmt *S = Body[I];
+    if (S->Loc.Line == Line && S->K != lsl::StmtKind::Fence) {
+      bool BlockLike = S->isBlockLike();
+      if (!Best.Body || (Best.IsBlockLike && !BlockLike)) {
+        Best.Body = &Body;
+        Best.Index = I;
+        Best.IsBlockLike = BlockLike;
+      }
+      if (!BlockLike)
+        return; // pre-order first non-block match wins
+    }
+    if (!S->Body.empty()) {
+      findLine(S->Body, Line, Best);
+      if (Best.Body && !Best.IsBlockLike)
+        return;
+    }
+  }
+}
+
+} // namespace
+
+int checkfence::harness::applyFencePlacements(
+    lsl::Program &Prog, const std::vector<FencePlacement> &Fences) {
+  int Applied = 0;
+  for (const FencePlacement &F : Fences) {
+    InsertionPoint Best;
+    for (const auto &[Name, Proc] : Prog.procs()) {
+      findLine(Proc->Body, F.Line, Best);
+      if (Best.Body && !Best.IsBlockLike)
+        break;
+    }
+    if (!Best.Body)
+      continue;
+    lsl::Stmt *Fence = Prog.create(lsl::StmtKind::Fence);
+    Fence->FenceK = F.Kind;
+    Fence->Loc.Line = F.Line;
+    Best.Body->insert(Best.Body->begin() + Best.Index, Fence);
+    ++Applied;
+  }
+  return Applied;
+}
+
+namespace {
+
+/// The innermost source line of \p E that lies in the eligible region, or
+/// -1. Accesses inside shared builtins resolve to their call sites.
+int attributedLine(const checker::TraceEntry &E, const SynthOptions &Opts) {
+  if (E.Loc.Line >= Opts.MinLine && E.Loc.Line <= Opts.MaxLine)
+    return E.Loc.Line;
+  for (auto It = E.CallLines.rbegin(); It != E.CallLines.rend(); ++It)
+    if (*It >= Opts.MinLine && *It <= Opts.MaxLine)
+      return *It;
+  return -1;
+}
+
+lsl::FenceKind fenceKindFor(bool EarlierIsLoad, bool LaterIsLoad) {
+  if (EarlierIsLoad)
+    return LaterIsLoad ? lsl::FenceKind::LoadLoad
+                       : lsl::FenceKind::LoadStore;
+  return LaterIsLoad ? lsl::FenceKind::StoreLoad
+                     : lsl::FenceKind::StoreStore;
+}
+
+/// Ranks fence kinds by how often the paper's algorithms need them
+/// (store-store and load-load account for all placed fences in Sec. 4.2).
+int kindPreference(lsl::FenceKind K) {
+  switch (K) {
+  case lsl::FenceKind::StoreStore:
+    return 0;
+  case lsl::FenceKind::LoadLoad:
+    return 1;
+  case lsl::FenceKind::LoadStore:
+    return 2;
+  case lsl::FenceKind::StoreLoad:
+    return 3;
+  }
+  return 4;
+}
+
+/// Collects candidate repairs from the program-order/memory-order
+/// inversions of a counterexample trace, scored by how many inversions
+/// each one addresses.
+std::map<FencePlacement, int>
+candidatesFromTrace(const checker::Trace &T, const SynthOptions &Opts,
+                    const std::set<FencePlacement> &Placed) {
+  std::map<FencePlacement, int> Cands;
+  const std::vector<checker::TraceEntry> &M = T.MemoryOrder;
+  for (size_t I = 0; I < M.size(); ++I) {
+    // The init thread (thread 0 by the test-builder convention) precedes
+    // every other access; its internal order is unobservable, so its
+    // inversions are noise.
+    if (M[I].Thread == 0)
+      continue;
+    for (size_t J = I + 1; J < M.size(); ++J) {
+      // M[I] is <M-before M[J]; an inversion means M[J] is po-before M[I].
+      if (M[I].Thread != M[J].Thread || M[J].PoIndex >= M[I].PoIndex)
+        continue;
+      const checker::TraceEntry &X = M[J]; // po-earlier, <M-later
+      const checker::TraceEntry &Y = M[I]; // po-later, <M-earlier
+      int Line = attributedLine(Y, Opts);
+      if (Line < 0)
+        continue;
+      FencePlacement P;
+      P.Line = Line;
+      P.Kind = fenceKindFor(!X.IsStore, !Y.IsStore);
+      if (Placed.count(P))
+        continue;
+      ++Cands[P];
+    }
+  }
+  return Cands;
+}
+
+bool pickCandidate(const std::map<FencePlacement, int> &Cands,
+                   FencePlacement &Out) {
+  bool Have = false;
+  int BestScore = 0;
+  for (const auto &[P, Score] : Cands) {
+    bool Better = !Have || Score > BestScore ||
+                  (Score == BestScore &&
+                   (kindPreference(P.Kind) < kindPreference(Out.Kind) ||
+                    (kindPreference(P.Kind) == kindPreference(Out.Kind) &&
+                     P.Line < Out.Line)));
+    if (Better) {
+      Out = P;
+      BestScore = Score;
+      Have = true;
+    }
+  }
+  return Have;
+}
+
+} // namespace
+
+SynthResult
+checkfence::harness::synthesizeFences(const std::string &ImplSource,
+                                      const std::vector<TestSpec> &Tests,
+                                      const SynthOptions &Opts) {
+  SynthResult Result;
+  Timer Total;
+
+  auto RunOnce = [&](const TestSpec &Test,
+                     const std::vector<FencePlacement> &Fences)
+      -> CheckResult {
+    ++Result.ChecksRun;
+    frontend::LoweringOptions LO;
+    LO.StripFences = Opts.StripFences;
+    frontend::DiagEngine Diags;
+    lsl::Program Impl;
+    CheckResult R;
+    if (!frontend::compileC(ImplSource, Opts.Defines, Impl, Diags, LO)) {
+      R.Status = CheckStatus::Error;
+      R.Message = "frontend error:\n" + Diags.str();
+      return R;
+    }
+    applyFencePlacements(Impl, Fences);
+    std::vector<std::string> Threads = buildTestThreads(Impl, Test);
+    return checker::runCheck(Impl, Threads, Opts.Check);
+  };
+
+  auto Fail = [&](const std::string &Msg) {
+    Result.Success = false;
+    Result.Message = Msg;
+    Result.TotalSeconds = Total.seconds();
+    return Result;
+  };
+
+  std::vector<FencePlacement> Placed;
+  std::set<FencePlacement> PlacedSet;
+
+  // Repair the tests in order. Fences only restrict the execution set, so
+  // a repaired test never regresses when later fences are added.
+  for (const TestSpec &Test : Tests) {
+    for (;;) {
+      CheckResult R = RunOnce(Test, Placed);
+      if (R.Status == CheckStatus::Pass) {
+        Result.Log.push_back(
+            formatString("%s: PASS with %d fences", Test.Name.c_str(),
+                         static_cast<int>(Placed.size())));
+        break;
+      }
+      if (R.Status == CheckStatus::SequentialBug)
+        return Fail(Test.Name +
+                    ": implementation misbehaves on a serial execution; "
+                    "no fence placement can repair it");
+      if (R.Status != CheckStatus::Fail)
+        return Fail(Test.Name + ": " + checkStatusName(R.Status) + ": " +
+                    R.Message);
+      if (!R.Counterexample)
+        return Fail(Test.Name + ": counterexample unavailable");
+      if (static_cast<int>(Placed.size()) >= Opts.MaxFences)
+        return Fail(formatString("fence budget (%d) exhausted on %s",
+                                 Opts.MaxFences, Test.Name.c_str()));
+
+      std::map<FencePlacement, int> Cands =
+          candidatesFromTrace(*R.Counterexample, Opts, PlacedSet);
+      FencePlacement Pick;
+      if (!pickCandidate(Cands, Pick))
+        return Fail(Test.Name +
+                    ": counterexample has no program-order inversion in "
+                    "the eligible region; the failure is not fixable by "
+                    "fences (algorithmic bug?)");
+      Placed.push_back(Pick);
+      PlacedSet.insert(Pick);
+      Result.Log.push_back(formatString(
+          "%s: FAIL; placing %s (%d candidate inversions)",
+          Test.Name.c_str(), placementStr(Pick).c_str(),
+          static_cast<int>(Cands.size())));
+    }
+  }
+
+  // Necessity pass: drop any fence whose removal keeps all tests passing.
+  if (Opts.Minimize) {
+    for (size_t I = Placed.size(); I-- > 0;) {
+      std::vector<FencePlacement> Without = Placed;
+      Without.erase(Without.begin() + I);
+      bool AllPass = true;
+      for (const TestSpec &Test : Tests) {
+        if (!RunOnce(Test, Without).passed()) {
+          AllPass = false;
+          break;
+        }
+      }
+      if (AllPass) {
+        Result.Log.push_back(
+            formatString("minimize: %s is redundant, removing",
+                         placementStr(Placed[I]).c_str()));
+        Result.Removed.push_back(Placed[I]);
+        Placed = std::move(Without);
+      }
+    }
+  }
+
+  std::sort(Placed.begin(), Placed.end());
+  Result.Fences = std::move(Placed);
+  Result.Success = true;
+  Result.Message = formatString("%d fences suffice",
+                                static_cast<int>(Result.Fences.size()));
+  Result.TotalSeconds = Total.seconds();
+  return Result;
+}

@@ -1,0 +1,205 @@
+//===--- TestSpec.cpp - symbolic test programs -------------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/TestSpec.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace checkfence;
+using namespace checkfence::harness;
+
+using lsl::StmtKind;
+using lsl::Value;
+
+bool checkfence::harness::parseTestNotation(const std::string &Text,
+                                            const OpAlphabet &Alphabet,
+                                            TestSpec &Out,
+                                            std::string &Error) {
+  Out = TestSpec();
+  // Longest-match ordering.
+  OpAlphabet Sorted = Alphabet;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const OpBinding &A, const OpBinding &B) {
+              return A.Token.size() > B.Token.size();
+            });
+
+  size_t Pos = 0;
+  bool InThreads = false;
+  std::vector<OpSpec> Current;
+
+  auto Flush = [&](bool NewThread) {
+    if (!InThreads) {
+      Out.Init = Current;
+    } else if (NewThread || !Current.empty()) {
+      Out.Threads.push_back(Current);
+    }
+    Current.clear();
+  };
+
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '(') {
+      if (InThreads) {
+        Error = "nested '(' in test notation";
+        return false;
+      }
+      Flush(false); // init sequence done
+      InThreads = true;
+      ++Pos;
+      continue;
+    }
+    if (C == '|') {
+      if (!InThreads) {
+        Error = "'|' outside of thread section";
+        return false;
+      }
+      Out.Threads.push_back(Current);
+      Current.clear();
+      ++Pos;
+      continue;
+    }
+    if (C == ')') {
+      if (!InThreads) {
+        Error = "unmatched ')'";
+        return false;
+      }
+      Out.Threads.push_back(Current);
+      Current.clear();
+      InThreads = false;
+      ++Pos;
+      continue;
+    }
+    // An operation token. The paper typesets primes both after the base
+    // letter (a'l) and after the whole token (al'); accept either.
+    const OpBinding *Match = nullptr;
+    bool Primed = false;
+    for (const OpBinding &B : Sorted) {
+      const std::string &T = B.Token;
+      if (Text.compare(Pos, T.size(), T) == 0) {
+        Match = &B;
+        Pos += T.size();
+        break;
+      }
+      if (T.size() == 2 && Pos + 2 < Text.size() && Text[Pos] == T[0] &&
+          Text[Pos + 1] == '\'' && Text[Pos + 2] == T[1]) {
+        Match = &B;
+        Primed = true;
+        Pos += 3;
+        break;
+      }
+    }
+    if (!Match) {
+      Error = formatString("unknown operation token at position %zu", Pos);
+      return false;
+    }
+    if (Pos < Text.size() && Text[Pos] == '\'') {
+      Primed = true;
+      ++Pos;
+    }
+    OpSpec Op;
+    Op.Proc = Match->Proc;
+    Op.NumArgs = Match->NumArgs;
+    Op.HasRet = Match->HasRet;
+    Op.Primed = Primed;
+    Current.push_back(Op);
+  }
+  if (InThreads) {
+    Error = "missing ')' in test notation";
+    return false;
+  }
+  Flush(false);
+  if (Out.Threads.empty()) {
+    Error = "test has no threads";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Emits the LSL for one operation invocation into \p P.
+void emitOp(lsl::Program &Prog, lsl::Proc *P, const OpSpec &Op,
+            int GlobalIdx) {
+  std::vector<lsl::Reg> Args;
+  for (int A = 0; A < Op.NumArgs; ++A) {
+    lsl::Stmt *Choice = Prog.create(StmtKind::Choice);
+    Choice->Def = P->newReg(formatString("arg%d_%d", GlobalIdx, A));
+    Choice->Choices = {Value::integer(0), Value::integer(1)};
+    Choice->Loc = SourceLoc{1000 + GlobalIdx, 1};
+    P->Body.push_back(Choice);
+
+    lsl::Stmt *Obs = Prog.create(StmtKind::Observe);
+    Obs->Args = {Choice->Def};
+    Obs->Callee = formatString("%s.%d.arg%d", Op.Proc.c_str(), GlobalIdx, A);
+    P->Body.push_back(Obs);
+    Args.push_back(Choice->Def);
+  }
+
+  lsl::Stmt *Call = Prog.create(StmtKind::Call);
+  Call->Callee = Op.Proc;
+  Call->Args = Args;
+  Call->Imm = Op.Primed ? 1 : 0;
+  // Distinct synthetic lines keep per-invocation loop keys distinct.
+  Call->Loc = SourceLoc{1000 + GlobalIdx, 1};
+  lsl::Reg Ret = lsl::RegNone;
+  if (Op.HasRet) {
+    Ret = P->newReg(formatString("ret%d", GlobalIdx));
+    Call->Rets = {Ret};
+  }
+  P->Body.push_back(Call);
+
+  if (Op.HasRet) {
+    lsl::Stmt *Obs = Prog.create(StmtKind::Observe);
+    Obs->Args = {Ret};
+    Obs->Callee = formatString("%s.%d.ret", Op.Proc.c_str(), GlobalIdx);
+    P->Body.push_back(Obs);
+  }
+}
+
+} // namespace
+
+std::vector<std::string>
+checkfence::harness::buildTestThreads(lsl::Program &Prog,
+                                      const TestSpec &Test) {
+  std::vector<std::string> Names;
+  int GlobalIdx = 0;
+
+  // Init thread: global initializers, the data structure constructor, and
+  // the test's initialization sequence.
+  {
+    std::string Name = "__cf_init";
+    lsl::Proc *P = Prog.getOrCreateProc(Name);
+    P->Body.clear();
+    auto Call = [&](const std::string &Callee) {
+      lsl::Stmt *S = Prog.create(StmtKind::Call);
+      S->Callee = Callee;
+      S->Loc = SourceLoc{900 + GlobalIdx, 1};
+      P->Body.push_back(S);
+    };
+    Call("__global_init");
+    Call("init_op");
+    for (const OpSpec &Op : Test.Init)
+      emitOp(Prog, P, Op, GlobalIdx++);
+    Names.push_back(Name);
+  }
+
+  for (size_t T = 0; T < Test.Threads.size(); ++T) {
+    std::string Name = formatString("__cf_t%zu", T + 1);
+    lsl::Proc *P = Prog.getOrCreateProc(Name);
+    P->Body.clear();
+    for (const OpSpec &Op : Test.Threads[T])
+      emitOp(Prog, P, Op, GlobalIdx++);
+    Names.push_back(Name);
+  }
+  return Names;
+}

@@ -1,0 +1,59 @@
+//===--- Impls.h - the studied implementations (Table 1) --------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CheckFence-C sources for the five algorithms of Table 1:
+///
+///   ms2      - Michael & Scott two-lock queue
+///   msn      - Michael & Scott non-blocking queue (paper Fig. 9)
+///   lazylist - Heller et al. lazy list-based set
+///   harris   - Harris non-blocking set (marked pointers)
+///   snark    - DCAS-based non-blocking deque (with the published bugs)
+///   treiber  - Treiber lock-free stack (extension beyond Table 1)
+///
+/// plus simple sequential reference implementations per data-type kind
+/// ("refset" specification mining, Fig. 11a). All sources include the
+/// shared prelude (cas/dcas/locks).
+///
+/// Variant defines:
+///   LAZYLIST_INIT_BUG - omit the 'marked' initialization (Sec. 4.1 bug)
+///
+/// Fence placements follow Sec. 4.2/4.3; strip them with
+/// LoweringOptions::StripFences to reproduce the relaxed-model failures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_IMPLS_IMPLS_H
+#define CHECKFENCE_IMPLS_IMPLS_H
+
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace impls {
+
+struct ImplInfo {
+  std::string Name;        ///< "msn", "ms2", ...
+  std::string Kind;        ///< "queue", "set", or "deque"
+  std::string Description; ///< Table 1 description
+};
+
+/// The five implementations of Table 1.
+const std::vector<ImplInfo> &allImpls();
+
+/// Full CheckFence-C source (prelude + implementation + test wrappers).
+std::string sourceFor(const std::string &Name);
+
+/// The shared prelude (assert/fence declarations, cas, dcas, locks).
+std::string preludeSource();
+
+/// Sequential reference implementation for a data-type kind.
+std::string referenceFor(const std::string &Kind);
+
+} // namespace impls
+} // namespace checkfence
+
+#endif // CHECKFENCE_IMPLS_IMPLS_H

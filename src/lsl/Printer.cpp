@@ -1,0 +1,117 @@
+//===--- Printer.cpp - textual dump of LSL programs ------------------------===//
+
+#include "lsl/Printer.h"
+
+#include "support/Format.h"
+
+using namespace checkfence;
+using namespace checkfence::lsl;
+
+static std::string indentStr(int Indent) {
+  return std::string(static_cast<size_t>(Indent) * 2, ' ');
+}
+
+std::string checkfence::lsl::printStmt(const Proc &P, const Stmt *S,
+                                       int Indent) {
+  std::string Pad = indentStr(Indent);
+  auto Rn = [&](Reg R) { return P.regName(R); };
+
+  switch (S->K) {
+  case StmtKind::Const:
+    return Pad + formatString("%s = %s\n", Rn(S->Def).c_str(),
+                              S->ConstVal.str().c_str());
+  case StmtKind::Choice: {
+    std::vector<std::string> Opts;
+    for (const Value &V : S->Choices)
+      Opts.push_back(V.str());
+    return Pad + formatString("%s = choice(%s)\n", Rn(S->Def).c_str(),
+                              joinStrings(Opts, ", ").c_str());
+  }
+  case StmtKind::PrimOp: {
+    std::vector<std::string> Ops;
+    for (Reg R : S->Args)
+      Ops.push_back(Rn(R));
+    if (S->Op == PrimOpKind::PtrField)
+      Ops.push_back(formatString("#%lld", static_cast<long long>(S->Imm)));
+    return Pad + formatString("%s = %s(%s)\n", Rn(S->Def).c_str(),
+                              primOpName(S->Op),
+                              joinStrings(Ops, ", ").c_str());
+  }
+  case StmtKind::Load:
+    return Pad + formatString("%s = *%s\n", Rn(S->Def).c_str(),
+                              Rn(S->Addr).c_str());
+  case StmtKind::Store:
+    return Pad + formatString("*%s = %s\n", Rn(S->Addr).c_str(),
+                              Rn(S->Args[0]).c_str());
+  case StmtKind::Fence:
+    return Pad + formatString("fence %s\n", fenceKindName(S->FenceK));
+  case StmtKind::Atomic: {
+    std::string Out = Pad + "atomic {\n";
+    for (const Stmt *C : S->Body)
+      Out += printStmt(P, C, Indent + 1);
+    return Out + Pad + "}\n";
+  }
+  case StmtKind::Call: {
+    std::vector<std::string> As, Rs;
+    for (Reg R : S->Args)
+      As.push_back(Rn(R));
+    for (Reg R : S->Rets)
+      Rs.push_back(Rn(R));
+    return Pad + formatString("%s(%s)(%s)\n", S->Callee.c_str(),
+                              joinStrings(As, ", ").c_str(),
+                              joinStrings(Rs, ", ").c_str());
+  }
+  case StmtKind::Block: {
+    std::string Out = Pad + formatString("t%d: {\n", S->BlockTag);
+    for (const Stmt *C : S->Body)
+      Out += printStmt(P, C, Indent + 1);
+    return Out + Pad + "}\n";
+  }
+  case StmtKind::Break:
+    return Pad + formatString("if (%s) break t%d\n", Rn(S->Cond).c_str(),
+                              S->TargetTag);
+  case StmtKind::Continue:
+    return Pad + formatString("if (%s) continue t%d\n", Rn(S->Cond).c_str(),
+                              S->TargetTag);
+  case StmtKind::Assert:
+    return Pad + formatString("assert(%s)\n", Rn(S->Cond).c_str());
+  case StmtKind::Assume:
+    return Pad + formatString("assume(%s)\n", Rn(S->Cond).c_str());
+  case StmtKind::Alloc:
+    return Pad + formatString("%s = alloc(site %d)\n", Rn(S->Def).c_str(),
+                              S->AllocSite);
+  case StmtKind::Observe:
+    return Pad + formatString("observe(%s)\n", Rn(S->Args[0]).c_str());
+  case StmtKind::Commit:
+    return Pad + "commit\n";
+  }
+  return Pad + "<bad-stmt>\n";
+}
+
+std::string checkfence::lsl::printProc(const Proc &P) {
+  std::vector<std::string> Params, Rets;
+  for (int I = 0; I < P.NumParams; ++I)
+    Params.push_back(P.regName(I));
+  for (Reg R : P.RetRegs)
+    Rets.push_back(P.regName(R));
+  std::string Out =
+      formatString("proc %s(%s)(%s) {\n", P.Name.c_str(),
+                   joinStrings(Params, ", ").c_str(),
+                   joinStrings(Rets, ", ").c_str());
+  for (const Stmt *S : P.Body)
+    Out += printStmt(P, S, 1);
+  return Out + "}\n";
+}
+
+std::string checkfence::lsl::printProgram(const Program &Prog) {
+  std::string Out;
+  if (!Prog.globals().empty()) {
+    Out += "globals:";
+    for (size_t I = 0; I < Prog.globals().size(); ++I)
+      Out += formatString(" %s=[%zu]", Prog.globals()[I].c_str(), I);
+    Out += "\n\n";
+  }
+  for (const auto &[Name, P] : Prog.procs())
+    Out += printProc(*P) + "\n";
+  return Out;
+}

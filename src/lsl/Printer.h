@@ -1,0 +1,31 @@
+//===--- Printer.h - textual dump of LSL programs ---------------*- C++ -*-==//
+///
+/// \file
+/// Renders LSL procedures/programs as human-readable text, used by the
+/// frontend golden tests and by -debug style dumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_LSL_PRINTER_H
+#define CHECKFENCE_LSL_PRINTER_H
+
+#include "lsl/Program.h"
+
+#include <string>
+
+namespace checkfence {
+namespace lsl {
+
+/// Renders a single statement tree (multi-line for blocks).
+std::string printStmt(const Proc &P, const Stmt *S, int Indent = 0);
+
+/// Renders a whole procedure.
+std::string printProc(const Proc &P);
+
+/// Renders all procedures of a program.
+std::string printProgram(const Program &Prog);
+
+} // namespace lsl
+} // namespace checkfence
+
+#endif // CHECKFENCE_LSL_PRINTER_H

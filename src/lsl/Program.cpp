@@ -1,0 +1,15 @@
+//===--- Program.cpp - LSL procedures and programs -------------------------===//
+
+#include "lsl/Program.h"
+
+#include "support/Format.h"
+
+using namespace checkfence;
+using namespace checkfence::lsl;
+
+std::string Proc::regName(Reg R) const {
+  if (R >= 0 && R < static_cast<int>(RegNames.size()) &&
+      !RegNames[R].empty())
+    return formatString("%%%s.%d", RegNames[R].c_str(), R);
+  return formatString("%%r%d", R);
+}

@@ -1,0 +1,44 @@
+//===--- Stmt.cpp - LSL statement helpers ----------------------------------===//
+
+#include "lsl/Stmt.h"
+
+using namespace checkfence;
+using namespace checkfence::lsl;
+
+const char *checkfence::lsl::stmtKindName(StmtKind K) {
+  switch (K) {
+  case StmtKind::Const:
+    return "const";
+  case StmtKind::Choice:
+    return "choice";
+  case StmtKind::PrimOp:
+    return "primop";
+  case StmtKind::Load:
+    return "load";
+  case StmtKind::Store:
+    return "store";
+  case StmtKind::Fence:
+    return "fence";
+  case StmtKind::Atomic:
+    return "atomic";
+  case StmtKind::Call:
+    return "call";
+  case StmtKind::Block:
+    return "block";
+  case StmtKind::Break:
+    return "break";
+  case StmtKind::Continue:
+    return "continue";
+  case StmtKind::Assert:
+    return "assert";
+  case StmtKind::Assume:
+    return "assume";
+  case StmtKind::Alloc:
+    return "alloc";
+  case StmtKind::Observe:
+    return "observe";
+  case StmtKind::Commit:
+    return "commit";
+  }
+  return "<bad-stmt>";
+}

@@ -1,0 +1,153 @@
+//===--- MemoryModel.h - axiomatic memory models ----------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory models of Sec. 2.3, in axiomatic form over the memory
+/// order <M and the visibility set S(l):
+///
+///  * \b SeqConsistency: program order embeds into <M; S(l) = stores to the
+///    same address ordered before l.
+///  * \b Relaxed: only same-address program-order edges ending in a store
+///    embed into <M (plus fences and atomic blocks); S(l) additionally
+///    contains the thread's own program-order-earlier stores (store
+///    forwarding from the local store queue).
+///  * \b Serial: sequential consistency at operation granularity - the
+///    seriality condition used to mine specifications.
+///
+/// plus the two intermediate SPARC models the paper names when observing
+/// that its fence placements are "automatic" on some architectures
+/// (Sec. 4.2): between SC and Relaxed, each model is characterized by the
+/// subset of program-order edge kinds (load-load, load-store, store-load,
+/// store-store) that embed into <M unconditionally:
+///
+///  * \b TSO: all but store-load (a FIFO store buffer with forwarding);
+///    the paper's load-load and store-store fences are no-ops here, so
+///    the unfenced algorithms must verify - a claim we test directly.
+///  * \b PSO: load-load and load-store only; store-store order must be
+///    restored with explicit fences (same-address stores stay ordered,
+///    which is Relaxed axiom 1).
+///
+/// Shared axioms (2) and (3): a load with empty S(l) returns the initial
+/// value (undefined here: memory contents before initialization), otherwise
+/// the value of the <M-maximal store in S(l). These are encoded with the
+/// Init_l and Flows_{s,l} auxiliary variables of Sec. 3.2.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_MEMMODEL_MEMORYMODEL_H
+#define CHECKFENCE_MEMMODEL_MEMORYMODEL_H
+
+#include "encode/OrderEncoding.h"
+#include "encode/ValueEncoding.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace memmodel {
+
+enum class ModelKind {
+  SeqConsistency,
+  TSO,
+  PSO,
+  Relaxed,
+  Serial,
+};
+
+const char *modelName(ModelKind K);
+
+/// Parses "sc" / "tso" / "pso" / "relaxed" / "serial" (as printed by
+/// modelName); returns std::nullopt for anything else.
+std::optional<ModelKind> modelKindFromName(const std::string &Name);
+
+/// All models, strongest first (every Serial execution is SC, every SC
+/// execution is TSO, and so on down to Relaxed).
+const std::vector<ModelKind> &allModels();
+
+/// Structural properties that define each model.
+struct ModelTraits {
+  bool StoreForwarding = false; ///< S(l) includes own earlier stores
+  bool SerialOps = false;       ///< invocation-granularity order
+  // Program-order edge kinds that embed into <M unconditionally. The
+  // first letter is the kind of the earlier access, the second the later.
+  bool OrderLoadLoad = false;
+  bool OrderLoadStore = false;
+  bool OrderStoreLoad = false;
+  bool OrderStoreStore = false;
+
+  /// True when every program-order edge embeds into <M (SC and Serial);
+  /// fences are no-ops and consecutive-edge closure suffices.
+  bool fullProgramOrder() const {
+    return OrderLoadLoad && OrderLoadStore && OrderStoreLoad &&
+           OrderStoreStore;
+  }
+  /// The edge flag for an (earlier, later) access-kind pair.
+  bool ordersEdge(bool EarlierIsLoad, bool LaterIsLoad) const {
+    if (EarlierIsLoad)
+      return LaterIsLoad ? OrderLoadLoad : OrderLoadStore;
+    return LaterIsLoad ? OrderStoreLoad : OrderStoreStore;
+  }
+};
+
+ModelTraits traitsOf(ModelKind K);
+
+/// Emits the memory-model formula Theta for a FlatProgram into the CNF
+/// being built by a ValueEncoder.
+class MemoryModelEncoder {
+public:
+  MemoryModelEncoder(encode::ValueEncoder &VE, const trans::FlatProgram &P,
+                     const trans::RangeInfo &R, ModelKind K,
+                     encode::OrderMode OM, const encode::EncodeOptions &EO);
+
+  /// Encodes everything; returns false on unsupported input.
+  bool encode();
+
+  /// Execution literal of event \p EventIdx (truthiness of its guard).
+  encode::Lit execLit(int EventIdx);
+
+  /// Access index of a load/store event (-1 for fences).
+  int accessOfEvent(int EventIdx) const { return EventAccess[EventIdx]; }
+  /// Event index of access \p A.
+  int eventOfAccess(int A) const { return AccessEvent[A]; }
+  int numAccesses() const { return static_cast<int>(AccessEvent.size()); }
+
+  const encode::MemoryOrder *order() const { return Order.get(); }
+
+  /// After a Sat solve: event indices of executed accesses, sorted by the
+  /// model's memory order (used for counterexample traces).
+  std::vector<int> modelOrderedAccesses(const sat::Solver &S);
+
+private:
+  encode::Lit addrEqLit(int AccessA, int AccessB);
+  bool cellsIntersect(int EventA, int EventB) const;
+  void collectForcedPairs(std::vector<std::pair<int, int>> &Forced);
+  void emitConditionalOrderAxioms();
+  void emitFenceAxioms();
+  void emitAtomicExclusivity();
+  void emitValueAxioms();
+
+  encode::ValueEncoder &VE;
+  encode::CnfBuilder &Cnf;
+  const trans::FlatProgram &P;
+  const trans::RangeInfo &R;
+  ModelKind Kind;
+  ModelTraits Traits;
+  encode::OrderMode OMode;
+  encode::EncodeOptions EOpts;
+
+  std::vector<int> EventAccess; // event -> access (-1 for fences)
+  std::vector<int> AccessEvent; // access -> event
+  std::unique_ptr<encode::MemoryOrder> Order;
+  std::map<std::pair<int, int>, encode::Lit> AddrEqCache;
+};
+
+} // namespace memmodel
+} // namespace checkfence
+
+#endif // CHECKFENCE_MEMMODEL_MEMORYMODEL_H

@@ -1,0 +1,238 @@
+//===--- ReferenceExecutor.cpp - explicit-state oracle ----------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memmodel/ReferenceExecutor.h"
+
+#include <cassert>
+#include <map>
+
+using namespace checkfence;
+using namespace checkfence::memmodel;
+using namespace checkfence::trans;
+
+using lsl::Value;
+
+namespace {
+
+class Enumerator {
+public:
+  Enumerator(const FlatProgram &P, const RefOptions &Opts)
+      : P(P), Opts(Opts) {
+    ThreadEvents.resize(P.NumThreads);
+    for (size_t I = 0; I < P.Events.size(); ++I)
+      ThreadEvents[P.Events[I].Thread].push_back(static_cast<int>(I));
+    for (size_t I = 0; I < P.Defs.size(); ++I)
+      if (P.Defs[I].K == FlatDef::Kind::Choice)
+        ChoiceDefs.push_back(static_cast<ValueId>(I));
+  }
+
+  std::set<RefObservation> run() {
+    // Enumerate all assignments of the nondeterministic choices, then all
+    // interleavings for each assignment.
+    State Init;
+    Init.DefVals.assign(P.Defs.size(), Value::undef());
+    Init.DefKnown.assign(P.Defs.size(), 0);
+    Init.ThreadPos.assign(P.NumThreads, 0);
+    enumerateChoices(Init, 0);
+    return std::move(Result);
+  }
+
+private:
+  struct State {
+    std::vector<size_t> ThreadPos;
+    std::map<Value, Value> Memory;
+    std::vector<Value> DefVals;
+    std::vector<char> DefKnown;
+  };
+
+  const FlatProgram &P;
+  const RefOptions &Opts;
+  std::vector<std::vector<int>> ThreadEvents;
+  std::vector<ValueId> ChoiceDefs;
+  std::set<RefObservation> Result;
+  uint64_t Steps = 0;
+
+  void enumerateChoices(State &S, size_t ChoiceIdx) {
+    if (ChoiceIdx == ChoiceDefs.size()) {
+      dfs(S);
+      return;
+    }
+    ValueId Id = ChoiceDefs[ChoiceIdx];
+    for (const Value &Option : P.Defs[Id].Options) {
+      S.DefVals[Id] = Option;
+      S.DefKnown[Id] = 1;
+      enumerateChoices(S, ChoiceIdx + 1);
+    }
+  }
+
+  Value eval(State &S, ValueId Id) {
+    if (Id < 0)
+      return Value::undef();
+    if (S.DefKnown[Id])
+      return S.DefVals[Id];
+    const FlatDef &D = P.Defs[Id];
+    Value V;
+    switch (D.K) {
+    case FlatDef::Kind::Const:
+      V = D.Val;
+      break;
+    case FlatDef::Kind::Choice:
+      V = Value::undef(); // bound upfront; unreachable
+      break;
+    case FlatDef::Kind::LoadVal:
+      // A load result read before the load executed: can only happen for
+      // dead code whose guard is false; undefined is a safe answer.
+      V = Value::undef();
+      return V;
+    case FlatDef::Kind::Op: {
+      std::vector<Value> Args;
+      Args.reserve(D.Operands.size());
+      for (ValueId O : D.Operands)
+        Args.push_back(eval(S, O));
+      V = lsl::evalPrimOp(D.Op, Args, D.Imm);
+      break;
+    }
+    }
+    S.DefVals[Id] = V;
+    S.DefKnown[Id] = 1;
+    return V;
+  }
+
+  bool guardHolds(State &S, ValueId Guard) {
+    Value G = eval(S, Guard);
+    return !G.isUndef() && G.isTruthy();
+  }
+
+  /// Executes the next scheduling unit of thread \p T in place.
+  void executeUnit(State &S, int T) {
+    const std::vector<int> &Evs = ThreadEvents[T];
+    size_t &Pos = S.ThreadPos[T];
+    assert(Pos < Evs.size());
+    const FlatEvent &First = P.Events[Evs[Pos]];
+
+    // Determine the unit: one event, a whole atomic block, or a whole
+    // invocation depending on granularity.
+    auto SameUnit = [&](const FlatEvent &E) {
+      if (Opts.InvocationGranularity)
+        return E.OpInvId == First.OpInvId;
+      if (First.AtomicId >= 0)
+        return E.AtomicId == First.AtomicId;
+      return false; // single event
+    };
+
+    bool FirstStep = true;
+    while (Pos < Evs.size()) {
+      const FlatEvent &E = P.Events[Evs[Pos]];
+      if (!FirstStep && !SameUnit(E))
+        break;
+      FirstStep = false;
+      ++Pos;
+      ++Steps;
+      if (!guardHolds(S, E.Guard))
+        continue;
+      switch (E.K) {
+      case FlatEvent::Kind::Load: {
+        Value Addr = eval(S, E.Addr);
+        Value Loaded = Value::undef();
+        if (Addr.isPtr()) {
+          auto It = S.Memory.find(Addr);
+          if (It != S.Memory.end())
+            Loaded = It->second;
+        }
+        S.DefVals[E.Data] = Loaded;
+        S.DefKnown[E.Data] = 1;
+        break;
+      }
+      case FlatEvent::Kind::Store: {
+        Value Addr = eval(S, E.Addr);
+        if (Addr.isPtr())
+          S.Memory[Addr] = eval(S, E.Data);
+        break;
+      }
+      case FlatEvent::Kind::Fence:
+        break;
+      }
+    }
+  }
+
+  void dfs(State &S) {
+    if (Steps > Opts.MaxSteps)
+      return;
+
+    // The init thread runs to completion before anything else.
+    if (P.ThreadZeroIsInit && P.NumThreads > 0 &&
+        S.ThreadPos[0] < ThreadEvents[0].size()) {
+      State S2 = S;
+      while (S2.ThreadPos[0] < ThreadEvents[0].size())
+        executeUnit(S2, 0);
+      dfs(S2);
+      return;
+    }
+
+    bool Any = false;
+    for (int T = 0; T < P.NumThreads; ++T) {
+      if (S.ThreadPos[T] >= ThreadEvents[T].size())
+        continue;
+      Any = true;
+      State S2 = S;
+      executeUnit(S2, T);
+      dfs(S2);
+    }
+    if (!Any)
+      finalize(S);
+  }
+
+  void finalize(State &S) {
+    // Within-bounds semantics: drop executions that exceed a loop bound.
+    for (const FlatBoundMark &M : P.BoundMarks)
+      if (guardHolds(S, M.Guard))
+        return;
+
+    bool Error = false;
+    for (const FlatCheck &C : P.Checks) {
+      if (!guardHolds(S, C.Guard))
+        continue;
+      Value Cond = eval(S, C.Cond);
+      switch (C.K) {
+      case FlatCheck::Kind::Assume:
+        if (Cond.isUndef()) {
+          Error = true;
+          break;
+        }
+        if (!Cond.isTruthy())
+          return; // infeasible
+        break;
+      case FlatCheck::Kind::Assert:
+        if (Cond.isUndef() || !Cond.isTruthy())
+          Error = true;
+        break;
+      case FlatCheck::Kind::CheckAddr:
+        if (!Cond.isPtr())
+          Error = true;
+        break;
+      case FlatCheck::Kind::CheckBranch:
+      case FlatCheck::Kind::CheckDef:
+        if (Cond.isUndef())
+          Error = true;
+        break;
+      }
+    }
+
+    RefObservation Obs;
+    Obs.Error = Error;
+    for (const FlatObservation &O : P.Observations)
+      Obs.Values.push_back(eval(S, O.Val));
+    Result.insert(std::move(Obs));
+  }
+};
+
+} // namespace
+
+std::set<RefObservation> checkfence::memmodel::enumerateExecutions(
+    const FlatProgram &P, const RefOptions &Opts) {
+  Enumerator E(P, Opts);
+  return E.run();
+}

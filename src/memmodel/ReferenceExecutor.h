@@ -1,0 +1,71 @@
+//===--- ReferenceExecutor.h - explicit-state oracle ------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A brute-force interleaving enumerator over FlatPrograms, used as an
+/// independent oracle in the encoder test-suite:
+///
+///  * at \b event granularity it enumerates sequentially consistent
+///    executions (atomic blocks step as units) - feasible only for
+///    litmus-sized programs;
+///  * at \b invocation granularity it enumerates serial executions - the
+///    specification-mining semantics - which is feasible for the real
+///    tests (operation counts are small).
+///
+/// Observations collected here are compared against the SAT-based
+/// specification miner to validate the encoding end-to-end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_MEMMODEL_REFERENCEEXECUTOR_H
+#define CHECKFENCE_MEMMODEL_REFERENCEEXECUTOR_H
+
+#include "trans/FlatProgram.h"
+
+#include <set>
+#include <vector>
+
+namespace checkfence {
+namespace memmodel {
+
+/// An observation: the error flag plus the observed values in program
+/// declaration order.
+struct RefObservation {
+  bool Error = false;
+  std::vector<lsl::Value> Values;
+
+  bool operator<(const RefObservation &O) const {
+    if (Error != O.Error)
+      return Error < O.Error;
+    if (Values.size() != O.Values.size())
+      return Values.size() < O.Values.size();
+    for (size_t I = 0; I < Values.size(); ++I) {
+      if (Values[I] != O.Values[I])
+        return Values[I] < O.Values[I];
+    }
+    return false;
+  }
+  bool operator==(const RefObservation &O) const {
+    return !(*this < O) && !(O < *this);
+  }
+};
+
+struct RefOptions {
+  bool InvocationGranularity = false; ///< serial semantics when true
+  uint64_t MaxSteps = 50'000'000;     ///< exploration budget (aborts over)
+};
+
+/// Enumerates all within-bounds executions of \p P under sequential
+/// consistency (or seriality) and returns the set of observations.
+/// Executions violating an assume or exceeding a loop bound are dropped;
+/// assertion failures and undefined-value uses set the error flag.
+std::set<RefObservation> enumerateExecutions(const trans::FlatProgram &P,
+                                             const RefOptions &Opts);
+
+} // namespace memmodel
+} // namespace checkfence
+
+#endif // CHECKFENCE_MEMMODEL_REFERENCEEXECUTOR_H

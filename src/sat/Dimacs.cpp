@@ -1,0 +1,82 @@
+//===--- Dimacs.cpp - DIMACS CNF reading/writing --------------------------===//
+
+#include "sat/Dimacs.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace checkfence;
+using namespace checkfence::sat;
+
+std::string checkfence::sat::writeDimacs(const Cnf &Formula) {
+  std::string Out = formatString("p cnf %d %zu\n", Formula.NumVars,
+                                 Formula.Clauses.size());
+  for (const auto &C : Formula.Clauses) {
+    for (Lit L : C)
+      Out += formatString("%s%d ", L.negated() ? "-" : "", L.var() + 1);
+    Out += "0\n";
+  }
+  return Out;
+}
+
+bool checkfence::sat::parseDimacs(const std::string &Text, Cnf &Out) {
+  Out = Cnf();
+  size_t Pos = 0;
+  const size_t N = Text.size();
+  auto SkipWs = [&] {
+    while (Pos < N && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  };
+  auto SkipLine = [&] {
+    while (Pos < N && Text[Pos] != '\n')
+      ++Pos;
+  };
+
+  bool SawHeader = false;
+  std::vector<Lit> Cur;
+  for (;;) {
+    SkipWs();
+    if (Pos >= N)
+      break;
+    char C = Text[Pos];
+    if (C == 'c') {
+      SkipLine();
+      continue;
+    }
+    if (C == 'p') {
+      // "p cnf <vars> <clauses>"
+      SkipLine(); // values are advisory; we size from the literals
+      size_t HeaderEnd = Pos;
+      (void)HeaderEnd;
+      SawHeader = true;
+      continue;
+    }
+    // A literal.
+    char *End = nullptr;
+    long V = std::strtol(Text.c_str() + Pos, &End, 10);
+    if (End == Text.c_str() + Pos)
+      return false;
+    Pos = static_cast<size_t>(End - Text.c_str());
+    if (V == 0) {
+      Out.Clauses.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    int AbsV = static_cast<int>(V < 0 ? -V : V);
+    if (AbsV > Out.NumVars)
+      Out.NumVars = AbsV;
+    Cur.push_back(Lit::make(AbsV - 1, V < 0));
+  }
+  return SawHeader || !Out.Clauses.empty() || Out.NumVars == 0;
+}
+
+bool checkfence::sat::loadIntoSolver(const Cnf &Formula, Solver &S) {
+  while (S.numVars() < Formula.NumVars)
+    S.newVar();
+  bool Ok = true;
+  for (const auto &C : Formula.Clauses)
+    Ok = S.addClause(C) && Ok;
+  return Ok && S.okay();
+}

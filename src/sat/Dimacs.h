@@ -1,0 +1,42 @@
+//===--- Dimacs.h - DIMACS CNF reading/writing ------------------*- C++ -*-==//
+///
+/// \file
+/// Serialization of CNF formulas in DIMACS format. Useful for debugging the
+/// encoder output with external solvers and for the SAT solver test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_SAT_DIMACS_H
+#define CHECKFENCE_SAT_DIMACS_H
+
+#include "sat/Solver.h"
+
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace sat {
+
+/// A raw CNF: clause list over variables 0..NumVars-1.
+struct Cnf {
+  int NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+
+  Var addVar() { return NumVars++; }
+  void addClause(std::vector<Lit> Ls) { Clauses.push_back(std::move(Ls)); }
+};
+
+/// Renders \p Formula in DIMACS "p cnf" format.
+std::string writeDimacs(const Cnf &Formula);
+
+/// Parses DIMACS text. Returns false on malformed input.
+bool parseDimacs(const std::string &Text, Cnf &Out);
+
+/// Loads all clauses of \p Formula into \p S (creating variables as needed).
+/// Returns false if the solver became unsatisfiable during loading.
+bool loadIntoSolver(const Cnf &Formula, Solver &S);
+
+} // namespace sat
+} // namespace checkfence
+
+#endif // CHECKFENCE_SAT_DIMACS_H

@@ -1,0 +1,264 @@
+//===--- Proof.cpp - clausal proof logging and checking ---------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Proof.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace checkfence;
+using namespace checkfence::sat;
+
+std::string ProofLog::toDratText() const {
+  std::string Out;
+  for (const Event &E : Events) {
+    if (E.K == EventKind::Input)
+      continue;
+    if (E.K == EventKind::Delete)
+      Out += "d ";
+    for (Lit L : E.Clause)
+      Out += formatString("%s%d ", L.negated() ? "-" : "", L.var() + 1);
+    Out += "0\n";
+  }
+  return Out;
+}
+
+namespace {
+
+/// A minimal two-watched-literal propagation engine, independent of the
+/// solver's. Assignments live on a trail with one persistent segment
+/// (consequences of unit clauses) and a temporary segment per RUP check.
+class Propagator {
+public:
+  void ensureVar(Var V) {
+    if (V < static_cast<int>(Assigns.size()))
+      return;
+    Assigns.resize(V + 1, LBool::Undef);
+    Watches.resize(2 * (V + 1));
+  }
+
+  /// Adds a clause (assumed nonempty) and propagates any immediate unit
+  /// consequence persistently. Returns false on a permanent conflict
+  /// (the database is unsatisfiable by propagation alone). Raw input
+  /// clauses may contain duplicate literals or be tautological.
+  bool addClause(const std::vector<Lit> &Raw) {
+    std::vector<Lit> C(Raw);
+    std::sort(C.begin(), C.end());
+    C.erase(std::unique(C.begin(), C.end()), C.end());
+    for (size_t I = 0; I + 1 < C.size(); ++I)
+      if (C[I + 1] == ~C[I])
+        return true; // tautology: trivially satisfied
+    for (Lit L : C)
+      ensureVar(L.var());
+    if (C.size() == 1)
+      return enqueuePersistent(C[0]);
+    Clauses.push_back(std::move(C));
+    size_t Idx = Clauses.size() - 1;
+    // Prefer true/unassigned literals as watches so the invariant "a
+    // falsified watch triggers inspection" holds from the start.
+    std::vector<Lit> &Stored = Clauses.back();
+    auto Better = [&](Lit A, Lit B) {
+      return rank(value(A)) > rank(value(B));
+    };
+    for (int W = 0; W < 2; ++W)
+      for (size_t I = W + 1; I < Stored.size(); ++I)
+        if (Better(Stored[I], Stored[W]))
+          std::swap(Stored[I], Stored[W]);
+    Watches[code(~Stored[0])].push_back(Idx);
+    Watches[code(~Stored[1])].push_back(Idx);
+    if (value(Stored[0]) == LBool::True)
+      return true;
+    if (value(Stored[0]) == LBool::False) {
+      PermConflict = true; // every literal is false already
+      return false;
+    }
+    if (value(Stored[1]) == LBool::False)
+      return enqueuePersistent(Stored[0]); // unit under persistent units
+    return true;
+  }
+
+  /// RUP check: asserting ~L for every L in \p C must yield a conflict.
+  bool refutes(const std::vector<Lit> &C) {
+    for (Lit L : C)
+      ensureVar(L.var());
+    size_t Mark = Trail.size();
+    bool Conflict = false;
+    for (Lit L : C) {
+      if (value(L) == LBool::True) {
+        // The clause is satisfied by persistent units: vacuously implied.
+        Conflict = true;
+        break;
+      }
+      if (value(L) == LBool::False)
+        continue;
+      Assigns[L.var()] = L.negated() ? LBool::True : LBool::False;
+      Trail.push_back(~L);
+    }
+    if (!Conflict)
+      Conflict = !propagate(Mark);
+    for (size_t I = Trail.size(); I > Mark;) {
+      --I;
+      Assigns[Trail[I].var()] = LBool::Undef;
+    }
+    Trail.resize(Mark);
+    QHead = Mark;
+    return Conflict;
+  }
+
+  bool permanentConflict() const { return PermConflict; }
+
+  /// Marks the database permanently conflicting (used once the empty
+  /// clause situation arises from persistent propagation).
+  void notePermanentConflict() { PermConflict = true; }
+
+private:
+  static int code(Lit L) { return L.Code; }
+  static int rank(LBool B) {
+    if (B == LBool::True)
+      return 2;
+    return B == LBool::Undef ? 1 : 0;
+  }
+
+  LBool value(Lit L) const {
+    LBool B = Assigns[L.var()];
+    if (B == LBool::Undef)
+      return B;
+    bool T = (B == LBool::True) != L.negated();
+    return T ? LBool::True : LBool::False;
+  }
+
+  bool enqueuePersistent(Lit L) {
+    if (value(L) == LBool::True)
+      return true;
+    if (value(L) == LBool::False) {
+      PermConflict = true;
+      return false;
+    }
+    Assigns[L.var()] = L.negated() ? LBool::False : LBool::True;
+    Trail.push_back(L);
+    if (!propagate(QHead)) {
+      PermConflict = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Standard two-watch propagation from trail position \p From. Returns
+  /// false on conflict. Enqueued literals extend the current segment.
+  bool propagate(size_t From) {
+    QHead = std::max(QHead, From);
+    while (QHead < Trail.size()) {
+      Lit P = Trail[QHead++];
+      std::vector<size_t> &WList = Watches[code(P)];
+      size_t Out = 0;
+      for (size_t WI = 0; WI < WList.size(); ++WI) {
+        size_t CI = WList[WI];
+        std::vector<Lit> &C = Clauses[CI];
+        // Normalize: the falsified watch goes to slot 1.
+        if (C[0] == ~P)
+          std::swap(C[0], C[1]);
+        if (value(C[0]) == LBool::True) {
+          WList[Out++] = CI;
+          continue;
+        }
+        bool Moved = false;
+        for (size_t I = 2; I < C.size(); ++I) {
+          if (value(C[I]) != LBool::False) {
+            std::swap(C[1], C[I]);
+            Watches[code(~C[1])].push_back(CI);
+            Moved = true;
+            break;
+          }
+        }
+        if (Moved)
+          continue;
+        WList[Out++] = CI;
+        if (value(C[0]) == LBool::False) {
+          for (size_t Rest = WI + 1; Rest < WList.size(); ++Rest)
+            WList[Out++] = WList[Rest];
+          WList.resize(Out);
+          return false;
+        }
+        Assigns[C[0].var()] =
+            C[0].negated() ? LBool::False : LBool::True;
+        Trail.push_back(C[0]);
+      }
+      WList.resize(Out);
+    }
+    return true;
+  }
+
+  std::vector<LBool> Assigns;
+  std::vector<std::vector<size_t>> Watches; // indexed by Lit::Code
+  std::vector<std::vector<Lit>> Clauses;
+  std::vector<Lit> Trail;
+  size_t QHead = 0;
+  bool PermConflict = false;
+};
+
+} // namespace
+
+RupChecker::Outcome RupChecker::check(const ProofLog &Log,
+                                      bool RequireEmptyClause) {
+  Outcome Result;
+  Propagator Prop;
+  bool SawEmpty = false;
+
+  for (const ProofLog::Event &E : Log.events()) {
+    switch (E.K) {
+    case ProofLog::EventKind::Delete:
+      break; // ignored; see the file comment
+    case ProofLog::EventKind::Input:
+      if (Prop.permanentConflict())
+        break;
+      if (E.Clause.empty()) {
+        Prop.notePermanentConflict();
+        break;
+      }
+      if (!Prop.addClause(E.Clause))
+        Prop.notePermanentConflict();
+      break;
+    case ProofLog::EventKind::Derived: {
+      ++Result.CheckedDerivations;
+      if (Prop.permanentConflict()) {
+        // Everything is implied by an unsatisfiable database.
+        if (E.Clause.empty())
+          SawEmpty = true;
+        break;
+      }
+      if (E.Clause.empty()) {
+        // The empty clause: propagation alone must already conflict.
+        Result.Error = "derived empty clause without a conflict";
+        // A permanent conflict would have been flagged by addClause; an
+        // explicit re-check distinguishes "not yet propagated".
+        if (Prop.refutes(E.Clause) || Prop.permanentConflict()) {
+          Result.Error.clear();
+          SawEmpty = true;
+          Prop.notePermanentConflict();
+          break;
+        }
+        return Result;
+      }
+      if (!Prop.refutes(E.Clause)) {
+        Result.Error = formatString(
+            "derivation %zu is not RUP", Result.CheckedDerivations);
+        return Result;
+      }
+      if (!Prop.addClause(E.Clause))
+        Prop.notePermanentConflict();
+      break;
+    }
+    }
+  }
+
+  if (RequireEmptyClause && !SawEmpty && !Prop.permanentConflict()) {
+    Result.Error = "proof does not derive the empty clause";
+    return Result;
+  }
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,50 @@
+//===--- Format.cpp - printf-style formatting into std::string -----------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace checkfence;
+
+std::string checkfence::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, Args);
+  return Result;
+}
+
+std::string checkfence::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}
+
+std::string checkfence::joinStrings(const std::vector<std::string> &Parts,
+                                    const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string checkfence::replaceAll(std::string S, const std::string &From,
+                                   const std::string &To) {
+  if (From.empty())
+    return S;
+  size_t Pos = 0;
+  while ((Pos = S.find(From, Pos)) != std::string::npos) {
+    S.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return S;
+}

@@ -1,0 +1,23 @@
+//===--- SourceLoc.h - source positions for diagnostics ---------*- C++ -*-==//
+///
+/// \file
+/// A lightweight (line, column) pair used by the C frontend and carried on
+/// LSL statements so counterexample traces can point back at source lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_SUPPORT_SOURCELOC_H
+#define CHECKFENCE_SUPPORT_SOURCELOC_H
+
+namespace checkfence {
+
+struct SourceLoc {
+  int Line = 0; // 1-based; 0 means "unknown"
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+};
+
+} // namespace checkfence
+
+#endif // CHECKFENCE_SUPPORT_SOURCELOC_H

@@ -1,0 +1,6 @@
+//===--- Timing.cpp - anchor for the timing header ------------------------===//
+
+#include "support/Timing.h"
+
+// Header-only; this file exists so cf_support has at least one object per
+// translation unit group and to anchor any future out-of-line helpers.

@@ -1,0 +1,56 @@
+//===--- Timing.h - wall-clock timers for statistics ------------*- C++ -*-==//
+///
+/// \file
+/// Wall-clock timing used by the checker statistics (Fig. 10/11/12 columns).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_SUPPORT_TIMING_H
+#define CHECKFENCE_SUPPORT_TIMING_H
+
+#include <chrono>
+
+namespace checkfence {
+
+/// A simple wall-clock stopwatch. Construct to start; seconds() reads the
+/// elapsed time without stopping.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Elapsed wall-clock seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates time across several start/stop intervals (used to attribute
+/// runtime to the mining / encoding / refutation phases, Fig. 11b).
+class Stopwatch {
+public:
+  void start() { Running = Timer(); Active = true; }
+  void stop() {
+    if (Active)
+      Total += Running.seconds();
+    Active = false;
+  }
+  double seconds() const {
+    return Total + (Active ? Running.seconds() : 0.0);
+  }
+
+private:
+  Timer Running;
+  double Total = 0.0;
+  bool Active = false;
+};
+
+} // namespace checkfence
+
+#endif // CHECKFENCE_SUPPORT_TIMING_H

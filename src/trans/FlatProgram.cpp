@@ -1,0 +1,71 @@
+//===--- FlatProgram.cpp - unrolled guarded-SSA form ------------------------===//
+
+#include "trans/FlatProgram.h"
+
+#include "support/Format.h"
+
+using namespace checkfence;
+using namespace checkfence::trans;
+
+std::string FlatProgram::str() const {
+  std::string Out = formatString(
+      "flat program: %d threads, %zu defs, %zu events (%d loads, %d "
+      "stores), %zu checks, %zu obs, %zu bound marks\n",
+      NumThreads, Defs.size(), Events.size(), numLoads(), numStores(),
+      Checks.size(), Observations.size(), BoundMarks.size());
+
+  auto DefStr = [&](ValueId V) {
+    if (V == NoValue)
+      return std::string("-");
+    return formatString("v%d", V);
+  };
+
+  for (size_t I = 0; I < Defs.size(); ++I) {
+    const FlatDef &D = Defs[I];
+    Out += formatString("  v%zu = ", I);
+    switch (D.K) {
+    case FlatDef::Kind::Const:
+      Out += D.Val.str();
+      break;
+    case FlatDef::Kind::Choice: {
+      std::vector<std::string> Opts;
+      for (const lsl::Value &V : D.Options)
+        Opts.push_back(V.str());
+      Out += "choice(" + joinStrings(Opts, ", ") + ")";
+      break;
+    }
+    case FlatDef::Kind::Op: {
+      std::vector<std::string> Ops;
+      for (ValueId O : D.Operands)
+        Ops.push_back(DefStr(O));
+      if (D.Op == lsl::PrimOpKind::PtrField)
+        Ops.push_back(formatString("#%lld", static_cast<long long>(D.Imm)));
+      Out += formatString("%s(%s)", lsl::primOpName(D.Op),
+                          joinStrings(Ops, ", ").c_str());
+      break;
+    }
+    case FlatDef::Kind::LoadVal:
+      Out += formatString("loadval(event %d)", D.EventIndex);
+      break;
+    }
+    if (!D.Name.empty())
+      Out += "  ; " + D.Name;
+    Out += "\n";
+  }
+
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const FlatEvent &E = Events[I];
+    const char *KindStr = E.isLoad() ? "load" : E.isStore() ? "store"
+                                                            : "fence";
+    Out += formatString("  event %zu: t%d #%d %s", I, E.Thread,
+                        E.IndexInThread, KindStr);
+    if (E.K == FlatEvent::Kind::Fence)
+      Out += formatString(" %s", lsl::fenceKindName(E.FenceK));
+    else
+      Out += formatString(" addr=%s data=%s", DefStr(E.Addr).c_str(),
+                          DefStr(E.Data).c_str());
+    Out += formatString(" guard=%s atomic=%d inv=%d\n",
+                        DefStr(E.Guard).c_str(), E.AtomicId, E.OpInvId);
+  }
+  return Out;
+}

@@ -1,0 +1,499 @@
+//===--- Flattener.cpp - inline + unroll + SSA-convert LSL -----------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trans/Flattener.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace checkfence;
+using namespace checkfence::trans;
+
+using lsl::PrimOpKind;
+using lsl::StmtKind;
+using lsl::Value;
+
+//===----------------------------------------------------------------------===//
+// Value construction with constant folding
+//===----------------------------------------------------------------------===//
+
+ValueId Flattener::constVal(const Value &V) {
+  auto It = ConstCache.find(V);
+  if (It != ConstCache.end())
+    return It->second;
+  FlatDef D;
+  D.K = FlatDef::Kind::Const;
+  D.Val = V;
+  ValueId Id = Out.addDef(std::move(D));
+  ConstCache.emplace(V, Id);
+  return Id;
+}
+
+ValueId Flattener::opVal(PrimOpKind Op, std::vector<ValueId> Operands,
+                         int64_t Imm, const std::string &Name) {
+  // Fold when all operands are constants (LSL semantics are defined by
+  // evalPrimOp; the encoder uses the same function for its tables).
+  bool AllConst = true;
+  std::vector<Value> Vals;
+  for (ValueId O : Operands) {
+    Value V;
+    if (!Out.isConst(O, &V)) {
+      AllConst = false;
+      break;
+    }
+    Vals.push_back(V);
+  }
+  if (AllConst)
+    return constVal(lsl::evalPrimOp(Op, Vals, Imm));
+
+  FlatDef D;
+  D.K = FlatDef::Kind::Op;
+  D.Op = Op;
+  D.Operands = std::move(Operands);
+  D.Imm = Imm;
+  D.Name = Name;
+  return Out.addDef(std::move(D));
+}
+
+/// Boolean helpers. Operands must be boolean-valued (integer 0/1), which
+/// holds by construction: guards are built from truthy/and/or/not.
+ValueId Flattener::notVal(ValueId A) {
+  if (isTrue(A))
+    return falseVal();
+  if (isFalse(A))
+    return trueVal();
+  return opVal(PrimOpKind::LNot, {A}, 0);
+}
+
+ValueId Flattener::andVal(ValueId A, ValueId B) {
+  if (isTrue(A))
+    return B;
+  if (isTrue(B))
+    return A;
+  if (isFalse(A) || isFalse(B))
+    return falseVal();
+  if (A == B)
+    return A;
+  return opVal(PrimOpKind::LAnd, {A, B}, 0);
+}
+
+ValueId Flattener::orVal(ValueId A, ValueId B) {
+  if (isFalse(A))
+    return B;
+  if (isFalse(B))
+    return A;
+  if (isTrue(A) || isTrue(B))
+    return trueVal();
+  if (A == B)
+    return A;
+  return opVal(PrimOpKind::LOr, {A, B}, 0);
+}
+
+/// Coerces an arbitrary LSL value to a 0/1 boolean (undefined coerces to 0;
+/// a CheckBranch is emitted separately where the semantics require flagging
+/// undefined conditions).
+ValueId Flattener::truthyVal(ValueId A) {
+  Value V;
+  if (Out.isConst(A, &V) && !V.isUndef())
+    return V.isTruthy() ? trueVal() : falseVal();
+  return opVal(PrimOpKind::LNot, {opVal(PrimOpKind::LNot, {A}, 0)}, 0);
+}
+
+ValueId Flattener::selectVal(ValueId G, ValueId A, ValueId B) {
+  if (isTrue(G))
+    return A;
+  if (isFalse(G))
+    return B;
+  if (A == B)
+    return A;
+  return opVal(PrimOpKind::Select, {G, A, B}, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Registers and checks
+//===----------------------------------------------------------------------===//
+
+void Flattener::assignReg(Frame &F, lsl::Reg R, ValueId V) {
+  assert(R >= 0 && R < static_cast<int>(F.RegMap.size()));
+  F.RegMap[R] = selectVal(CurGuard, V, F.RegMap[R]);
+}
+
+ValueId Flattener::readReg(Frame &F, lsl::Reg R) {
+  if (R < 0 || R >= static_cast<int>(F.RegMap.size())) {
+    fail("read of invalid register");
+    return constVal(Value::undef());
+  }
+  return F.RegMap[R];
+}
+
+void Flattener::emitCheck(FlatCheck::Kind K, ValueId Cond, SourceLoc Loc) {
+  if (isFalse(CurGuard))
+    return;
+  // Statically discharge trivially-true runtime-type checks.
+  Value V;
+  if (Out.isConst(Cond, &V)) {
+    if (K == FlatCheck::Kind::CheckAddr && V.isPtr())
+      return;
+    if ((K == FlatCheck::Kind::CheckBranch ||
+         K == FlatCheck::Kind::CheckDef) &&
+        !V.isUndef())
+      return;
+    if (K == FlatCheck::Kind::Assert && !V.isUndef() && V.isTruthy())
+      return;
+    if (K == FlatCheck::Kind::Assume && !V.isUndef() && V.isTruthy())
+      return;
+  }
+  FlatCheck C;
+  C.K = K;
+  C.Guard = CurGuard;
+  C.Cond = Cond;
+  C.Thread = CurThread;
+  C.Loc = Loc;
+  Out.Checks.push_back(C);
+}
+
+void Flattener::fail(const std::string &Msg) {
+  if (ErrorMsg.empty())
+    ErrorMsg = Msg;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement walk
+//===----------------------------------------------------------------------===//
+
+bool Flattener::flattenThread(const std::string &ProcName, int ThreadIdx) {
+  const lsl::Proc *P = Prog.findProc(ProcName);
+  if (!P) {
+    fail("unknown thread procedure '" + ProcName + "'");
+    return false;
+  }
+  if (P->NumParams != 0) {
+    fail("thread procedure '" + ProcName + "' must take no parameters");
+    return false;
+  }
+  CurThread = ThreadIdx;
+  CurGuard = trueVal();
+  CurAtomic = -1;
+  CurInv = -1;
+  FrameDepth = 0;
+  RestrictDepth = 0;
+  NextEventIndexInThread = 0;
+  AccessHistoryInThread.clear();
+  CurPath = formatString("t%d", ThreadIdx);
+
+  Frame F;
+  F.P = P;
+  F.RegMap.assign(P->NumRegs, constVal(Value::undef()));
+  flattenStmts(P->Body, F);
+
+  if (ThreadIdx + 1 > Out.NumThreads)
+    Out.NumThreads = ThreadIdx + 1;
+  return ErrorMsg.empty();
+}
+
+void Flattener::flattenStmts(const std::vector<lsl::Stmt *> &Body,
+                             Frame &F) {
+  for (const lsl::Stmt *S : Body) {
+    if (!ErrorMsg.empty())
+      return;
+    flattenStmt(S, F);
+  }
+}
+
+void Flattener::flattenStmt(const lsl::Stmt *S, Frame &F) {
+  ++Out.UnrolledInstrCount;
+  switch (S->K) {
+  case StmtKind::Const:
+    assignReg(F, S->Def, constVal(S->ConstVal));
+    return;
+
+  case StmtKind::Choice: {
+    FlatDef D;
+    D.K = FlatDef::Kind::Choice;
+    D.Options = S->Choices;
+    assignReg(F, S->Def, Out.addDef(std::move(D)));
+    return;
+  }
+
+  case StmtKind::PrimOp: {
+    std::vector<ValueId> Ops;
+    for (lsl::Reg R : S->Args)
+      Ops.push_back(readReg(F, R));
+    // The paper flags uses of undefined values in computations (Sec. 3.1).
+    // Register copies are exempt: moving a dead value is not a use.
+    if (S->Op != PrimOpKind::Copy && S->Op != PrimOpKind::Select)
+      for (ValueId O : Ops)
+        emitCheck(FlatCheck::Kind::CheckDef, O, S->Loc);
+    std::string Name = F.P->regName(S->Def);
+    assignReg(F, S->Def, opVal(S->Op, std::move(Ops), S->Imm, Name));
+    return;
+  }
+
+  case StmtKind::Load: {
+    if (isFalse(CurGuard)) {
+      assignReg(F, S->Def, constVal(Value::undef()));
+      return;
+    }
+    ValueId Addr = readReg(F, S->Addr);
+    emitCheck(FlatCheck::Kind::CheckAddr, Addr, S->Loc);
+    FlatEvent E;
+    E.K = FlatEvent::Kind::Load;
+    E.Guard = CurGuard;
+    E.Addr = Addr;
+    E.Thread = CurThread;
+    E.IndexInThread = NextEventIndexInThread++;
+    E.AtomicId = CurAtomic;
+    E.OpInvId = CurInv;
+    E.Loc = S->Loc;
+    E.CallLines = CurCallLines;
+    int Idx = static_cast<int>(Out.Events.size());
+    Out.Events.push_back(E);
+    AccessHistoryInThread.push_back(Idx);
+    FlatDef D;
+    D.K = FlatDef::Kind::LoadVal;
+    D.EventIndex = Idx;
+    D.Name = F.P->regName(S->Def);
+    ValueId LoadVal = Out.addDef(std::move(D));
+    Out.Events[Idx].Data = LoadVal;
+    assignReg(F, S->Def, LoadVal);
+    return;
+  }
+
+  case StmtKind::Store: {
+    if (isFalse(CurGuard))
+      return;
+    ValueId Addr = readReg(F, S->Addr);
+    ValueId Data = readReg(F, S->Args[0]);
+    emitCheck(FlatCheck::Kind::CheckAddr, Addr, S->Loc);
+    FlatEvent E;
+    E.K = FlatEvent::Kind::Store;
+    E.Guard = CurGuard;
+    E.Addr = Addr;
+    E.Data = Data;
+    E.Thread = CurThread;
+    E.IndexInThread = NextEventIndexInThread++;
+    E.AtomicId = CurAtomic;
+    E.OpInvId = CurInv;
+    E.Loc = S->Loc;
+    E.CallLines = CurCallLines;
+    AccessHistoryInThread.push_back(
+        static_cast<int>(Out.Events.size()));
+    Out.Events.push_back(E);
+    return;
+  }
+
+  case StmtKind::Fence: {
+    if (isFalse(CurGuard))
+      return;
+    FlatEvent E;
+    E.K = FlatEvent::Kind::Fence;
+    E.FenceK = S->FenceK;
+    E.Guard = CurGuard;
+    E.Thread = CurThread;
+    E.IndexInThread = NextEventIndexInThread++;
+    E.AtomicId = CurAtomic;
+    E.OpInvId = CurInv;
+    E.Loc = S->Loc;
+    E.CallLines = CurCallLines;
+    Out.Events.push_back(E);
+    return;
+  }
+
+  case StmtKind::Atomic: {
+    if (CurAtomic != -1) {
+      fail("nested atomic blocks are not supported");
+      return;
+    }
+    CurAtomic = Out.NumAtomicInstances++;
+    flattenStmts(S->Body, F);
+    CurAtomic = -1;
+    return;
+  }
+
+  case StmtKind::Block:
+    flattenBlock(S, F);
+    return;
+
+  case StmtKind::Break:
+  case StmtKind::Continue: {
+    ValueId Cond = readReg(F, S->Cond);
+    emitCheck(FlatCheck::Kind::CheckBranch, Cond, S->Loc);
+    ValueId Taken = andVal(CurGuard, truthyVal(Cond));
+    // Find the innermost enclosing block of this frame with the target tag.
+    BlockCtx *Ctx = nullptr;
+    for (size_t I = BlockStack.size(); I > 0; --I) {
+      BlockCtx &C = BlockStack[I - 1];
+      if (C.F == &F && C.Tag == S->TargetTag) {
+        Ctx = &C;
+        break;
+      }
+    }
+    if (!Ctx) {
+      fail(formatString("break/continue target t%d not in scope",
+                        S->TargetTag));
+      return;
+    }
+    if (S->K == StmtKind::Break)
+      Ctx->BreakAccum = orVal(Ctx->BreakAccum, Taken);
+    else
+      Ctx->ContinueAccum = orVal(Ctx->ContinueAccum, Taken);
+    CurGuard = andVal(CurGuard, notVal(truthyVal(Cond)));
+    return;
+  }
+
+  case StmtKind::Assert:
+    emitCheck(FlatCheck::Kind::Assert, readReg(F, S->Cond), S->Loc);
+    return;
+
+  case StmtKind::Assume:
+    emitCheck(FlatCheck::Kind::Assume, readReg(F, S->Cond), S->Loc);
+    return;
+
+  case StmtKind::Observe: {
+    FlatObservation O;
+    O.Val = readReg(F, S->Args[0]);
+    O.OpInvId = CurInv;
+    O.Label = S->Callee; // label hint reuses the Callee slot
+    Out.Observations.push_back(O);
+    return;
+  }
+
+  case StmtKind::Alloc: {
+    uint32_t Base = Prog.heapBase() + static_cast<uint32_t>(AllocCounter++);
+    assignReg(F, S->Def, constVal(Value::pointer({Base})));
+    return;
+  }
+
+  case StmtKind::Commit: {
+    if (isFalse(CurGuard))
+      return;
+    FlatCommitMark M;
+    M.Guard = CurGuard;
+    M.OpInvId = CurInv;
+    size_t Back = static_cast<size_t>(S->Imm);
+    M.PrecedingEvent =
+        Back < AccessHistoryInThread.size()
+            ? AccessHistoryInThread[AccessHistoryInThread.size() - 1 - Back]
+            : -1;
+    M.Thread = CurThread;
+    M.Loc = S->Loc;
+    Out.CommitMarks.push_back(M);
+    return;
+  }
+
+  case StmtKind::Call:
+    flattenCall(S, F);
+    return;
+  }
+}
+
+void Flattener::flattenBlock(const lsl::Stmt *S, Frame &F) {
+  std::string Key =
+      CurPath + formatString("/b%d@%d", S->BlockTag, S->Loc.Line);
+
+  // Determine whether this block can repeat at all (contains a continue
+  // targeting it); plain blocks take a single pass and no bound key.
+  int Bound = 1;
+  bool Restricted = RestrictDepth > 0;
+  auto It = Bounds.find(Key);
+  if (It != Bounds.end())
+    Bound = It->second;
+  if (Restricted)
+    Bound = 1;
+
+  ValueId EntryGuard = CurGuard;
+  (void)EntryGuard;
+  BlockStack.push_back(BlockCtx{&F, S->BlockTag, falseVal(), falseVal()});
+  size_t CtxIdx = BlockStack.size() - 1;
+
+  ValueId ExitAccum = falseVal();
+  ValueId IterGuard = CurGuard;
+  std::string SavedPath = CurPath;
+  for (int I = 0; I < Bound; ++I) {
+    if (isFalse(IterGuard))
+      break;
+    BlockStack[CtxIdx].ContinueAccum = falseVal();
+    CurGuard = IterGuard;
+    CurPath = SavedPath + formatString("/b%d.i%d", S->BlockTag, I);
+    flattenStmts(S->Body, F);
+    ExitAccum = orVal(ExitAccum, CurGuard);
+    IterGuard = BlockStack[CtxIdx].ContinueAccum;
+  }
+  CurPath = SavedPath;
+
+  // IterGuard now holds the guard of "continued out of the last unrolled
+  // copy", i.e. the execution exceeds the current bound.
+  if (!isFalse(IterGuard)) {
+    FlatBoundMark M;
+    M.Guard = IterGuard;
+    M.LoopKey = Key;
+    M.Restricted = Restricted;
+    M.Thread = CurThread;
+    M.Loc = S->Loc;
+    Out.BoundMarks.push_back(M);
+  }
+
+  ExitAccum = orVal(ExitAccum, BlockStack[CtxIdx].BreakAccum);
+  BlockStack.pop_back();
+  CurGuard = ExitAccum;
+}
+
+void Flattener::flattenCall(const lsl::Stmt *S, Frame &F) {
+  const lsl::Proc *Callee = Prog.findProc(S->Callee);
+  if (!Callee) {
+    fail("call to unknown procedure '" + S->Callee + "'");
+    return;
+  }
+  if (FrameDepth > 64) {
+    fail("call nesting too deep (recursion is not supported)");
+    return;
+  }
+  if (static_cast<int>(S->Args.size()) != Callee->NumParams) {
+    fail("arity mismatch calling '" + S->Callee + "'");
+    return;
+  }
+
+  bool TopLevel = FrameDepth == 0;
+  int SavedInv = CurInv;
+  if (TopLevel) {
+    CurInv = static_cast<int>(Out.OpInvocations.size());
+    FlatOpInvocation Inv;
+    Inv.Id = CurInv;
+    Inv.Thread = CurThread;
+    Inv.Name = S->Callee;
+    Out.OpInvocations.push_back(Inv);
+  }
+  bool Restrict = S->Imm == 1; // primed (no-retry) invocation
+  if (Restrict)
+    ++RestrictDepth;
+
+  Frame NF;
+  NF.P = Callee;
+  NF.RegMap.assign(Callee->NumRegs, constVal(Value::undef()));
+  for (int I = 0; I < Callee->NumParams; ++I)
+    NF.RegMap[I] = readReg(F, S->Args[I]);
+
+  std::string SavedPath = CurPath;
+  CurPath += formatString("/%s@%d", S->Callee.c_str(), S->Loc.Line);
+  CurCallLines.push_back(S->Loc.Line);
+  ++FrameDepth;
+  flattenStmts(Callee->Body, NF);
+  --FrameDepth;
+  CurCallLines.pop_back();
+  CurPath = SavedPath;
+
+  if (S->Rets.size() > Callee->RetRegs.size()) {
+    fail("return-arity mismatch calling '" + S->Callee + "'");
+    return;
+  }
+  for (size_t I = 0; I < S->Rets.size(); ++I)
+    assignReg(F, S->Rets[I], NF.RegMap[Callee->RetRegs[I]]);
+
+  if (Restrict)
+    --RestrictDepth;
+  CurInv = SavedInv;
+}

@@ -1,0 +1,110 @@
+//===--- Flattener.h - inline + unroll + SSA-convert LSL --------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transforms LSL thread procedures into a FlatProgram (Sec. 3.2): inlines
+/// all calls, unrolls labeled blocks up to per-loop-instance bounds, turns
+/// control flow into guard expressions, and renames registers into SSA form
+/// with explicit Select (mux) chains.
+///
+/// Loop instances are identified by stable string keys built from the call
+/// path, so the lazy unrolling driver (Sec. 3.3) can grow exactly the bound
+/// of the loop instance that was exceeded and re-flatten.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_TRANS_FLATTENER_H
+#define CHECKFENCE_TRANS_FLATTENER_H
+
+#include "lsl/Program.h"
+#include "trans/FlatProgram.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace trans {
+
+/// Per-loop-instance unroll bounds, keyed by the stable loop key.
+/// Missing entries default to 1 (paper: "for the first run, we unroll each
+/// loop exactly once").
+using LoopBounds = std::map<std::string, int>;
+
+class Flattener {
+public:
+  Flattener(const lsl::Program &Prog, FlatProgram &Out,
+            const LoopBounds &Bounds)
+      : Prog(Prog), Out(Out), Bounds(Bounds) {}
+
+  /// Flattens the body of procedure \p ProcName as thread \p ThreadIdx.
+  /// Returns false (with an error message available via error()) on
+  /// malformed input (unknown procedure, recursion, bad registers).
+  bool flattenThread(const std::string &ProcName, int ThreadIdx);
+
+  const std::string &error() const { return ErrorMsg; }
+
+private:
+  struct Frame {
+    const lsl::Proc *P = nullptr;
+    std::vector<ValueId> RegMap;
+  };
+
+  struct BlockCtx {
+    const Frame *F = nullptr;
+    int Tag = -1;
+    ValueId BreakAccum = NoValue;
+    ValueId ContinueAccum = NoValue;
+  };
+
+  // Value construction with constant folding / dedup.
+  ValueId constVal(const lsl::Value &V);
+  ValueId trueVal() { return constVal(lsl::Value::integer(1)); }
+  ValueId falseVal() { return constVal(lsl::Value::integer(0)); }
+  bool isTrue(ValueId V) const { return Out.isConstInt(V, 1); }
+  bool isFalse(ValueId V) const { return Out.isConstInt(V, 0); }
+  ValueId opVal(lsl::PrimOpKind Op, std::vector<ValueId> Operands,
+                int64_t Imm, const std::string &Name = "");
+  ValueId notVal(ValueId A);
+  ValueId andVal(ValueId A, ValueId B);
+  ValueId orVal(ValueId A, ValueId B);
+  ValueId truthyVal(ValueId A);
+  ValueId selectVal(ValueId G, ValueId A, ValueId B);
+
+  // Statement walk.
+  void flattenStmts(const std::vector<lsl::Stmt *> &Body, Frame &F);
+  void flattenStmt(const lsl::Stmt *S, Frame &F);
+  void flattenBlock(const lsl::Stmt *S, Frame &F);
+  void flattenCall(const lsl::Stmt *S, Frame &F);
+  void assignReg(Frame &F, lsl::Reg R, ValueId V);
+  ValueId readReg(Frame &F, lsl::Reg R);
+  void emitCheck(FlatCheck::Kind K, ValueId Cond, SourceLoc Loc);
+  void fail(const std::string &Msg);
+
+  const lsl::Program &Prog;
+  FlatProgram &Out;
+  const LoopBounds &Bounds;
+
+  std::map<lsl::Value, ValueId> ConstCache;
+  std::vector<BlockCtx> BlockStack;
+  ValueId CurGuard = NoValue;
+  int CurThread = 0;
+  int CurAtomic = -1;
+  int CurInv = -1;
+  int FrameDepth = 0;
+  int RestrictDepth = 0;
+  int NextEventIndexInThread = 0;
+  std::vector<int> AccessHistoryInThread;
+  int AllocCounter = 0;
+  std::string CurPath;
+  std::vector<int> CurCallLines; ///< inline stack, outermost call first
+  std::string ErrorMsg;
+};
+
+} // namespace trans
+} // namespace checkfence
+
+#endif // CHECKFENCE_TRANS_FLATTENER_H

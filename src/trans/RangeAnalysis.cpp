@@ -1,0 +1,337 @@
+//===--- RangeAnalysis.cpp - flow-insensitive value-set analysis ----------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trans/RangeAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace checkfence;
+using namespace checkfence::trans;
+
+using lsl::Value;
+
+int RangeInfo::bitsFor(uint64_t MaxValue) {
+  int Bits = 1;
+  while ((MaxValue >> Bits) != 0)
+    ++Bits;
+  return Bits;
+}
+
+int RangeInfo::intBitsFor(const ValueSet &S, const RangeOptions &Opts) const {
+  if (S.Top)
+    return Opts.TopIntBits;
+  uint64_t Max = 0;
+  for (const Value &V : S.Values)
+    if (V.isInt() && V.intValue() > 0)
+      Max = std::max(Max, static_cast<uint64_t>(V.intValue()));
+  return bitsFor(Max);
+}
+
+namespace {
+
+/// Whether an operation can generate genuinely new values from its inputs
+/// without bound ("assignments that have unbounded range" in Sec. 3.4).
+/// Values are tagged with the number of such operations they traversed;
+/// a value that traverses more of them than exist in the unrolled program
+/// must have cycled through a spurious flow-insensitive loop and is
+/// discarded - every unrolled instruction executes at most once.
+bool isExpandingOp(lsl::PrimOpKind K) {
+  switch (K) {
+  case lsl::PrimOpKind::Add:
+  case lsl::PrimOpKind::Sub:
+  case lsl::PrimOpKind::Mul:
+  case lsl::PrimOpKind::Shl:
+  case lsl::PrimOpKind::PtrField:
+  case lsl::PrimOpKind::PtrIndex:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// A value set where every member carries the traversal tag (minimum over
+/// all ways the value was derived).
+struct TaggedSet {
+  bool Top = false;
+  std::map<Value, int> Values; // value -> min tag
+
+  /// Returns true if the set changed.
+  bool insert(const Value &V, int Tag, size_t Cap) {
+    if (Top)
+      return false;
+    auto It = Values.find(V);
+    if (It != Values.end()) {
+      if (Tag >= It->second)
+        return false;
+      It->second = Tag;
+      return true;
+    }
+    if (Values.size() >= Cap) {
+      Top = true;
+      Values.clear();
+      return true;
+    }
+    Values.emplace(V, Tag);
+    return true;
+  }
+
+  bool widenToTop() {
+    if (Top)
+      return false;
+    Top = true;
+    Values.clear();
+    return true;
+  }
+};
+
+/// Fixpoint engine. Cells are discovered on the fly: any pointer value in
+/// a load/store address set becomes a memory location.
+class Analyzer {
+public:
+  Analyzer(const FlatProgram &P, const RangeOptions &Opts)
+      : P(P), Opts(Opts) {
+    DefSets.resize(P.Defs.size());
+    for (const FlatDef &D : P.Defs)
+      if (D.K == FlatDef::Kind::Op && isExpandingOp(D.Op))
+        ++NumExpandingOps;
+  }
+
+  RangeInfo run() {
+    bool Changed = true;
+    // The tag mechanism makes the lattice finite, so the fixpoint
+    // terminates; MaxPasses is a safety net only.
+    int Pass = 0;
+    int Budget = std::max(Opts.MaxPasses, NumExpandingOps + 8);
+    while (Changed && Pass++ < Budget) {
+      Changed = false;
+      for (size_t I = 0; I < P.Defs.size(); ++I)
+        Changed |= updateDef(static_cast<ValueId>(I));
+      for (const FlatEvent &E : P.Events)
+        if (E.isStore())
+          Changed |= updateStore(E);
+    }
+    if (Pass >= Budget)
+      for (TaggedSet &S : DefSets)
+        S.widenToTop();
+    finalize();
+    return std::move(Info);
+  }
+
+private:
+  const FlatProgram &P;
+  const RangeOptions &Opts;
+  RangeInfo Info;
+  std::vector<TaggedSet> DefSets;
+  std::map<Value, TaggedSet> CellSets;
+  std::set<Value> CellUniverse; // all dereferenced pointer values
+  int NumExpandingOps = 0;
+
+  bool mergeInto(TaggedSet &Dst, const TaggedSet &Src) {
+    if (Src.Top)
+      return Dst.widenToTop();
+    bool Changed = false;
+    for (const auto &[V, Tag] : Src.Values)
+      Changed |= Dst.insert(V, Tag, Opts.SetCap);
+    return Changed;
+  }
+
+  /// Registers the pointer members of an address set as memory cells.
+  bool registerCells(const TaggedSet &AddrSet) {
+    if (AddrSet.Top)
+      return false;
+    bool Changed = false;
+    for (const auto &[V, Tag] : AddrSet.Values)
+      if (V.isPtr())
+        Changed |= CellUniverse.insert(V).second;
+    return Changed;
+  }
+
+  bool updateDef(ValueId Id) {
+    const FlatDef &D = P.Defs[Id];
+    TaggedSet &S = DefSets[Id];
+    if (S.Top)
+      return false;
+    bool Changed = false;
+    switch (D.K) {
+    case FlatDef::Kind::Const:
+      Changed |= S.insert(D.Val, 0, Opts.SetCap);
+      break;
+    case FlatDef::Kind::Choice:
+      for (const Value &V : D.Options)
+        Changed |= S.insert(V, 0, Opts.SetCap);
+      break;
+    case FlatDef::Kind::Op:
+      Changed |= applyOp(D, S);
+      break;
+    case FlatDef::Kind::LoadVal: {
+      const FlatEvent &E = P.Events[D.EventIndex];
+      const TaggedSet &AddrSet = DefSets[E.Addr];
+      // A load may observe the initial (undefined) contents.
+      Changed |= S.insert(Value::undef(), 0, Opts.SetCap);
+      if (AddrSet.Top) {
+        Changed |= S.widenToTop();
+        break;
+      }
+      Changed |= registerCells(AddrSet);
+      for (const auto &[A, Tag] : AddrSet.Values) {
+        if (!A.isPtr())
+          continue;
+        auto It = CellSets.find(A);
+        if (It != CellSets.end())
+          Changed |= mergeInto(S, It->second);
+      }
+      break;
+    }
+    }
+    return Changed;
+  }
+
+  bool applyOp(const FlatDef &D, TaggedSet &S) {
+    // Product application of evalPrimOp over small operand sets.
+    int TagBump = isExpandingOp(D.Op) ? 1 : 0;
+    std::vector<const TaggedSet *> Ops;
+    size_t Product = 1;
+    for (ValueId O : D.Operands) {
+      const TaggedSet *OS = &DefSets[O];
+      if (OS->Top)
+        return S.widenToTop();
+      if (OS->Values.empty())
+        return false; // operand not yet populated
+      Ops.push_back(OS);
+      Product *= OS->Values.size();
+      if (Product > 4096)
+        return S.widenToTop();
+    }
+    bool Changed = false;
+    std::vector<std::map<Value, int>::const_iterator> Iter(Ops.size());
+    for (size_t I = 0; I < Ops.size(); ++I)
+      Iter[I] = Ops[I]->Values.begin();
+    std::vector<Value> Args(Ops.size());
+    for (;;) {
+      int Tag = TagBump;
+      for (size_t I = 0; I < Ops.size(); ++I) {
+        Args[I] = Iter[I]->first;
+        Tag = std::max(Tag, Iter[I]->second + TagBump);
+      }
+      // Discard values that traversed more expanding operations than the
+      // program contains (Sec. 3.4 termination mechanism).
+      if (Tag <= NumExpandingOps) {
+        Changed |= S.insert(lsl::evalPrimOp(D.Op, Args, D.Imm), Tag,
+                            Opts.SetCap);
+        if (S.Top)
+          return Changed;
+      }
+      // Advance the odometer.
+      size_t I = 0;
+      for (; I < Ops.size(); ++I) {
+        if (++Iter[I] != Ops[I]->Values.end())
+          break;
+        Iter[I] = Ops[I]->Values.begin();
+      }
+      if (I == Ops.size())
+        break;
+    }
+    return Changed;
+  }
+
+  bool updateStore(const FlatEvent &E) {
+    const TaggedSet &AddrSet = DefSets[E.Addr];
+    const TaggedSet &DataSet = DefSets[E.Data];
+    bool Changed = registerCells(AddrSet);
+    if (AddrSet.Top) {
+      // Unknown target: every known cell may receive the data.
+      for (const Value &Cell : CellUniverse)
+        Changed |= mergeInto(CellSets[Cell], DataSet);
+      return Changed;
+    }
+    for (const auto &[A, Tag] : AddrSet.Values) {
+      if (!A.isPtr())
+        continue;
+      Changed |= mergeInto(CellSets[A], DataSet);
+    }
+    return Changed;
+  }
+
+  void finalize() {
+    // Strip tags into the public interface.
+    Info.DefSets.resize(P.Defs.size());
+    for (size_t I = 0; I < DefSets.size(); ++I) {
+      Info.DefSets[I].Top = DefSets[I].Top;
+      for (const auto &[V, Tag] : DefSets[I].Values)
+        Info.DefSets[I].Values.insert(V);
+    }
+
+    // Pointer universe: every pointer value in any def set or cell content.
+    std::set<Value> Universe(CellUniverse.begin(), CellUniverse.end());
+    auto Collect = [&](const TaggedSet &S) {
+      if (S.Top)
+        return;
+      for (const auto &[V, Tag] : S.Values)
+        if (V.isPtr())
+          Universe.insert(V);
+    };
+    for (const TaggedSet &S : DefSets)
+      Collect(S);
+    for (const auto &[Cell, Set] : CellSets)
+      Collect(Set);
+
+    for (const Value &V : Universe) {
+      Info.UniverseIndexMap[V] =
+          static_cast<int>(Info.PointerUniverse.size());
+      Info.PointerUniverse.push_back(V);
+    }
+    for (const Value &V : CellUniverse) {
+      Info.CellIndexMap[V] = static_cast<int>(Info.Cells.size());
+      Info.Cells.push_back(V);
+    }
+
+    // Per-event candidate cells.
+    Info.EventCells.resize(P.Events.size());
+    for (size_t I = 0; I < P.Events.size(); ++I) {
+      const FlatEvent &E = P.Events[I];
+      if (!E.isAccess())
+        continue;
+      const ValueSet &AddrSet = Info.DefSets[E.Addr];
+      std::vector<int> &Cand = Info.EventCells[I];
+      if (AddrSet.Top) {
+        for (size_t C = 0; C < Info.Cells.size(); ++C)
+          Cand.push_back(static_cast<int>(C));
+        continue;
+      }
+      for (const Value &A : AddrSet.Values) {
+        if (!A.isPtr())
+          continue;
+        int Idx = Info.cellIndex(A);
+        assert(Idx >= 0 && "dereferenced cell missing from universe");
+        Cand.push_back(Idx);
+      }
+      std::sort(Cand.begin(), Cand.end());
+    }
+
+    // Global integer width.
+    int Bits = 1;
+    for (const ValueSet &S : Info.DefSets) {
+      if (S.Top) {
+        Bits = std::max(Bits, Opts.TopIntBits);
+        continue;
+      }
+      for (const Value &V : S.Values)
+        if (V.isInt() && V.intValue() > 0)
+          Bits = std::max(Bits, RangeInfo::bitsFor(
+                                    static_cast<uint64_t>(V.intValue())));
+    }
+    Info.GlobalIntBits = Bits;
+  }
+};
+
+} // namespace
+
+RangeInfo checkfence::trans::analyzeRanges(const FlatProgram &P,
+                                           const RangeOptions &Opts) {
+  Analyzer A(P, Opts);
+  return A.run();
+}

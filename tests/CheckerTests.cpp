@@ -1,0 +1,170 @@
+//===--- CheckerTests.cpp - end-to-end pipeline tests ----------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lowering.h"
+#include "harness/Catalog.h"
+#include "impls/Impls.h"
+#include "memmodel/ReferenceExecutor.h"
+
+#include "gtest/gtest.h"
+
+using namespace checkfence;
+using namespace checkfence::checker;
+using namespace checkfence::harness;
+
+namespace {
+
+RunOptions relaxedOpts() {
+  RunOptions O;
+  O.Check.Model = memmodel::ModelKind::Relaxed;
+  return O;
+}
+
+RunOptions scOpts() {
+  RunOptions O;
+  O.Check.Model = memmodel::ModelKind::SeqConsistency;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Reference implementations against themselves (sanity).
+//===----------------------------------------------------------------------===//
+
+TEST(RefImpls, QueueSpecOnT0) {
+  // For T0 = (e | d): X in {EMPTY, A} -> spec has exactly the serial
+  // observations: A in {0,1}, X in {2, A}.
+  CheckResult R = runTest(impls::referenceFor("queue"), testByName("T0"),
+                          scOpts());
+  ASSERT_EQ(R.Status, CheckStatus::Pass) << R.Message;
+  // Observations: (A, X): (0,2), (0,0), (1,2), (1,1).
+  EXPECT_EQ(R.Spec.size(), 4u);
+  for (const Observation &O : R.Spec) {
+    ASSERT_EQ(O.Values.size(), 2u);
+    ASSERT_TRUE(O.Values[0].isInt());
+    ASSERT_TRUE(O.Values[1].isInt());
+    int64_t A = O.Values[0].intValue();
+    int64_t X = O.Values[1].intValue();
+    EXPECT_TRUE(X == 2 || X == A);
+  }
+}
+
+TEST(RefImpls, SetSpecOnSac) {
+  // Sac = (a | c): add(v1) in thread 1, contains(v2) in thread 2.
+  CheckResult R = runTest(impls::referenceFor("set"), testByName("Sac"),
+                          scOpts());
+  ASSERT_EQ(R.Status, CheckStatus::Pass) << R.Message;
+  for (const Observation &O : R.Spec) {
+    ASSERT_EQ(O.Values.size(), 4u); // a-arg, a-ret, c-arg, c-ret
+    int64_t AddArg = O.Values[0].intValue();
+    int64_t AddRet = O.Values[1].intValue();
+    int64_t CArg = O.Values[2].intValue();
+    int64_t CRet = O.Values[3].intValue();
+    EXPECT_EQ(AddRet, 1); // fresh set: add always succeeds
+    if (CArg != AddArg)
+      EXPECT_EQ(CRet, 0); // other key never present
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-validation: SAT-based serial mining vs explicit-state enumeration.
+//===----------------------------------------------------------------------===//
+
+void crossValidateSpec(const std::string &Source, const std::string &Test) {
+  frontend::DiagEngine Diags;
+  lsl::Program Prog;
+  ASSERT_TRUE(frontend::compileC(Source, {}, Prog, Diags))
+      << Diags.str();
+  TestSpec Spec = testByName(Test);
+  std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
+
+  // SAT-based mining.
+  ProblemConfig Cfg;
+  Cfg.Model = memmodel::ModelKind::Serial;
+  EncodedProblem Prob(Prog, Threads, {}, Cfg);
+  ASSERT_TRUE(Prob.ok()) << Prob.error();
+  MiningOutcome Mined = mineSpecification(Prob);
+  ASSERT_TRUE(Mined.Ok) << Mined.Error;
+  ASSERT_FALSE(Mined.SequentialBug);
+
+  // Explicit-state enumeration of the same flat program.
+  memmodel::RefOptions RO;
+  RO.InvocationGranularity = true;
+  auto RefSet = memmodel::enumerateExecutions(Prob.flat(), RO);
+
+  std::set<Observation> RefObs;
+  for (const memmodel::RefObservation &O : RefSet) {
+    Observation C;
+    C.Error = O.Error;
+    C.Values = O.Values;
+    RefObs.insert(C);
+  }
+  EXPECT_EQ(Mined.Spec, RefObs)
+      << "mined " << Mined.Spec.size() << " vs enumerated "
+      << RefObs.size();
+}
+
+TEST(CrossValidation, RefQueueT0) {
+  crossValidateSpec(impls::referenceFor("queue"), "T0");
+}
+
+TEST(CrossValidation, RefQueueTi2) {
+  crossValidateSpec(impls::referenceFor("queue"), "Ti2");
+}
+
+TEST(CrossValidation, RefSetSacr) {
+  crossValidateSpec(impls::referenceFor("set"), "Sacr");
+}
+
+TEST(CrossValidation, RefDequeD0) {
+  crossValidateSpec(impls::referenceFor("deque"), "D0");
+}
+
+TEST(CrossValidation, MsnQueueT0) {
+  crossValidateSpec(impls::sourceFor("msn"), "T0");
+}
+
+//===----------------------------------------------------------------------===//
+// The headline results (Sec. 4) on the smallest tests.
+//===----------------------------------------------------------------------===//
+
+TEST(EndToEnd, MsnPassesT0OnRelaxedWithFences) {
+  CheckResult R =
+      runTest(impls::sourceFor("msn"), testByName("T0"), relaxedOpts());
+  EXPECT_EQ(R.Status, CheckStatus::Pass) << R.Message;
+}
+
+TEST(EndToEnd, MsnFailsT0OnRelaxedWithoutFences) {
+  RunOptions O = relaxedOpts();
+  O.StripFences = true;
+  CheckResult R = runTest(impls::sourceFor("msn"), testByName("T0"), O);
+  EXPECT_EQ(R.Status, CheckStatus::Fail) << R.Message;
+  ASSERT_TRUE(R.Counterexample.has_value());
+}
+
+TEST(EndToEnd, MsnPassesT0OnSCWithoutFences) {
+  // The unfenced algorithm is correct under sequential consistency.
+  RunOptions O = scOpts();
+  O.StripFences = true;
+  CheckResult R = runTest(impls::sourceFor("msn"), testByName("T0"), O);
+  EXPECT_EQ(R.Status, CheckStatus::Pass) << R.Message;
+}
+
+TEST(EndToEnd, LazylistBugFoundOnSac) {
+  RunOptions O = scOpts();
+  O.Defines = {"LAZYLIST_INIT_BUG"};
+  CheckResult R =
+      runTest(impls::sourceFor("lazylist"), testByName("Sac"), O);
+  EXPECT_EQ(R.Status, CheckStatus::SequentialBug) << R.Message;
+  ASSERT_TRUE(R.Counterexample.has_value());
+}
+
+TEST(EndToEnd, LazylistPassesSacOnRelaxedWithFences) {
+  CheckResult R = runTest(impls::sourceFor("lazylist"), testByName("Sac"),
+                          relaxedOpts());
+  EXPECT_EQ(R.Status, CheckStatus::Pass) << R.Message;
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+//===--- FenceSynthTests.cpp - automatic fence placement --------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// The synthesizer automates the Sec. 4.2 workflow: starting from the
+// fence-stripped implementations it must rediscover a sufficient and
+// 1-minimal fence placement on the relaxed models, refuse to "fix"
+// algorithmic bugs (snark) or sequential bugs (lazylist's missing
+// initialization), and adapt the fence kinds to the target model (PSO
+// needs no load-load fences, TSO needs none at all).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FenceSynth.h"
+#include "frontend/Lowering.h"
+#include "impls/Impls.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace checkfence;
+using namespace checkfence::harness;
+
+namespace {
+
+constexpr auto SC = memmodel::ModelKind::SeqConsistency;
+constexpr auto TSO = memmodel::ModelKind::TSO;
+constexpr auto PSO = memmodel::ModelKind::PSO;
+constexpr auto RLX = memmodel::ModelKind::Relaxed;
+
+int lineCount(const std::string &S) {
+  return static_cast<int>(std::count(S.begin(), S.end(), '\n'));
+}
+
+/// Synthesis options whose eligible region excludes the shared prelude
+/// (fences belong in the implementation, not inside cas/lock builtins).
+SynthOptions implRegionOptions(memmodel::ModelKind Model) {
+  SynthOptions O;
+  O.Check.Model = Model;
+  O.MinLine = lineCount(impls::preludeSource()) + 1;
+  return O;
+}
+
+std::string describe(const SynthResult &R) {
+  std::string S = R.Message + "\n";
+  for (const std::string &L : R.Log)
+    S += "  " + L + "\n";
+  for (const FencePlacement &P : R.Fences)
+    S += "  + " + placementStr(P) + "\n";
+  return S;
+}
+
+TEST(FenceSynth, RepairsMsnOnRelaxed) {
+  SynthOptions O = implRegionOptions(RLX);
+  SynthResult R = synthesizeFences(impls::sourceFor("msn"),
+                                   {testByName("T0")}, O);
+  ASSERT_TRUE(R.Success) << describe(R);
+  // T0 needs at least the publication fence and a dependent-load fence.
+  EXPECT_GE(R.Fences.size(), 2u) << describe(R);
+  // Sec. 4.2: only load-load and store-store fences are needed by the
+  // studied algorithms; the synthesizer may additionally place store-load
+  // fences to defeat forwarding, but never needs load-store.
+  for (const FencePlacement &P : R.Fences)
+    EXPECT_NE(P.Kind, lsl::FenceKind::LoadStore) << placementStr(P);
+  // Every fence is inside the implementation region.
+  for (const FencePlacement &P : R.Fences)
+    EXPECT_GE(P.Line, O.MinLine) << placementStr(P);
+}
+
+TEST(FenceSynth, RepairsMs2OnRelaxed) {
+  SynthOptions O = implRegionOptions(RLX);
+  SynthResult R = synthesizeFences(impls::sourceFor("ms2"),
+                                   {testByName("T0")}, O);
+  ASSERT_TRUE(R.Success) << describe(R);
+  EXPECT_GE(R.Fences.size(), 1u) << describe(R);
+}
+
+TEST(FenceSynth, PsoNeedsNoLoadLoadFences) {
+  // PSO preserves load-load and load-store order, so repairs can only
+  // involve store-store (publication) and store-load (forwarding) fences.
+  SynthOptions O = implRegionOptions(PSO);
+  SynthResult R = synthesizeFences(impls::sourceFor("msn"),
+                                   {testByName("T0")}, O);
+  ASSERT_TRUE(R.Success) << describe(R);
+  EXPECT_GE(R.Fences.size(), 1u) << describe(R);
+  for (const FencePlacement &P : R.Fences) {
+    EXPECT_NE(P.Kind, lsl::FenceKind::LoadLoad) << placementStr(P);
+    EXPECT_NE(P.Kind, lsl::FenceKind::LoadStore) << placementStr(P);
+  }
+}
+
+TEST(FenceSynth, TsoNeedsNothing) {
+  // The paper's Sec. 4.2 observation, as seen by the synthesizer: the
+  // unfenced queue is already correct on TSO.
+  SynthOptions O = implRegionOptions(TSO);
+  SynthResult R = synthesizeFences(impls::sourceFor("msn"),
+                                   {testByName("T0")}, O);
+  ASSERT_TRUE(R.Success) << describe(R);
+  EXPECT_TRUE(R.Fences.empty()) << describe(R);
+}
+
+TEST(FenceSynth, RefusesAlgorithmicBug) {
+  // snark's D0 failure exists under sequential consistency, where program
+  // order embeds into the memory order: the counterexample contains no
+  // inversion, so no fence can address it.
+  SynthOptions O = implRegionOptions(SC);
+  SynthResult R = synthesizeFences(impls::sourceFor("snark"),
+                                   {testByName("D0")}, O);
+  ASSERT_FALSE(R.Success) << describe(R);
+  EXPECT_NE(R.Message.find("not fixable by fences"), std::string::npos)
+      << R.Message;
+}
+
+TEST(FenceSynth, RefusesSequentialBug) {
+  SynthOptions O = implRegionOptions(RLX);
+  O.Defines = {"LAZYLIST_INIT_BUG"};
+  SynthResult R = synthesizeFences(impls::sourceFor("lazylist"),
+                                   {testByName("Sac")}, O);
+  ASSERT_FALSE(R.Success) << describe(R);
+  EXPECT_NE(R.Message.find("serial execution"), std::string::npos)
+      << R.Message;
+}
+
+TEST(FenceSynth, MinimizedPlacementIsNecessary) {
+  // Dropping any synthesized fence must re-break some test: re-run the
+  // synthesis check loop with each fence removed by hand.
+  SynthOptions O = implRegionOptions(RLX);
+  SynthResult R = synthesizeFences(impls::sourceFor("msn"),
+                                   {testByName("T0")}, O);
+  ASSERT_TRUE(R.Success) << describe(R);
+
+  frontend::LoweringOptions LO;
+  LO.StripFences = true;
+  for (size_t Drop = 0; Drop < R.Fences.size(); ++Drop) {
+    std::vector<FencePlacement> Without = R.Fences;
+    Without.erase(Without.begin() + Drop);
+    frontend::DiagEngine Diags;
+    lsl::Program Impl;
+    ASSERT_TRUE(frontend::compileC(impls::sourceFor("msn"), {}, Impl,
+                                   Diags, LO));
+    applyFencePlacements(Impl, Without);
+    TestSpec Test = testByName("T0");
+    std::vector<std::string> Threads = buildTestThreads(Impl, Test);
+    checker::CheckOptions CO;
+    CO.Model = RLX;
+    checker::CheckResult C = checker::runCheck(Impl, Threads, CO);
+    EXPECT_EQ(C.Status, checker::CheckStatus::Fail)
+        << "placement stays correct without "
+        << placementStr(R.Fences[Drop]);
+  }
+}
+
+TEST(FenceSynth, ApplyPlacementsInsertsBeforeTheLine) {
+  // Functional check of the insertion machinery on a publication litmus:
+  // the serial spec is "the error flag never fires", and repairing it on
+  // Relaxed requires exactly a store-store fence before the flag store
+  // and a load-load fence before the data load (the paper's "incomplete
+  // initialization" repair, Sec. 4.3).
+  const char *Src = "extern void assert(int v);\n"       // line 1
+                    "extern void fence(char *type);\n"   // line 2
+                    "int data; int flag;\n"              // line 3
+                    "void init_op(void) { data = 0; flag = 0; }\n"
+                    "void producer_op(void) {\n"         // line 5
+                    "  data = 1;\n"                      // line 6
+                    "  flag = 1;\n"                      // line 7
+                    "}\n"
+                    "void consumer_op(void) {\n"         // line 9
+                    "  int f = flag;\n"                  // line 10
+                    "  int d = data;\n"                  // line 11
+                    "  if (f) assert(d == 1);\n"         // line 12
+                    "}\n";
+  SynthOptions O;
+  O.Check.Model = RLX;
+  TestSpec Test;
+  Test.Name = "mp";
+  Test.Threads.push_back({OpSpec{"producer_op", 0, false, false}});
+  Test.Threads.push_back({OpSpec{"consumer_op", 0, false, false}});
+  SynthResult R = synthesizeFences(Src, {Test}, O);
+  ASSERT_TRUE(R.Success) << describe(R);
+  ASSERT_EQ(R.Fences.size(), 2u) << describe(R);
+  EXPECT_EQ(R.Fences[0].Line, 7);
+  EXPECT_EQ(R.Fences[0].Kind, lsl::FenceKind::StoreStore);
+  EXPECT_EQ(R.Fences[1].Line, 11);
+  EXPECT_EQ(R.Fences[1].Kind, lsl::FenceKind::LoadLoad);
+}
+
+} // namespace

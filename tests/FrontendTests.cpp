@@ -1,0 +1,545 @@
+//===--- FrontendTests.cpp - lexer / parser / lowering tests ---------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Lowering.h"
+#include "frontend/Parser.h"
+#include "frontend/Preprocessor.h"
+#include "lsl/Printer.h"
+
+#include "gtest/gtest.h"
+
+using namespace checkfence;
+using namespace checkfence::frontend;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Preprocessor
+//===----------------------------------------------------------------------===//
+
+TEST(Preprocessor, IfdefSelectsBranch) {
+  DiagEngine D;
+  std::string Out = preprocess("#ifdef FOO\nint a;\n#else\nint b;\n#endif\n",
+                               {"FOO"}, D);
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_NE(Out.find("int a;"), std::string::npos);
+  EXPECT_EQ(Out.find("int b;"), std::string::npos);
+}
+
+TEST(Preprocessor, IfndefAndDefine) {
+  DiagEngine D;
+  std::string Out =
+      preprocess("#define X\n#ifndef X\nint a;\n#endif\nint c;\n", {}, D);
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_EQ(Out.find("int a;"), std::string::npos);
+  EXPECT_NE(Out.find("int c;"), std::string::npos);
+}
+
+TEST(Preprocessor, NestedConditionals) {
+  DiagEngine D;
+  std::string Src = "#ifdef A\n#ifdef B\nint ab;\n#endif\nint a;\n#endif\n";
+  std::string Out = preprocess(Src, {"A"}, D);
+  EXPECT_EQ(Out.find("int ab;"), std::string::npos);
+  EXPECT_NE(Out.find("int a;"), std::string::npos);
+  Out = preprocess(Src, {"A", "B"}, D);
+  EXPECT_NE(Out.find("int ab;"), std::string::npos);
+}
+
+TEST(Preprocessor, PreservesLineNumbers) {
+  DiagEngine D;
+  std::string Out = preprocess("#ifdef X\nhidden\n#endif\nvisible\n", {}, D);
+  // 'visible' must still be on line 4.
+  int Line = 1;
+  size_t Pos = Out.find("visible");
+  ASSERT_NE(Pos, std::string::npos);
+  for (size_t I = 0; I < Pos; ++I)
+    if (Out[I] == '\n')
+      ++Line;
+  EXPECT_EQ(Line, 4);
+}
+
+TEST(Preprocessor, UnterminatedIfdefIsError) {
+  DiagEngine D;
+  preprocess("#ifdef A\nint x;\n", {}, D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, BasicTokens) {
+  DiagEngine D;
+  auto Toks = lex("while (x->next != 0) { x = x->next; }", D);
+  EXPECT_FALSE(D.hasErrors());
+  ASSERT_GE(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].K, TokKind::KwWhile);
+  EXPECT_EQ(Toks[1].K, TokKind::LParen);
+  EXPECT_EQ(Toks[2].K, TokKind::Identifier);
+  EXPECT_EQ(Toks[2].Text, "x");
+  EXPECT_EQ(Toks[3].K, TokKind::Arrow);
+}
+
+TEST(Lexer, NumbersAndSuffixes) {
+  DiagEngine D;
+  auto Toks = lex("42 0x1F 7u 3L", D);
+  EXPECT_EQ(Toks[0].IntVal, 42);
+  EXPECT_EQ(Toks[1].IntVal, 31);
+  EXPECT_EQ(Toks[2].IntVal, 7);
+  EXPECT_EQ(Toks[3].IntVal, 3);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  DiagEngine D;
+  auto Toks = lex("a // line comment\n/* block\ncomment */ b", D);
+  ASSERT_EQ(Toks.size(), 3u); // a, b, eof
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+}
+
+TEST(Lexer, StringLiteral) {
+  DiagEngine D;
+  auto Toks = lex("fence(\"store-store\");", D);
+  ASSERT_GE(Toks.size(), 3u);
+  EXPECT_EQ(Toks[2].K, TokKind::String);
+  EXPECT_EQ(Toks[2].Text, "store-store");
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  DiagEngine D;
+  auto Toks = lex("a\nb\n  c", D);
+  EXPECT_EQ(Toks[0].Loc.Line, 1);
+  EXPECT_EQ(Toks[1].Loc.Line, 2);
+  EXPECT_EQ(Toks[2].Loc.Line, 3);
+  EXPECT_EQ(Toks[2].Loc.Col, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, StructAndTypedef) {
+  DiagEngine D;
+  TranslationUnit TU;
+  bool Ok = parseTranslationUnit("typedef struct node { struct node *next; "
+                                 "int value; } node_t; node_t *head;",
+                                 TU, D);
+  ASSERT_TRUE(Ok) << D.str();
+  ASSERT_TRUE(TU.Typedefs.count("node_t"));
+  const Type *T = TU.Typedefs["node_t"];
+  ASSERT_TRUE(T->isStruct());
+  EXPECT_EQ(T->Struct->Fields.size(), 2u);
+  EXPECT_EQ(T->Struct->Fields[1].Name, "value");
+  EXPECT_EQ(T->Struct->Fields[1].Index, 1);
+  ASSERT_EQ(TU.Globals.size(), 1u);
+  EXPECT_TRUE(TU.Globals[0]->Ty->isPtr());
+}
+
+TEST(Parser, EnumConstants) {
+  DiagEngine D;
+  TranslationUnit TU;
+  ASSERT_TRUE(parseTranslationUnit(
+      "typedef enum { free_lock, held } lock_t; enum { A = 5, B };", TU, D))
+      << D.str();
+  EXPECT_EQ(TU.EnumConstants["free_lock"], 0);
+  EXPECT_EQ(TU.EnumConstants["held"], 1);
+  EXPECT_EQ(TU.EnumConstants["A"], 5);
+  EXPECT_EQ(TU.EnumConstants["B"], 6);
+}
+
+TEST(Parser, FunctionWithBody) {
+  DiagEngine D;
+  TranslationUnit TU;
+  ASSERT_TRUE(parseTranslationUnit(
+      "int add(int a, int b) { return a + b; }", TU, D))
+      << D.str();
+  FuncDecl *F = TU.findFunction("add");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Params.size(), 2u);
+  ASSERT_NE(F->Body, nullptr);
+  EXPECT_EQ(F->Body->Body.size(), 1u);
+  EXPECT_EQ(F->Body->Body[0]->K, CStmt::Kind::Return);
+}
+
+TEST(Parser, ExternThenDefinitionMerged) {
+  DiagEngine D;
+  TranslationUnit TU;
+  ASSERT_TRUE(parseTranslationUnit(
+      "int f(int x); int f(int x) { return x; }", TU, D))
+      << D.str();
+  FuncDecl *F = TU.findFunction("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_NE(F->Body, nullptr);
+}
+
+TEST(Parser, CastVsParen) {
+  DiagEngine D;
+  TranslationUnit TU;
+  // (unsigned) x is a cast; (x) is not.
+  ASSERT_TRUE(parseTranslationUnit(
+      "int g(int x) { int y; y = (unsigned) x; return (y); }", TU, D))
+      << D.str();
+}
+
+TEST(Parser, PointerCast) {
+  DiagEngine D;
+  TranslationUnit TU;
+  ASSERT_TRUE(parseTranslationUnit("typedef struct n { int v; } n_t;\n"
+                                   "int h(void *p) { n_t *q; q = (n_t *) p; "
+                                   "return q->v; }",
+                                   TU, D))
+      << D.str();
+}
+
+TEST(Parser, MultipleDeclaratorsPerLine) {
+  DiagEngine D;
+  TranslationUnit TU;
+  ASSERT_TRUE(parseTranslationUnit(
+      "typedef struct n { struct n *l, *r; int v; } n_t;\n"
+      "void f(void) { n_t *a, *b; int x, y; }",
+      TU, D))
+      << D.str();
+  const Type *T = TU.Typedefs["n_t"];
+  EXPECT_EQ(T->Struct->Fields.size(), 3u);
+  EXPECT_TRUE(T->Struct->Fields[0].Ty->isPtr());
+  EXPECT_TRUE(T->Struct->Fields[1].Ty->isPtr());
+}
+
+TEST(Parser, ControlFlowForms) {
+  DiagEngine D;
+  TranslationUnit TU;
+  ASSERT_TRUE(parseTranslationUnit(
+      "void f(int n) {\n"
+      "  int i; int s; s = 0;\n"
+      "  for (i = 0; i < n; i++) { s += i; if (s > 10) break; }\n"
+      "  while (s > 0) { s--; if (s == 3) continue; }\n"
+      "  do { s++; } while (s < 2);\n"
+      "}",
+      TU, D))
+      << D.str();
+}
+
+TEST(Parser, AtomicBlock) {
+  DiagEngine D;
+  TranslationUnit TU;
+  ASSERT_TRUE(parseTranslationUnit(
+      "int cas(int *loc, int old, int nw) { int r;\n"
+      "  atomic { r = (*loc == old); if (r) *loc = nw; } return r; }",
+      TU, D))
+      << D.str();
+  FuncDecl *F = TU.findFunction("cas");
+  ASSERT_NE(F, nullptr);
+  bool SawAtomic = false;
+  for (const CStmt *S : F->Body->Body)
+    if (S->K == CStmt::Kind::Atomic)
+      SawAtomic = true;
+  EXPECT_TRUE(SawAtomic);
+}
+
+TEST(Parser, ArrayFieldAndIndexing) {
+  DiagEngine D;
+  TranslationUnit TU;
+  ASSERT_TRUE(parseTranslationUnit("struct s { long a; int b[3]; };\n"
+                                   "struct s x;\n"
+                                   "int f(int i) { return x.b[i]; }",
+                                   TU, D))
+      << D.str();
+}
+
+TEST(Parser, ErrorOnGoto) {
+  DiagEngine D;
+  TranslationUnit TU;
+  EXPECT_FALSE(
+      parseTranslationUnit("void f(void) { goto out; out: return; }", TU, D));
+}
+
+TEST(Parser, TernaryConditional) {
+  DiagEngine D;
+  TranslationUnit TU;
+  ASSERT_TRUE(parseTranslationUnit("int f(int a) { return a ? 1 : 2; }", TU,
+                                   D))
+      << D.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+lsl::Program lower(const std::string &Src, bool ExpectOk = true,
+                   LoweringOptions Opts = LoweringOptions()) {
+  DiagEngine D;
+  lsl::Program Prog;
+  bool Ok = compileC(Src, {}, Prog, D, Opts);
+  EXPECT_EQ(Ok, ExpectOk) << D.str();
+  return Prog;
+}
+
+/// Counts statements of kind \p K in a whole statement tree.
+int countKind(const std::vector<lsl::Stmt *> &Body, lsl::StmtKind K) {
+  int N = 0;
+  for (const lsl::Stmt *S : Body) {
+    if (S->K == K)
+      ++N;
+    N += countKind(S->Body, K);
+  }
+  return N;
+}
+
+TEST(Lowering, SimpleFunction) {
+  lsl::Program Prog = lower("int add(int a, int b) { return a + b; }");
+  lsl::Proc *P = Prog.findProc("add");
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->NumParams, 2);
+  ASSERT_EQ(P->RetRegs.size(), 1u);
+  // Body: one outer block containing the add, the copy, and the break.
+  ASSERT_EQ(P->Body.size(), 1u);
+  EXPECT_EQ(P->Body[0]->K, lsl::StmtKind::Block);
+}
+
+TEST(Lowering, GlobalInitProcedure) {
+  lsl::Program Prog = lower("int x = 5; int y;");
+  EXPECT_EQ(Prog.globals().size(), 2u);
+  lsl::Proc *P = Prog.findProc("__global_init");
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Store), 1);
+}
+
+TEST(Lowering, LoadStoreThroughPointer) {
+  lsl::Program Prog =
+      lower("void set(int *p, int v) { *p = v; } int get(int *p) { return "
+            "*p; }");
+  EXPECT_EQ(countKind(Prog.findProc("set")->Body, lsl::StmtKind::Store), 1);
+  EXPECT_EQ(countKind(Prog.findProc("get")->Body, lsl::StmtKind::Load), 1);
+}
+
+TEST(Lowering, MemberAccessUsesPtrField) {
+  lsl::Program Prog = lower(
+      "typedef struct n { struct n *next; int value; } n_t;\n"
+      "int val(n_t *p) { return p->value; }");
+  lsl::Proc *P = Prog.findProc("val");
+  int PtrFields = 0;
+  std::vector<const lsl::Stmt *> Work(P->Body.begin(), P->Body.end());
+  while (!Work.empty()) {
+    const lsl::Stmt *S = Work.back();
+    Work.pop_back();
+    if (S->K == lsl::StmtKind::PrimOp &&
+        S->Op == lsl::PrimOpKind::PtrField && S->Imm == 1)
+      ++PtrFields;
+    for (const lsl::Stmt *C : S->Body)
+      Work.push_back(C);
+  }
+  EXPECT_EQ(PtrFields, 1);
+}
+
+TEST(Lowering, FenceEmitted) {
+  lsl::Program Prog =
+      lower("extern void fence(char *k);\n"
+            "void f(void) { fence(\"store-store\"); fence(\"load-load\"); }");
+  lsl::Proc *P = Prog.findProc("f");
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Fence), 2);
+}
+
+TEST(Lowering, StripFencesOption) {
+  LoweringOptions Opts;
+  Opts.StripFences = true;
+  lsl::Program Prog =
+      lower("extern void fence(char *k);\n"
+            "void f(void) { fence(\"store-store\"); }",
+            true, Opts);
+  EXPECT_EQ(countKind(Prog.findProc("f")->Body, lsl::StmtKind::Fence), 0);
+}
+
+TEST(Lowering, StripSpecificFenceLine) {
+  LoweringOptions Opts;
+  Opts.StripFenceLines = {3};
+  lsl::Program Prog = lower("extern void fence(char *k);\n"
+                            "void f(void) {\n"
+                            "  fence(\"store-store\");\n"
+                            "  fence(\"load-load\");\n"
+                            "}",
+                            true, Opts);
+  EXPECT_EQ(countKind(Prog.findProc("f")->Body, lsl::StmtKind::Fence), 1);
+}
+
+TEST(Lowering, AtomicCas) {
+  lsl::Program Prog = lower(
+      "int cas(int *loc, int old, int nw) { int r;\n"
+      "  atomic { r = (*loc == old); if (r) *loc = nw; } return r; }");
+  lsl::Proc *P = Prog.findProc("cas");
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Atomic), 1);
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Load), 1);
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Store), 1);
+}
+
+TEST(Lowering, NewNodeBecomesAlloc) {
+  lsl::Program Prog = lower(
+      "typedef struct n { int v; } n_t;\n"
+      "extern n_t *new_node();\n"
+      "n_t *mk(void) { n_t *p; p = new_node(); p->v = 0; return p; }");
+  EXPECT_EQ(countKind(Prog.findProc("mk")->Body, lsl::StmtKind::Alloc), 1);
+}
+
+TEST(Lowering, AddressTakenLocalUsesMemory) {
+  lsl::Program Prog = lower("extern void use(int *p);\n"
+                            "void use(int *p) { *p = 1; }\n"
+                            "int f(void) { int v; use(&v); return v; }");
+  lsl::Proc *P = Prog.findProc("f");
+  // v is address-taken: an alloc for the slot plus a load for the return.
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Alloc), 1);
+  EXPECT_GE(countKind(P->Body, lsl::StmtKind::Load), 1);
+}
+
+TEST(Lowering, SpinLockBuiltins) {
+  lsl::Program Prog =
+      lower("typedef enum { fr, hd } lock_t;\n"
+            "extern void spin_lock(lock_t *l);\n"
+            "extern void spin_unlock(lock_t *l);\n"
+            "lock_t m;\n"
+            "void crit(void) { spin_lock(&m); spin_unlock(&m); }");
+  lsl::Proc *P = Prog.findProc("crit");
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Atomic), 2);
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Fence), 4);
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Assume), 1);
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Assert), 1);
+}
+
+TEST(Lowering, ShortCircuitGuardsRHS) {
+  lsl::Program Prog = lower(
+      "typedef struct n { struct n *next; int v; } n_t;\n"
+      "int f(n_t *p) { return p != 0 && p->v == 1; }");
+  lsl::Proc *P = Prog.findProc("f");
+  // The RHS load must sit inside a block guarded by a break.
+  ASSERT_EQ(countKind(P->Body, lsl::StmtKind::Block), 2); // func + &&
+}
+
+TEST(Lowering, WhileLoopShape) {
+  lsl::Program Prog = lower("int f(int n) { int s; s = 0;\n"
+                            "  while (n > 0) { s = s + n; n = n - 1; }\n"
+                            "  return s; }");
+  lsl::Proc *P = Prog.findProc("f");
+  EXPECT_EQ(countKind(P->Body, lsl::StmtKind::Continue), 1);
+  EXPECT_GE(countKind(P->Body, lsl::StmtKind::Break), 2); // loop exit + ret
+}
+
+TEST(Lowering, ObserveBuiltin) {
+  lsl::Program Prog = lower("extern void observe(int v);\n"
+                            "void f(int x) { observe(x); }");
+  EXPECT_EQ(countKind(Prog.findProc("f")->Body, lsl::StmtKind::Observe), 1);
+}
+
+TEST(Lowering, PtrMarkBuiltins) {
+  lsl::Program Prog = lower(
+      "typedef struct n { struct n *next; } n_t;\n"
+      "extern n_t *ptr_mark(n_t *p, int b);\n"
+      "extern int ptr_is_marked(n_t *p);\n"
+      "extern n_t *ptr_unmark(n_t *p);\n"
+      "n_t *f(n_t *p) { if (ptr_is_marked(p)) return ptr_unmark(p);\n"
+      "  return ptr_mark(p, 1); }");
+  lsl::Proc *P = Prog.findProc("f");
+  ASSERT_NE(P, nullptr);
+  int Marks = 0;
+  std::vector<const lsl::Stmt *> Work(P->Body.begin(), P->Body.end());
+  while (!Work.empty()) {
+    const lsl::Stmt *S = Work.back();
+    Work.pop_back();
+    if (S->K == lsl::StmtKind::PrimOp &&
+        (S->Op == lsl::PrimOpKind::PtrMark ||
+         S->Op == lsl::PrimOpKind::PtrGetMark ||
+         S->Op == lsl::PrimOpKind::PtrClearMark))
+      ++Marks;
+    for (const lsl::Stmt *C : S->Body)
+      Work.push_back(C);
+  }
+  EXPECT_EQ(Marks, 3);
+}
+
+TEST(Lowering, Fig9QueueCompilesEndToEnd) {
+  // The paper's Fig. 9 non-blocking queue (lightly adapted to the subset).
+  const char *Src = R"(
+typedef int value_t;
+typedef struct node { struct node *next; value_t value; } node_t;
+typedef struct queue { node_t *head; node_t *tail; } queue_t;
+extern void assert(int expr);
+extern void fence(char *type);
+extern node_t *new_node();
+extern void delete_node(node_t *node);
+int cas(void *loc, unsigned old, unsigned nw) {
+  int r;
+  atomic { r = (*loc == old); if (r) *loc = nw; }
+  return r;
+}
+void init_queue(queue_t *queue) {
+  node_t *node = new_node();
+  node->next = 0;
+  queue->head = queue->tail = node;
+}
+void enqueue(queue_t *queue, value_t value) {
+  node_t *node, *tail, *next;
+  node = new_node();
+  node->value = value;
+  node->next = 0;
+  fence("store-store");
+  while (1) {
+    tail = queue->tail;
+    fence("load-load");
+    next = tail->next;
+    fence("load-load");
+    if (tail == queue->tail)
+      if (next == 0) {
+        if (cas(&tail->next, (unsigned) next, (unsigned) node))
+          break;
+      } else
+        cas(&queue->tail, (unsigned) tail, (unsigned) next);
+  }
+  fence("store-store");
+  cas(&queue->tail, (unsigned) tail, (unsigned) node);
+}
+int dequeue(queue_t *queue, value_t *pvalue) {
+  node_t *head, *tail, *next;
+  while (1) {
+    head = queue->head;
+    fence("load-load");
+    tail = queue->tail;
+    fence("load-load");
+    next = head->next;
+    fence("load-load");
+    if (head == queue->head) {
+      if (head == tail) {
+        if (next == 0)
+          return 0;
+        cas(&queue->tail, (unsigned) tail, (unsigned) next);
+      } else {
+        *pvalue = next->value;
+        if (cas(&queue->head, (unsigned) head, (unsigned) next))
+          break;
+      }
+    }
+  }
+  delete_node(head);
+  return 1;
+}
+)";
+  lsl::Program Prog = lower(Src);
+  EXPECT_NE(Prog.findProc("enqueue"), nullptr);
+  EXPECT_NE(Prog.findProc("dequeue"), nullptr);
+  EXPECT_NE(Prog.findProc("init_queue"), nullptr);
+  lsl::Proc *Enq = Prog.findProc("enqueue");
+  EXPECT_EQ(countKind(Enq->Body, lsl::StmtKind::Fence), 4);
+  EXPECT_EQ(countKind(Enq->Body, lsl::StmtKind::Call), 3);
+  // 'queue = tail = node' style chained assignment in init_queue.
+  lsl::Proc *Init = Prog.findProc("init_queue");
+  EXPECT_EQ(countKind(Init->Body, lsl::StmtKind::Store), 3);
+}
+
+TEST(Lowering, PrinterProducesStableText) {
+  lsl::Program Prog = lower("int f(int a) { return a; }");
+  std::string Text = lsl::printProgram(Prog);
+  EXPECT_NE(Text.find("proc f("), std::string::npos);
+  EXPECT_NE(Text.find("break"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===--- TransTests.cpp - flattener and range analysis tests ---------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lowering.h"
+#include "trans/Flattener.h"
+#include "trans/RangeAnalysis.h"
+
+#include "gtest/gtest.h"
+
+using namespace checkfence;
+using namespace checkfence::trans;
+using lsl::Value;
+
+namespace {
+
+/// Compiles a source whose function "t" is flattened as a single thread.
+FlatProgram flatten(const std::string &Source, const LoopBounds &Bounds = {},
+                    bool ExpectOk = true) {
+  frontend::DiagEngine Diags;
+  lsl::Program Prog;
+  EXPECT_TRUE(frontend::compileC(Source, {}, Prog, Diags)) << Diags.str();
+  FlatProgram Flat;
+  Flattener F(Prog, Flat, Bounds);
+  bool Ok = F.flattenThread("t", 0);
+  EXPECT_EQ(Ok, ExpectOk) << F.error();
+  return Flat;
+}
+
+TEST(Flattener, StraightLineCode) {
+  FlatProgram P = flatten("int x; void t(void) { x = 1; x = 2; }");
+  EXPECT_EQ(P.numStores(), 2);
+  EXPECT_EQ(P.numLoads(), 0);
+  EXPECT_TRUE(P.BoundMarks.empty());
+  // Both stores execute unconditionally: constant-true guards.
+  for (const FlatEvent &E : P.Events)
+    EXPECT_TRUE(P.isConstInt(E.Guard, 1));
+}
+
+TEST(Flattener, BranchGuardsAreConditional) {
+  FlatProgram P = flatten(
+      "int x; int y; void t(void) { if (x == 0) y = 1; else y = 2; }");
+  ASSERT_EQ(P.numStores(), 2);
+  int Conditional = 0;
+  for (const FlatEvent &E : P.Events)
+    if (E.isStore() && !P.isConstInt(E.Guard, 1))
+      ++Conditional;
+  EXPECT_EQ(Conditional, 2);
+}
+
+TEST(Flattener, LoopUnrollsToBound) {
+  const char *Src =
+      "int n; int s; void t(void) { while (s < n) { s = s + 1; } }";
+  FlatProgram P1 = flatten(Src);
+  ASSERT_EQ(P1.BoundMarks.size(), 1u);
+  LoopBounds Bounds{{P1.BoundMarks[0].LoopKey, 3}};
+  FlatProgram P3 = flatten(Src, Bounds);
+  // Each extra iteration adds loads and a store.
+  EXPECT_GT(P3.Events.size(), P1.Events.size());
+  EXPECT_EQ(P3.BoundMarks.size(), 1u);
+  EXPECT_EQ(P3.BoundMarks[0].LoopKey, P1.BoundMarks[0].LoopKey)
+      << "loop keys must be stable across re-flattening";
+}
+
+TEST(Flattener, CallsAreInlined) {
+  FlatProgram P = flatten("int x;\n"
+                          "int get(void) { return x; }\n"
+                          "void set(int v) { x = v; }\n"
+                          "void t(void) { set(get() + 1); }");
+  EXPECT_EQ(P.numLoads(), 1);
+  EXPECT_EQ(P.numStores(), 1);
+}
+
+TEST(Flattener, AtomicBlockTagsEvents) {
+  FlatProgram P = flatten(
+      "int x; void t(void) { atomic { int v = x; x = v + 1; } x = 5; }");
+  ASSERT_EQ(P.Events.size(), 3u);
+  EXPECT_EQ(P.Events[0].AtomicId, P.Events[1].AtomicId);
+  EXPECT_GE(P.Events[0].AtomicId, 0);
+  EXPECT_EQ(P.Events[2].AtomicId, -1);
+}
+
+TEST(Flattener, AllocsGetDistinctAddresses) {
+  FlatProgram P = flatten("typedef struct n { int v; } n_t;\n"
+                          "extern n_t *new_node();\n"
+                          "n_t *a; n_t *b;\n"
+                          "void t(void) { a = new_node(); b = new_node(); }");
+  // The two stored values are distinct constant pointers.
+  ASSERT_EQ(P.numStores(), 2);
+  std::vector<Value> Stored;
+  for (const FlatEvent &E : P.Events) {
+    Value V;
+    ASSERT_TRUE(P.isConst(E.Data, &V));
+    Stored.push_back(V);
+  }
+  EXPECT_TRUE(Stored[0].isPtr());
+  EXPECT_TRUE(Stored[1].isPtr());
+  EXPECT_NE(Stored[0], Stored[1]);
+}
+
+TEST(Flattener, ConstantFoldingThroughFields) {
+  // Address arithmetic on constants folds to constant pointers.
+  FlatProgram P = flatten("typedef struct n { int a; int b; } n_t;\n"
+                          "n_t g;\n"
+                          "void t(void) { g.b = 7; }");
+  ASSERT_EQ(P.Events.size(), 1u);
+  Value Addr;
+  ASSERT_TRUE(P.isConst(P.Events[0].Addr, &Addr));
+  EXPECT_EQ(Addr, Value::pointer({0, 1}));
+}
+
+TEST(Flattener, FenceEventsCarryKind) {
+  FlatProgram P = flatten("extern void fence(char *k);\n"
+                          "int x;\n"
+                          "void t(void) { x = 1; fence(\"store-store\"); "
+                          "x = 2; }");
+  ASSERT_EQ(P.Events.size(), 3u);
+  EXPECT_EQ(P.Events[1].K, FlatEvent::Kind::Fence);
+  EXPECT_EQ(P.Events[1].FenceK, lsl::FenceKind::StoreStore);
+}
+
+TEST(Flattener, DeadCodeEmitsNoEvents) {
+  FlatProgram P = flatten(
+      "int x; void t(void) { if (0) x = 1; }");
+  EXPECT_EQ(P.numStores(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Range analysis
+//===----------------------------------------------------------------------===//
+
+TEST(RangeAnalysis, ConstantsAreSingletons) {
+  FlatProgram P = flatten("int x; void t(void) { x = 3; }");
+  RangeInfo R = analyzeRanges(P);
+  const ValueSet &S = R.DefSets[P.Events[0].Data];
+  EXPECT_TRUE(S.isSingleton());
+  EXPECT_EQ(*S.Values.begin(), Value::integer(3));
+}
+
+TEST(RangeAnalysis, LoadSetsIncludeStoredValuesAndUndef) {
+  FlatProgram P = flatten(
+      "int x; int y; void t(void) { x = 3; y = x; }");
+  RangeInfo R = analyzeRanges(P);
+  const FlatEvent *Load = nullptr;
+  for (const FlatEvent &E : P.Events)
+    if (E.isLoad())
+      Load = &E;
+  ASSERT_NE(Load, nullptr);
+  const ValueSet &S = R.DefSets[Load->Data];
+  EXPECT_TRUE(S.Values.count(Value::integer(3)));
+  EXPECT_TRUE(S.mayBeUndef());
+}
+
+TEST(RangeAnalysis, CounterLoopStaysBounded) {
+  // The Sec. 3.4 tagging: one increment instance adds at most one value.
+  FlatProgram P =
+      flatten("int c; void t(void) { c = 0; c = c + 1; c = c + 1; }");
+  RangeInfo R = analyzeRanges(P);
+  for (const FlatEvent &E : P.Events) {
+    if (!E.isStore())
+      continue;
+    const ValueSet &S = R.DefSets[E.Data];
+    EXPECT_FALSE(S.Top);
+    // Flow-insensitive: cell holds {0,1,2}, but never more (two
+    // expanding instances bound the traversal count).
+    EXPECT_LE(S.Values.size(), 3u);
+  }
+}
+
+TEST(RangeAnalysis, AliasPruningSeparatesDisjointCells) {
+  FlatProgram P = flatten("int x; int y;\n"
+                          "void t(void) { x = 1; y = 2; }");
+  RangeInfo R = analyzeRanges(P);
+  ASSERT_EQ(R.Cells.size(), 2u);
+  ASSERT_EQ(P.Events.size(), 2u);
+  EXPECT_NE(R.EventCells[0], R.EventCells[1]);
+  EXPECT_EQ(R.EventCells[0].size(), 1u);
+}
+
+TEST(RangeAnalysis, PointerUniverseCoversFields) {
+  FlatProgram P = flatten("typedef struct n { int a; int b; } n_t;\n"
+                          "extern n_t *new_node();\n"
+                          "void t(void) { n_t *p = new_node(); p->a = 1; "
+                          "p->b = 2; }");
+  RangeInfo R = analyzeRanges(P);
+  // Universe holds the node base and both field addresses.
+  EXPECT_GE(R.PointerUniverse.size(), 3u);
+  EXPECT_EQ(R.Cells.size(), 2u); // only the fields are dereferenced
+}
+
+TEST(RangeAnalysis, ArrayIndexingEnumeratesCells) {
+  FlatProgram P = flatten("int buf[4]; int i;\n"
+                          "void t(void) { i = 0; buf[i] = 1; buf[i + 1] = 2; "
+                          "}");
+  RangeInfo R = analyzeRanges(P);
+  // Cells: i itself plus the two indexed slots (the flow-insensitive index
+  // set {0,1} makes each store's candidate set cover both slots).
+  EXPECT_GE(R.Cells.size(), 3u);
+}
+
+TEST(RangeAnalysis, IntWidthsFollowValues) {
+  FlatProgram P = flatten("int x; void t(void) { x = 200; }");
+  RangeInfo R = analyzeRanges(P);
+  EXPECT_GE(R.GlobalIntBits, 8);
+  FlatProgram P2 = flatten("int x; void t(void) { x = 1; }");
+  RangeInfo R2 = analyzeRanges(P2);
+  EXPECT_LE(R2.GlobalIntBits, 2);
+}
+
+} // namespace

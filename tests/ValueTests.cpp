@@ -1,0 +1,252 @@
+//===--- ValueTests.cpp - LSL value and operator semantics tests ------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// evalPrimOp is the single definition of LSL operator semantics (range
+// analysis, reference executor, and the table encoder all call it), so
+// its algebraic properties are pinned here, including the Kleene logic
+// for the guard algebra and the undefined-value rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lsl/Value.h"
+
+#include "gtest/gtest.h"
+
+using namespace checkfence;
+using namespace checkfence::lsl;
+
+namespace {
+
+Value U() { return Value::undef(); }
+Value I(int64_t N) { return Value::integer(N); }
+Value P(std::vector<uint32_t> Path, bool Mark = false) {
+  return Value::pointer(std::move(Path), Mark);
+}
+
+Value ev(PrimOpKind Op, const Value &A) { return evalPrimOp(Op, {A}, 0); }
+Value ev(PrimOpKind Op, const Value &A, const Value &B) {
+  return evalPrimOp(Op, {A, B}, 0);
+}
+
+TEST(Value, BasicKinds) {
+  EXPECT_TRUE(U().isUndef());
+  EXPECT_TRUE(I(3).isInt());
+  EXPECT_TRUE(P({1, 2}).isPtr());
+  EXPECT_EQ(I(3).intValue(), 3);
+  EXPECT_EQ(P({1, 2}).ptrPath(), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(I(0).isTruthy());
+  EXPECT_TRUE(I(1).isTruthy());
+  EXPECT_TRUE(I(-5).isTruthy());
+  EXPECT_TRUE(P({0}).isTruthy()); // pointers are non-null by construction
+}
+
+TEST(Value, StructuralEqualityIncludesMark) {
+  EXPECT_EQ(P({1, 2}), P({1, 2}));
+  EXPECT_NE(P({1, 2}), P({1, 3}));
+  EXPECT_NE(P({1, 2}), P({1, 2}, true));
+  EXPECT_EQ(P({1, 2}, true), P({1, 2}, true));
+  EXPECT_NE(Value(I(0)), Value(P({0})));
+}
+
+TEST(Value, OrderingIsTotal) {
+  std::vector<Value> Vals = {U(),          I(-1),        I(0),
+                             I(7),         P({0}),       P({0, 1}),
+                             P({0}, true), P({1})};
+  for (size_t A = 0; A < Vals.size(); ++A)
+    for (size_t B = 0; B < Vals.size(); ++B) {
+      bool Less = Vals[A] < Vals[B];
+      bool Greater = Vals[B] < Vals[A];
+      if (A == B)
+        EXPECT_FALSE(Less || Greater);
+      else
+        EXPECT_NE(Less, Greater) << A << " vs " << B;
+    }
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(U().str(), "undef");
+  EXPECT_EQ(I(42).str(), "42");
+  EXPECT_EQ(P({0, 1, 2}).str(), "[0 1 2]");
+  EXPECT_EQ(P({3}, true).str(), "[3]&1");
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic and comparisons
+//===----------------------------------------------------------------------===//
+
+TEST(PrimOp, IntegerArithmetic) {
+  EXPECT_EQ(ev(PrimOpKind::Add, I(3), I(4)), I(7));
+  EXPECT_EQ(ev(PrimOpKind::Sub, I(3), I(4)), I(-1));
+  EXPECT_EQ(ev(PrimOpKind::Mul, I(3), I(4)), I(12));
+  EXPECT_EQ(ev(PrimOpKind::Div, I(12), I(4)), I(3));
+  EXPECT_EQ(ev(PrimOpKind::Mod, I(13), I(4)), I(1));
+}
+
+TEST(PrimOp, DivisionByZeroIsUndefined) {
+  EXPECT_TRUE(ev(PrimOpKind::Div, I(1), I(0)).isUndef());
+  EXPECT_TRUE(ev(PrimOpKind::Mod, I(1), I(0)).isUndef());
+}
+
+TEST(PrimOp, UndefPoisonsArithmetic) {
+  EXPECT_TRUE(ev(PrimOpKind::Add, U(), I(1)).isUndef());
+  EXPECT_TRUE(ev(PrimOpKind::Add, P({0}), I(1)).isUndef());
+}
+
+TEST(PrimOp, Comparisons) {
+  EXPECT_EQ(ev(PrimOpKind::Lt, I(1), I(2)), I(1));
+  EXPECT_EQ(ev(PrimOpKind::Ge, I(1), I(2)), I(0));
+  EXPECT_EQ(ev(PrimOpKind::Le, I(2), I(2)), I(1));
+}
+
+TEST(PrimOp, EqualityAcrossKinds) {
+  // A pointer never equals an integer (C code compares next == 0).
+  EXPECT_EQ(ev(PrimOpKind::Eq, P({5}), I(0)), I(0));
+  EXPECT_EQ(ev(PrimOpKind::Ne, P({5}), I(0)), I(1));
+  EXPECT_EQ(ev(PrimOpKind::Eq, P({5}), P({5})), I(1));
+  EXPECT_EQ(ev(PrimOpKind::Eq, P({5}), P({5}, true)), I(0));
+  EXPECT_TRUE(ev(PrimOpKind::Eq, U(), I(0)).isUndef());
+}
+
+//===----------------------------------------------------------------------===//
+// Kleene logic (the guard algebra depends on these identities)
+//===----------------------------------------------------------------------===//
+
+TEST(PrimOp, KleeneAnd) {
+  EXPECT_EQ(ev(PrimOpKind::LAnd, I(0), U()), I(0));
+  EXPECT_EQ(ev(PrimOpKind::LAnd, U(), I(0)), I(0));
+  EXPECT_TRUE(ev(PrimOpKind::LAnd, I(1), U()).isUndef());
+  EXPECT_EQ(ev(PrimOpKind::LAnd, I(1), I(1)), I(1));
+  EXPECT_EQ(ev(PrimOpKind::LAnd, I(1), I(0)), I(0));
+}
+
+TEST(PrimOp, KleeneOr) {
+  EXPECT_EQ(ev(PrimOpKind::LOr, I(1), U()), I(1));
+  EXPECT_EQ(ev(PrimOpKind::LOr, U(), I(1)), I(1));
+  EXPECT_TRUE(ev(PrimOpKind::LOr, I(0), U()).isUndef());
+  EXPECT_EQ(ev(PrimOpKind::LOr, I(0), I(0)), I(0));
+}
+
+TEST(PrimOp, LNotIsStrict) {
+  EXPECT_TRUE(ev(PrimOpKind::LNot, U()).isUndef());
+  EXPECT_EQ(ev(PrimOpKind::LNot, I(0)), I(1));
+  EXPECT_EQ(ev(PrimOpKind::LNot, I(3)), I(0));
+  EXPECT_EQ(ev(PrimOpKind::LNot, P({1})), I(0)); // pointers are truthy
+}
+
+//===----------------------------------------------------------------------===//
+// Pointer structure
+//===----------------------------------------------------------------------===//
+
+TEST(PrimOp, PtrFieldAppendsOffset) {
+  EXPECT_EQ(evalPrimOp(PrimOpKind::PtrField, {P({4})}, 2), P({4, 2}));
+  EXPECT_EQ(evalPrimOp(PrimOpKind::PtrField, {P({4, 1})}, 0), P({4, 1, 0}));
+  EXPECT_TRUE(evalPrimOp(PrimOpKind::PtrField, {I(0)}, 1).isUndef());
+}
+
+TEST(PrimOp, PtrIndexUsesDynamicOffset) {
+  EXPECT_EQ(ev(PrimOpKind::PtrIndex, P({4}), I(3)), P({4, 3}));
+  EXPECT_TRUE(ev(PrimOpKind::PtrIndex, P({4}), I(-1)).isUndef());
+  EXPECT_TRUE(ev(PrimOpKind::PtrIndex, P({4}), U()).isUndef());
+}
+
+TEST(PrimOp, MarkBitRoundTrip) {
+  Value Marked = ev(PrimOpKind::PtrMark, P({7}), I(1));
+  EXPECT_EQ(Marked, P({7}, true));
+  EXPECT_EQ(ev(PrimOpKind::PtrGetMark, Marked), I(1));
+  EXPECT_EQ(ev(PrimOpKind::PtrGetMark, P({7})), I(0));
+  EXPECT_EQ(ev(PrimOpKind::PtrClearMark, Marked), P({7}));
+  // Marking preserves the path; dereference goes through the clear form.
+  EXPECT_EQ(ev(PrimOpKind::PtrClearMark, Marked).ptrPath(),
+            P({7}).ptrPath());
+}
+
+TEST(PrimOp, SelectSemantics) {
+  EXPECT_EQ(evalPrimOp(PrimOpKind::Select, {I(1), I(7), I(9)}, 0), I(7));
+  EXPECT_EQ(evalPrimOp(PrimOpKind::Select, {I(0), I(7), I(9)}, 0), I(9));
+  EXPECT_TRUE(
+      evalPrimOp(PrimOpKind::Select, {U(), I(7), I(9)}, 0).isUndef());
+  // The untaken branch may be garbage without affecting the result.
+  EXPECT_EQ(evalPrimOp(PrimOpKind::Select, {I(1), I(7), U()}, 0), I(7));
+}
+
+//===----------------------------------------------------------------------===//
+// Fence kinds
+//===----------------------------------------------------------------------===//
+
+TEST(Fences, ParseAndPrintRoundTrip) {
+  for (FenceKind K : {FenceKind::LoadLoad, FenceKind::LoadStore,
+                      FenceKind::StoreLoad, FenceKind::StoreStore}) {
+    FenceKind Out;
+    ASSERT_TRUE(parseFenceKind(fenceKindName(K), Out));
+    EXPECT_EQ(Out, K);
+  }
+  FenceKind Out;
+  EXPECT_FALSE(parseFenceKind("full", Out));
+}
+
+/// Property sweep: binary integer operators agree with native arithmetic
+/// over a grid of small operands.
+class IntOpProperty : public ::testing::TestWithParam<PrimOpKind> {};
+
+TEST_P(IntOpProperty, MatchesNative) {
+  PrimOpKind Op = GetParam();
+  for (int64_t A = -3; A <= 5; ++A) {
+    for (int64_t B = -3; B <= 5; ++B) {
+      Value R = ev(Op, I(A), I(B));
+      int64_t Expected = 0;
+      bool Defined = true;
+      switch (Op) {
+      case PrimOpKind::Add:
+        Expected = A + B;
+        break;
+      case PrimOpKind::Sub:
+        Expected = A - B;
+        break;
+      case PrimOpKind::Mul:
+        Expected = A * B;
+        break;
+      case PrimOpKind::Div:
+        Defined = B != 0;
+        Expected = Defined ? A / B : 0;
+        break;
+      case PrimOpKind::BitAnd:
+        Expected = A & B;
+        break;
+      case PrimOpKind::BitOr:
+        Expected = A | B;
+        break;
+      case PrimOpKind::BitXor:
+        Expected = A ^ B;
+        break;
+      case PrimOpKind::Lt:
+        Expected = A < B;
+        break;
+      case PrimOpKind::Gt:
+        Expected = A > B;
+        break;
+      default:
+        return;
+      }
+      if (!Defined) {
+        EXPECT_TRUE(R.isUndef());
+      } else {
+        ASSERT_TRUE(R.isInt());
+        EXPECT_EQ(R.intValue(), Expected) << A << " op " << B;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntOpProperty,
+                         ::testing::Values(PrimOpKind::Add, PrimOpKind::Sub,
+                                           PrimOpKind::Mul, PrimOpKind::Div,
+                                           PrimOpKind::BitAnd,
+                                           PrimOpKind::BitOr,
+                                           PrimOpKind::BitXor,
+                                           PrimOpKind::Lt, PrimOpKind::Gt));
+
+} // namespace

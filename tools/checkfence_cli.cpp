@@ -1,0 +1,237 @@
+//===--- checkfence_cli.cpp - the command-line front door -------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// Usage:
+//   checkfence [options] <impl> <test>
+//   checkfence [options] --file impl.c --kind queue --notation "( e | d )"
+//
+//   <impl>  one of: ms2 msn lazylist harris snark treiber  (or --file <path>)
+//   <test>  a Fig. 8 test name (T0, Tpc3, Sac, D0, ...) or --notation
+//
+// Options:
+//   --model sc|tso|pso|relaxed  target memory model (default relaxed)
+//   --strip-fences           remove all fence() calls
+//   --strip-line N           remove the fence on source line N (repeatable)
+//   --define NAME            preprocessor define (e.g. LAZYLIST_INIT_BUG)
+//   --refspec                mine the spec from the reference implementation
+//   --rank-order             use the rank-based order encoding
+//   --no-range               disable range-analysis optimizations
+//   --spec                   print the mined observation set
+//   --synth                  synthesize a fence placement (from stripped)
+//   --quiet                  verdict only
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Catalog.h"
+#include "harness/FenceSynth.h"
+#include "impls/Impls.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace checkfence;
+using namespace checkfence::harness;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: checkfence [options] <impl> <test>\n"
+      "  impl: ms2 | msn | lazylist | harris | snark | treiber | --file <path>\n"
+      "  test: a Fig. 8 name (T0, Tpc3, Sac, D0, ...) or --notation "
+      "\"( e | d )\"\n"
+      "options:\n"
+      "  --model sc|tso|pso|relaxed  target model (default: relaxed)\n"
+      "  --strip-fences       remove all fence() calls\n"
+      "  --strip-line N       remove the fence on line N (repeatable)\n"
+      "  --define NAME        preprocessor define\n"
+      "  --refspec            mine the spec from the reference impl\n"
+      "  --rank-order         rank-based order encoding\n"
+      "  --no-range           disable range-analysis optimizations\n"
+      "  --kind queue|set|deque|stack  type for --file/--notation\n"
+      "  --spec               print the mined observation set\n"
+      "  --synth              synthesize a fence placement instead of\n"
+      "                       checking (starts from stripped fences)\n"
+      "  --quiet              verdict only\n"
+      "  --list               list implementations and tests\n");
+}
+
+void listCatalog() {
+  std::printf("implementations:\n");
+  for (const impls::ImplInfo &I : impls::allImpls())
+    std::printf("  %-9s (%s)  %s\n", I.Name.c_str(), I.Kind.c_str(),
+                I.Description.c_str());
+  std::printf("tests:\n");
+  for (const CatalogEntry &E : paperTests())
+    std::printf("  %-8s (%s)  %s\n", E.Name.c_str(), E.Kind.c_str(),
+                E.Notation.c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Impl, Test, File, Kind, Notation, Model = "relaxed";
+  RunOptions Opts;
+  bool PrintSpec = false, Quiet = false, RefSpec = false, Synth = false;
+
+  std::vector<std::string> Positional;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> std::string {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "missing argument after %s\n", A.c_str());
+        exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (A == "--list") {
+      listCatalog();
+      return 0;
+    } else if (A == "--model") {
+      Model = Next();
+    } else if (A == "--strip-fences") {
+      Opts.StripFences = true;
+    } else if (A == "--strip-line") {
+      Opts.StripFenceLines.insert(std::atoi(Next().c_str()));
+    } else if (A == "--define") {
+      Opts.Defines.insert(Next());
+    } else if (A == "--refspec") {
+      RefSpec = true;
+    } else if (A == "--rank-order") {
+      Opts.Check.Order = encode::OrderMode::Rank;
+    } else if (A == "--no-range") {
+      Opts.Check.RangeAnalysis = false;
+    } else if (A == "--file") {
+      File = Next();
+    } else if (A == "--kind") {
+      Kind = Next();
+    } else if (A == "--notation") {
+      Notation = Next();
+    } else if (A == "--spec") {
+      PrintSpec = true;
+    } else if (A == "--synth") {
+      Synth = true;
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", A.c_str());
+      return 2;
+    } else {
+      Positional.push_back(A);
+    }
+  }
+
+  if (Positional.size() > 0)
+    Impl = Positional[0];
+  if (Positional.size() > 1)
+    Test = Positional[1];
+
+  if (auto K = memmodel::modelKindFromName(Model)) {
+    Opts.Check.Model = *K;
+  } else {
+    std::fprintf(stderr, "unknown model '%s'\n", Model.c_str());
+    return 2;
+  }
+
+  // Resolve the implementation source.
+  std::string Source;
+  if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", File.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = impls::preludeSource() + SS.str();
+  } else if (!Impl.empty()) {
+    Source = impls::sourceFor(Impl);
+    for (const impls::ImplInfo &I : impls::allImpls())
+      if (I.Name == Impl)
+        Kind = I.Kind;
+  } else {
+    usage();
+    return 2;
+  }
+
+  // Resolve the test.
+  TestSpec Spec;
+  if (!Notation.empty()) {
+    if (Kind.empty()) {
+      std::fprintf(stderr, "--notation requires --kind\n");
+      return 2;
+    }
+    std::string Err;
+    if (!parseTestNotation(Notation, alphabetFor(Kind), Spec, Err)) {
+      std::fprintf(stderr, "bad test notation: %s\n", Err.c_str());
+      return 2;
+    }
+    Spec.Name = "custom";
+  } else if (!Test.empty()) {
+    Spec = testByName(Test);
+  } else {
+    usage();
+    return 2;
+  }
+
+  if (RefSpec) {
+    if (Kind.empty()) {
+      std::fprintf(stderr, "--refspec requires a known --kind\n");
+      return 2;
+    }
+    Opts.SpecSource = impls::referenceFor(Kind);
+  }
+
+  if (Synth) {
+    SynthOptions SO;
+    SO.Check = Opts.Check;
+    SO.Defines = Opts.Defines;
+    SO.MinLine = 1;
+    for (char C : impls::preludeSource())
+      SO.MinLine += C == '\n';
+    SynthResult S = synthesizeFences(Source, {Spec}, SO);
+    if (!Quiet)
+      for (const std::string &Step : S.Log)
+        std::printf("%s\n", Step.c_str());
+    if (!S.Success) {
+      std::printf("SYNTHESIS FAILED: %s\n", S.Message.c_str());
+      return 1;
+    }
+    std::printf("%s (%d checks, %.1fs)\n", S.Message.c_str(), S.ChecksRun,
+                S.TotalSeconds);
+    for (const FencePlacement &P : S.Fences)
+      std::printf("  insert %s\n", placementStr(P).c_str());
+    return 0;
+  }
+
+  checker::CheckResult R = runTest(Source, Spec, Opts);
+
+  std::printf("%s\n", checker::checkStatusName(R.Status));
+  if (Quiet)
+    return R.passed() ? 0 : 1;
+
+  std::printf("%s\n", R.Message.c_str());
+  std::printf("stats: %d instrs, %d loads, %d stores | spec %d obs "
+              "(%.2fs) | CNF %d vars %llu clauses | encode %.2fs solve "
+              "%.2fs | total %.2fs, %d bound rounds\n",
+              R.Stats.UnrolledInstrs, R.Stats.Loads, R.Stats.Stores,
+              R.Stats.ObservationCount, R.Stats.MiningSeconds,
+              R.Stats.SatVars,
+              static_cast<unsigned long long>(R.Stats.SatClauses),
+              R.Stats.EncodeSeconds, R.Stats.SolveSeconds,
+              R.Stats.TotalSeconds, R.Stats.BoundIterations);
+  if (PrintSpec)
+    for (const checker::Observation &O : R.Spec)
+      std::printf("  %s\n", O.str().c_str());
+  if (R.Counterexample)
+    std::printf("\n%s", R.Counterexample->columns().c_str());
+  return R.passed() ? 0 : 1;
+}
