@@ -45,10 +45,10 @@ int main() {
     checker::CheckResult RRk = benchutil::runOne(Impl, Test, Rk);
 
     std::printf("%-9s %-6s | %10d %12llu %10.3f | %10d %12llu %10.3f\n",
-                Impl.c_str(), Test.c_str(), RPw.Stats.SatVars,
-                static_cast<unsigned long long>(RPw.Stats.SatClauses),
-                RPw.Stats.TotalSeconds, RRk.Stats.SatVars,
-                static_cast<unsigned long long>(RRk.Stats.SatClauses),
+                Impl.c_str(), Test.c_str(), RPw.Stats.Inclusion.SatVars,
+                static_cast<unsigned long long>(RPw.Stats.Inclusion.SatClauses),
+                RPw.Stats.TotalSeconds, RRk.Stats.Inclusion.SatVars,
+                static_cast<unsigned long long>(RRk.Stats.Inclusion.SatClauses),
                 RRk.Stats.TotalSeconds);
     if (RPw.Status != RRk.Status)
       std::printf("  !! verdict mismatch: %s vs %s\n",

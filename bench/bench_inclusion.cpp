@@ -46,16 +46,16 @@ int main() {
 
     std::printf("%-9s %-6s | %6d %5d %6d | %8.2f | %8d %9llu %7.1f | "
                 "%8.2f %8.2f | %s\n",
-                Impl.c_str(), Test.c_str(), R.Stats.UnrolledInstrs,
-                R.Stats.Loads, R.Stats.Stores, R.Stats.EncodeSeconds,
-                R.Stats.SatVars,
-                static_cast<unsigned long long>(R.Stats.SatClauses),
-                R.Stats.SolverMemBytes / 1048576.0, R.Stats.SolveSeconds,
+                Impl.c_str(), Test.c_str(), R.Stats.Inclusion.UnrolledInstrs,
+                R.Stats.Inclusion.Loads, R.Stats.Inclusion.Stores, R.Stats.Inclusion.EncodeSeconds,
+                R.Stats.Inclusion.SatVars,
+                static_cast<unsigned long long>(R.Stats.Inclusion.SatClauses),
+                R.Stats.Inclusion.SolverMemBytes / 1048576.0, R.Stats.Inclusion.SolveSeconds,
                 R.Stats.TotalSeconds,
                 checker::checkStatusName(R.Status));
 
-    Series.push_back(Row{R.Stats.Loads + R.Stats.Stores,
-                         R.Stats.SolveSeconds, R.Stats.SolverMemBytes,
+    Series.push_back(Row{R.Stats.Inclusion.Loads + R.Stats.Inclusion.Stores,
+                         R.Stats.Inclusion.SolveSeconds, R.Stats.Inclusion.SolverMemBytes,
                          Impl + "/" + Test});
   }
 

@@ -1,0 +1,113 @@
+//===--- bench_matrix.cpp - matrix-runner throughput ------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// Runs the Fig. 8 queue-family matrix through engine::MatrixRunner at one
+// worker and at N workers and emits the perf trajectory as JSON: per-cell
+// seconds, both wall times, and the speedup. CF_BENCH_FULL=1 widens the
+// matrix; CF_BENCH_JOBS overrides the parallel job count (default 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "engine/MatrixRunner.h"
+#include "frontend/Lowering.h"
+#include "support/Format.h"
+#include "support/Timing.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace checkfence;
+using namespace checkfence::engine;
+using namespace checkfence::harness;
+
+namespace {
+
+/// Times one cell through the from-scratch pipeline and the session
+/// engine; returns a JSON object fragment (an error object on frontend
+/// failure, so the report always stays parseable).
+std::string benchFreshVsSession(const char *Impl, const char *Test,
+                                memmodel::ModelKind Model) {
+  frontend::DiagEngine Diags;
+  lsl::Program Prog;
+  if (!frontend::compileC(impls::sourceFor(Impl), {}, Prog, Diags))
+    return formatString("{\"impl\": \"%s\", \"test\": \"%s\", "
+                        "\"status\": \"ERROR\"}",
+                        Impl, Test);
+  TestSpec Spec = testByName(Test);
+  std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
+  checker::CheckOptions Opts;
+  Opts.Model = Model;
+
+  Timer FreshT;
+  checker::CheckResult Fresh = checker::runCheckFresh(Prog, Threads, Opts);
+  double FreshSecs = FreshT.seconds();
+  Timer SessT;
+  checker::CheckResult Sess = checker::runCheck(Prog, Threads, Opts);
+  double SessSecs = SessT.seconds();
+
+  return formatString(
+      "{\"impl\": \"%s\", \"test\": \"%s\", \"model\": \"%s\", "
+      "\"status\": \"%s\", \"fresh_seconds\": %.3f, "
+      "\"session_seconds\": %.3f, \"speedup\": %.3f}",
+      Impl, Test, memmodel::modelName(Model),
+      checker::checkStatusName(Sess.Status), FreshSecs, SessSecs,
+      SessSecs > 0 ? FreshSecs / SessSecs : 0);
+}
+
+} // namespace
+
+int main() {
+  // The queue family of Fig. 8 on both queue implementations, under the
+  // cheap models by default (msn's T1/Ti2+ cells run minutes each).
+  std::vector<std::string> Tests = {"T0", "Tpc2"};
+  std::vector<memmodel::ModelKind> Models = {
+      memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::TSO};
+  if (benchutil::fullRun()) {
+    Tests.insert(Tests.end(), {"T1", "Tpc3", "Ti2", "Ti3", "T53"});
+    Models.push_back(memmodel::ModelKind::Relaxed);
+  }
+  std::vector<MatrixCell> Cells =
+      expandMatrix({"ms2", "msn"}, Tests, Models);
+
+  int Jobs = 4;
+  if (const char *E = std::getenv("CF_BENCH_JOBS"))
+    Jobs = std::atoi(E) > 0 ? std::atoi(E) : Jobs;
+
+  RunOptions Base;
+  MatrixReport Seq = MatrixRunner(1).run(Cells, catalogCellRunner(Base));
+  MatrixReport Par = MatrixRunner(Jobs).run(Cells, catalogCellRunner(Base));
+
+  double Speedup =
+      Par.WallSeconds > 0 ? Seq.WallSeconds / Par.WallSeconds : 0;
+  std::vector<std::string> Fragments;
+  Fragments.push_back(
+      benchFreshVsSession("msn", "T0", memmodel::ModelKind::Relaxed));
+  Fragments.push_back(benchFreshVsSession(
+      "msn", "Tpc2", memmodel::ModelKind::SeqConsistency));
+  Fragments.push_back(
+      benchFreshVsSession("ms2", "Ti2", memmodel::ModelKind::Relaxed));
+  if (benchutil::fullRun())
+    Fragments.push_back(benchFreshVsSession(
+        "msn", "Ti2", memmodel::ModelKind::SeqConsistency));
+
+  // One parseable document: the per-cell engine comparison plus the
+  // parallel-matrix trajectory.
+  std::printf("{\n  \"bench\": \"checkfence-matrix\",\n"
+              "  \"fresh_vs_session\": [\n");
+  for (size_t I = 0; I < Fragments.size(); ++I)
+    std::printf("    %s%s\n", Fragments[I].c_str(),
+                I + 1 < Fragments.size() ? "," : "");
+  std::printf("  ],\n");
+  std::printf("  \"matrix\": {\n    \"cells\": %d,\n"
+              "    \"jobs\": %d,\n    \"sequential_wall_seconds\": %.3f,\n"
+              "    \"parallel_wall_seconds\": %.3f,\n"
+              "    \"speedup\": %.3f,\n    \"parallel_report\": ",
+              static_cast<int>(Cells.size()), Jobs, Seq.WallSeconds,
+              Par.WallSeconds, Speedup);
+  std::string Json = Par.json();
+  std::printf("%s", Json.c_str());
+  std::printf("  }\n}\n");
+  return Seq.allCompleted() && Par.allCompleted() ? 0 : 1;
+}

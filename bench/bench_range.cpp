@@ -35,7 +35,7 @@ int main() {
     double TO = RWithout.Stats.TotalSeconds;
     std::printf("%-9s %-6s | %12.3f %12.3f | %8.2fx | %10d %10d\n",
                 Impl.c_str(), Test.c_str(), TW, TO, TW > 0 ? TO / TW : 0.0,
-                RWith.Stats.SatVars, RWithout.Stats.SatVars);
+                RWith.Stats.Inclusion.SatVars, RWithout.Stats.Inclusion.SatVars);
     SumWith += TW;
     SumWithout += TO;
   }

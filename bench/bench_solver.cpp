@@ -11,7 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <random>
+#include <string>
 
 using namespace checkfence::sat;
 
@@ -68,6 +70,7 @@ BENCHMARK(BM_Random3Sat)->Arg(60)->Arg(100)->Arg(140);
 /// The mining pattern: repeatedly solve and block the found model.
 void BM_IncrementalEnumeration(benchmark::State &State) {
   int Bits = static_cast<int>(State.range(0));
+  uint64_t Conflicts = 0;
   for (auto _ : State) {
     Solver S;
     std::vector<Var> Vs;
@@ -82,11 +85,52 @@ void BM_IncrementalEnumeration(benchmark::State &State) {
         break;
       ++Count;
     }
+    Conflicts += S.stats().Conflicts;
     benchmark::DoNotOptimize(Count);
   }
+  State.counters["conflicts"] =
+      benchmark::Counter(static_cast<double>(Conflicts),
+                         benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_IncrementalEnumeration)->Arg(6)->Arg(8);
 
+/// The session pattern: one persistent solver re-solved under rotating
+/// assumption sets (activation literals), as the check engine does across
+/// the inclusion and probe phases.
+void BM_AssumptionPhaseSwitching(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Solver S;
+    addPigeonhole(S, N, N); // satisfiable: N pigeons in N holes
+    Lit ActA = Lit::make(S.newVar());
+    Lit ActB = Lit::make(S.newVar());
+    // Phase A pins pigeon 0 to hole 0; phase B forbids exactly that.
+    S.addClause(~ActA, Lit::make(0));
+    S.addClause(~ActB, Lit::make(0, true));
+    int Sats = 0;
+    for (int Round = 0; Round < 16; ++Round) {
+      Sats += S.solve({Round % 2 ? ActB : ActA}) == SolveResult::Sat;
+    }
+    benchmark::DoNotOptimize(Sats);
+  }
+}
+BENCHMARK(BM_AssumptionPhaseSwitching)->Arg(6)->Arg(8);
+
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus CF_BENCH_JSON=1 forcing the machine-readable
+// reporter (equivalent to --benchmark_format=json) for the perf-trajectory
+// tooling.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  std::string JsonFlag = "--benchmark_format=json";
+  if (const char *E = std::getenv("CF_BENCH_JSON"); E && E == std::string("1"))
+    Args.push_back(JsonFlag.data());
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -43,10 +43,10 @@ int main() {
                 R.Stats.MiningSeconds, RRef.Stats.MiningSeconds);
 
     TotalMine += R.Stats.MiningSeconds;
-    TotalEncode += R.Stats.EncodeSeconds;
-    TotalSolve += R.Stats.SolveSeconds;
-    TotalAll += R.Stats.MiningSeconds + R.Stats.EncodeSeconds +
-                R.Stats.SolveSeconds;
+    TotalEncode += R.Stats.Inclusion.EncodeSeconds;
+    TotalSolve += R.Stats.Inclusion.SolveSeconds;
+    TotalAll += R.Stats.MiningSeconds + R.Stats.Inclusion.EncodeSeconds +
+                R.Stats.Inclusion.SolveSeconds;
   }
 
   std::printf("\n=== Fig. 11(b): average runtime breakdown ===\n");

@@ -37,9 +37,9 @@ int main() {
   }
   std::printf("  unrolled: %d instrs, %d loads, %d stores; CNF: %d vars, "
               "%llu clauses\n",
-              R.Stats.UnrolledInstrs, R.Stats.Loads, R.Stats.Stores,
-              R.Stats.SatVars,
-              static_cast<unsigned long long>(R.Stats.SatClauses));
+              R.Stats.Inclusion.UnrolledInstrs, R.Stats.Inclusion.Loads, R.Stats.Inclusion.Stores,
+              R.Stats.Inclusion.SatVars,
+              static_cast<unsigned long long>(R.Stats.Inclusion.SatClauses));
 
   // 2. Without fences: the relaxed model breaks the algorithm.
   Opts.StripFences = true;

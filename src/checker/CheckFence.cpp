@@ -6,10 +6,18 @@
 
 #include "checker/CheckFence.h"
 
+#include "engine/CheckSession.h"
 #include "support/Timing.h"
 
 using namespace checkfence;
 using namespace checkfence::checker;
+
+CheckResult checkfence::checker::runCheck(
+    const lsl::Program &ImplProg, const std::vector<std::string> &ThreadProcs,
+    const CheckOptions &Opts, const lsl::Program *SpecProg) {
+  engine::CheckSession Session(Opts);
+  return Session.check(ImplProg, ThreadProcs, SpecProg);
+}
 
 const char *checkfence::checker::checkStatusName(CheckStatus S) {
   switch (S) {
@@ -27,7 +35,7 @@ const char *checkfence::checker::checkStatusName(CheckStatus S) {
   return "<bad-status>";
 }
 
-CheckResult checkfence::checker::runCheck(
+CheckResult checkfence::checker::runCheckFresh(
     const lsl::Program &ImplProg, const std::vector<std::string> &ThreadProcs,
     const CheckOptions &Opts, const lsl::Program *SpecProg) {
   Timer Total;
@@ -82,14 +90,7 @@ CheckResult checkfence::checker::runCheck(
     {
       EncodedProblem IncProb(ImplProg, ThreadProcs, Bounds, IncCfg);
       InclusionOutcome Inc = checkInclusion(IncProb, Result.Spec);
-      Result.Stats.UnrolledInstrs = IncProb.stats().UnrolledInstrs;
-      Result.Stats.Loads = IncProb.stats().Loads;
-      Result.Stats.Stores = IncProb.stats().Stores;
-      Result.Stats.EncodeSeconds = IncProb.stats().EncodeSeconds;
-      Result.Stats.SatVars = IncProb.stats().SatVars;
-      Result.Stats.SatClauses = IncProb.stats().SatClauses;
-      Result.Stats.SolverMemBytes = IncProb.stats().SolverMemBytes;
-      Result.Stats.SolveSeconds = IncProb.stats().SolveSeconds;
+      Result.Stats.Inclusion = IncProb.stats();
       if (!Inc.Ok) {
         Result.Status = CheckStatus::Error;
         Result.Message = Inc.Error;

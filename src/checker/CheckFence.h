@@ -61,15 +61,9 @@ const char *checkStatusName(CheckStatus S);
 
 /// Aggregate statistics across the whole run (Fig. 10/11 columns).
 struct CheckStats {
-  // Inclusion problem (final iteration).
-  int UnrolledInstrs = 0;
-  int Loads = 0;
-  int Stores = 0;
-  double EncodeSeconds = 0;
-  int SatVars = 0;
-  uint64_t SatClauses = 0;
-  size_t SolverMemBytes = 0;
-  double SolveSeconds = 0;
+  /// Inclusion problem (final iteration). Embeds EncodeStats directly so
+  /// new per-problem counters propagate here automatically.
+  EncodeStats Inclusion;
   // Specification mining (totals across iterations).
   double MiningSeconds = 0;
   double MiningEncodeSeconds = 0;
@@ -101,10 +95,24 @@ struct CheckResult {
 /// (index 0 is the initialization thread). If \p SpecProg is non-null the
 /// specification is mined from it instead of \p ImplProg (both programs
 /// must define the same thread procedures and observation layout).
+///
+/// This is a thin wrapper over engine::CheckSession, the incremental
+/// session engine that keeps one persistent solver per memory model across
+/// the mine/include/probe phases and the bound iterations.
 CheckResult runCheck(const lsl::Program &ImplProg,
                      const std::vector<std::string> &ThreadProcs,
                      const CheckOptions &Opts,
                      const lsl::Program *SpecProg = nullptr);
+
+/// The non-incremental reference pipeline: a fresh EncodedProblem (with a
+/// fresh solver) for every phase and every bound iteration, exactly as the
+/// paper's original workflow re-ran zChaff per query. Kept for the
+/// differential tests that pin the session engine's results to it, and as
+/// the ProofLog-compatible path.
+CheckResult runCheckFresh(const lsl::Program &ImplProg,
+                          const std::vector<std::string> &ThreadProcs,
+                          const CheckOptions &Opts,
+                          const lsl::Program *SpecProg = nullptr);
 
 } // namespace checker
 } // namespace checkfence

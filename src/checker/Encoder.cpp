@@ -14,13 +14,16 @@ using namespace checkfence::checker;
 using namespace checkfence::encode;
 using namespace checkfence::trans;
 
-EncodedProblem::EncodedProblem(const lsl::Program &Prog,
-                               const std::vector<std::string> &ThreadProcs,
-                               const LoopBounds &Bounds,
-                               const ProblemConfig &Cfg) {
+//===----------------------------------------------------------------------===//
+// ProblemEncoding
+//===----------------------------------------------------------------------===//
+
+ProblemEncoding::ProblemEncoding(CnfBuilder &CnfB, const lsl::Program &Prog,
+                                 const std::vector<std::string> &ThreadProcs,
+                                 const LoopBounds &LoopBoundsIn,
+                                 const ProblemConfig &Cfg)
+    : Cnf(&CnfB), Bounds(LoopBoundsIn) {
   Timer EncodeTimer;
-  if (Cfg.ProofLog)
-    Solver.enableProofLog();
 
   // 1. Flatten every thread (thread 0 is the init sequence).
   Flattener F(Prog, Flat, Bounds);
@@ -40,7 +43,6 @@ EncodedProblem::EncodedProblem(const lsl::Program &Prog,
   Ranges = analyzeRanges(Flat);
 
   // 3. Thread-local encoding.
-  Cnf = std::make_unique<CnfBuilder>(Solver);
   EncodeOptions EO;
   EO.FixConstants = Cfg.RangeAnalysis;
   EO.MinimalWidths = Cfg.RangeAnalysis;
@@ -62,14 +64,11 @@ EncodedProblem::EncodedProblem(const lsl::Program &Prog,
   // 5. Side conditions, error flag, loop bounds.
   encodeChecksAndBounds(Cfg);
 
-  Solver.ConflictBudget = Cfg.ConflictBudget;
   Stats.EncodeSeconds = EncodeTimer.seconds();
-  Stats.SatVars = Solver.numVars();
-  Stats.SatClauses = Solver.numClauses();
-  Stats.SolverMemBytes = Solver.memoryBytes();
 }
 
-void EncodedProblem::encodeChecksAndBounds(const ProblemConfig &Cfg) {
+void ProblemEncoding::encodeChecksAndBounds(const ProblemConfig &Cfg) {
+  (void)Cfg;
   std::vector<Lit> ErrorTerms;
   for (const FlatCheck &C : Flat.Checks) {
     Lit G = Values->guardLit(C.Guard);
@@ -139,41 +138,38 @@ void EncodedProblem::encodeChecksAndBounds(const ProblemConfig &Cfg) {
   }
   ErrorLit = Cnf->orLits(ErrorTerms);
 
-  // Loop bounds (Sec. 3.3): within-bounds checking assumes no mark fires;
-  // the probe asks for at least one non-restricted mark to fire.
+  // Loop bounds (Sec. 3.3). Restricted marks are pinned off. Every other
+  // mark stays free and is controlled per solve call: within-bounds
+  // checking assumes each one off; the probe assumes the activation
+  // literal, whose clause demands that at least one mark fires. This keeps
+  // both modes available on one incremental solver.
   std::vector<Lit> ProbeLits;
   for (const FlatBoundMark &M : Flat.BoundMarks) {
     Lit L = Values->guardLit(M.Guard);
-    if (M.Restricted || !Cfg.ProbeBounds) {
-      Solver.addClause(~L);
+    if (M.Restricted) {
+      Cnf->addClause(~L);
       continue;
     }
     ProbeLits.push_back(L);
     ProbeMarks.push_back({L, M.LoopKey});
+    WithinAssumptions.push_back(~L);
   }
-  if (Cfg.ProbeBounds)
-    Cnf->addClause(ProbeLits.empty() ? std::vector<Lit>{Cnf->falseLit()}
-                                     : ProbeLits);
+  ProbeAct = Cnf->fresh();
+  std::vector<Lit> ProbeClause{~ProbeAct};
+  ProbeClause.insert(ProbeClause.end(), ProbeLits.begin(), ProbeLits.end());
+  Cnf->addClause(ProbeClause);
 }
 
-sat::SolveResult EncodedProblem::solve() {
-  Timer T;
-  sat::SolveResult R = Solver.solve();
-  Stats.SolveSeconds += T.seconds();
-  Stats.SolverMemBytes = std::max(Stats.SolverMemBytes,
-                                  Solver.memoryBytes());
-  return R;
-}
-
-Observation EncodedProblem::decodeObservation() {
+Observation ProblemEncoding::decodeObservation(const sat::Solver &S) const {
   Observation O;
-  O.Error = Solver.modelValue(ErrorLit) == sat::LBool::True;
+  O.Error = S.modelValue(ErrorLit) == sat::LBool::True;
   for (const FlatObservation &Slot : Flat.Observations)
-    O.Values.push_back(Values->decode(Solver, Slot.Val));
+    O.Values.push_back(Values->decode(S, Slot.Val));
   return O;
 }
 
-std::vector<sat::Lit> EncodedProblem::mismatchClause(const Observation &O) {
+std::vector<sat::Lit>
+ProblemEncoding::mismatchClause(const Observation &O) {
   std::vector<Lit> Clause;
   // Error-flag component.
   Clause.push_back(O.Error ? ~ErrorLit : ErrorLit);
@@ -188,39 +184,48 @@ std::vector<sat::Lit> EncodedProblem::mismatchClause(const Observation &O) {
   return Clause;
 }
 
-bool EncodedProblem::requireObservation(const Observation &O) {
-  bool Ok = Solver.addClause(O.Error ? ErrorLit : ~ErrorLit);
+bool ProblemEncoding::addMismatch(const Observation &O,
+                                  sat::Lit Activation) {
+  std::vector<Lit> Clause = mismatchClause(O);
+  if (Activation != sat::LitUndef)
+    Clause.push_back(~Activation);
+  return Cnf->sink().addClause(Clause);
+}
+
+bool ProblemEncoding::requireObservation(const Observation &O) {
+  sat::ClauseSink &Sink = Cnf->sink();
+  bool Ok = Sink.addClause(O.Error ? ErrorLit : ~ErrorLit);
   assert(O.Values.size() == Flat.Observations.size() &&
          "observation arity mismatch");
   for (size_t I = 0; I < Flat.Observations.size(); ++I) {
     Lit Match = Values->eqConstLit(Flat.Observations[I].Val, O.Values[I]);
-    Ok = Solver.addClause(Match) && Ok;
+    Ok = Sink.addClause(Match) && Ok;
   }
   return Ok;
 }
 
-std::vector<std::string> EncodedProblem::observationLabels() const {
+std::vector<std::string> ProblemEncoding::observationLabels() const {
   std::vector<std::string> Labels;
   for (const FlatObservation &Slot : Flat.Observations)
     Labels.push_back(Slot.Label);
   return Labels;
 }
 
-Trace EncodedProblem::decodeTrace() {
+Trace ProblemEncoding::decodeTrace(const sat::Solver &S) const {
   Trace T;
-  T.Obs = decodeObservation();
+  T.Obs = decodeObservation(S);
   T.ObsLabels = observationLabels();
   for (const ErrorSource &E : ErrorSources)
-    if (Solver.modelValue(E.L) == sat::LBool::True)
+    if (S.modelValue(E.L) == sat::LBool::True)
       T.Errors.push_back(E.Description);
 
-  for (int Ev : Model->modelOrderedAccesses(Solver)) {
+  for (int Ev : Model->modelOrderedAccesses(S)) {
     const FlatEvent &E = Flat.Events[Ev];
     TraceEntry Entry;
     Entry.Thread = E.Thread;
     Entry.IsStore = E.isStore();
-    Entry.Addr = Values->decode(Solver, E.Addr);
-    Entry.Data = Values->decode(Solver, E.Data);
+    Entry.Addr = Values->decode(S, E.Addr);
+    Entry.Data = Values->decode(S, E.Data);
     Entry.Loc = E.Loc;
     Entry.PoIndex = E.IndexInThread;
     Entry.CallLines = E.CallLines;
@@ -233,10 +238,52 @@ Trace EncodedProblem::decodeTrace() {
   return T;
 }
 
-std::vector<std::string> EncodedProblem::exceededLoops() {
+std::vector<std::string>
+ProblemEncoding::exceededLoops(const sat::Solver &S) const {
   std::vector<std::string> Keys;
   for (const MarkLit &M : ProbeMarks)
-    if (Solver.modelValue(M.L) == sat::LBool::True)
+    if (S.modelValue(M.L) == sat::LBool::True)
       Keys.push_back(M.Key);
   return Keys;
+}
+
+//===----------------------------------------------------------------------===//
+// EncodedProblem
+//===----------------------------------------------------------------------===//
+
+EncodedProblem::EncodedProblem(const lsl::Program &Prog,
+                               const std::vector<std::string> &ThreadProcs,
+                               const LoopBounds &Bounds,
+                               const ProblemConfig &Cfg)
+    : ProbeMode(Cfg.ProbeBounds) {
+  if (Cfg.ProofLog)
+    Solver.enableProofLog();
+  Cnf = std::make_unique<CnfBuilder>(Solver);
+  Enc = std::make_unique<ProblemEncoding>(*Cnf, Prog, ThreadProcs, Bounds,
+                                          Cfg);
+  // One-shot problems never retract their mode, so the mode literals are
+  // hard-asserted here. This reproduces the classic CNF exactly (keeping
+  // Unsat answers refutations of the formula alone, as the proof log and
+  // its RUP checker require) instead of solving under assumptions.
+  if (Enc->ok())
+    for (sat::Lit A : ProbeMode ? Enc->probeAssumptions()
+                                : Enc->withinBoundsAssumptions())
+      Solver.addClause(A);
+  Solver.ConflictBudget = Cfg.ConflictBudget;
+  EncodeStats &Stats = Enc->stats();
+  Stats.SatVars = Solver.numVars();
+  Stats.SatClauses = Solver.numClauses();
+  Stats.SolverMemBytes = Solver.memoryBytes();
+}
+
+sat::SolveResult EncodedProblem::solve() {
+  Timer T;
+  sat::SolveResult R = Solver.solve();
+  EncodeStats &Stats = Enc->stats();
+  Stats.SolveSeconds += T.seconds();
+  Stats.SolveCalls += 1;
+  Stats.LearntClauses = Solver.numLearnts();
+  Stats.SolverMemBytes =
+      std::max(Stats.SolverMemBytes, Solver.memoryBytes());
+  return R;
 }

@@ -11,9 +11,23 @@
 /// conditions (assumes as hard constraints, asserts and runtime-type checks
 /// as the error flag), the loop-bound marks, and the observation vector.
 ///
-/// The same class serves specification mining (Serial model, iterate with
-/// blocking clauses), inclusion checking (weak model, mismatch clauses for
-/// every specification element), and the lazy-unrolling bound probe.
+/// The encoding is split into two halves:
+///
+///  * ProblemEncoding - the pure CNF artifact plus its decode maps. Clauses
+///    flow through a CnfBuilder into whatever sat::ClauseSink the builder
+///    wraps (a live solver, or a CnfStore for a solver-free artifact); no
+///    solver is owned. Loop-bound probe marks and mismatch-clause groups
+///    are not hard-asserted - they are controlled by activation literals so
+///    one encoding serves within-bounds checking, the bound probe, and
+///    retractable specification constraints on a single incremental solver.
+///
+///  * EncodedProblem - the classic one-shot composition (own solver + one
+///    encoding), kept as the convenience entry point for tests, litmus
+///    runs, and the non-incremental reference pipeline.
+///
+/// The same encoding serves specification mining (Serial model, iterate
+/// with blocking clauses), inclusion checking (weak model, mismatch clauses
+/// for every specification element), and the lazy-unrolling bound probe.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,7 +53,9 @@ struct ProblemConfig {
   /// Use the range-analysis results to fix constants, minimize widths, and
   /// prune aliases (Fig. 11c ablation switch).
   bool RangeAnalysis = true;
-  /// Encode the bound-exceed probe instead of within-bounds checking.
+  /// For the one-shot EncodedProblem: solve() targets the bound-exceed
+  /// probe instead of within-bounds checking. (ProblemEncoding always
+  /// encodes both modes; assumptions select one per solve call.)
   bool ProbeBounds = false;
   /// Give up (Unknown) after this many conflicts; -1 = no budget.
   int64_t ConflictBudget = -1;
@@ -57,51 +73,69 @@ struct EncodeStats {
   int SatVars = 0;
   uint64_t SatClauses = 0;
   size_t SolverMemBytes = 0;
-  double SolveSeconds = 0; ///< accumulated over all solve() calls
+  double SolveSeconds = 0;  ///< accumulated over all solve() calls
+  uint64_t SolveCalls = 0;  ///< number of solve() calls charged here
+  uint64_t LearntClauses = 0; ///< learnt clauses live after the last solve
 };
 
-/// One fully encoded test problem with its solver.
-class EncodedProblem {
+/// The solver-free half: flat program, range info, value/model encoders
+/// (the decode maps), the error flag, and the activation literals. All
+/// clauses go through the CnfBuilder handed to the constructor; the caller
+/// decides whether that builder wraps a live solver or a CnfStore.
+class ProblemEncoding {
 public:
-  EncodedProblem(const lsl::Program &Prog,
-                 const std::vector<std::string> &ThreadProcs,
-                 const trans::LoopBounds &Bounds, const ProblemConfig &Cfg);
+  ProblemEncoding(encode::CnfBuilder &Cnf, const lsl::Program &Prog,
+                  const std::vector<std::string> &ThreadProcs,
+                  const trans::LoopBounds &Bounds, const ProblemConfig &Cfg);
 
   bool ok() const { return ErrorMsg.empty(); }
   const std::string &error() const { return ErrorMsg; }
 
-  /// Solves under the current constraints; accumulates solve time.
-  sat::SolveResult solve();
-
-  /// Decodes the observation of the current model (after Sat).
-  Observation decodeObservation();
-
-  /// Clause asserting "observation != O" (used both as the mining blocking
-  /// clause and as the inclusion-check constraint).
-  std::vector<sat::Lit> mismatchClause(const Observation &O);
-
-  /// Adds the clause; returns false if the solver became unsat.
-  bool addMismatch(const Observation &O) {
-    return Solver.addClause(mismatchClause(O));
+  /// Assumptions restricting the search to executions within the loop
+  /// bounds (one negated mark literal per non-restricted loop instance).
+  /// Restricted marks are hard-asserted off in both modes.
+  const std::vector<sat::Lit> &withinBoundsAssumptions() const {
+    return WithinAssumptions;
   }
 
+  /// Assumptions activating the bound-exceed probe ("at least one
+  /// non-restricted mark fires").
+  std::vector<sat::Lit> probeAssumptions() const { return {ProbeAct}; }
+
+  /// The probe activation literal itself.
+  sat::Lit probeActivation() const { return ProbeAct; }
+
+  /// Decodes the observation of the current model (after Sat).
+  Observation decodeObservation(const sat::Solver &S) const;
+
+  /// Clause asserting "observation != O" (used both as the mining blocking
+  /// clause and as the inclusion-check constraint). May create comparator
+  /// gates through the CnfBuilder.
+  std::vector<sat::Lit> mismatchClause(const Observation &O);
+
+  /// Adds the mismatch clause; with a defined \p Activation the clause only
+  /// binds while that literal is assumed (retractable constraint group).
+  /// Returns false if the sink became unsat.
+  bool addMismatch(const Observation &O,
+                   sat::Lit Activation = sat::LitUndef);
+
   /// Constrains the problem to executions with exactly observation \p O
-  /// (used by the litmus tests: "is this outcome reachable?").
+  /// (used by the litmus tests: "is this outcome reachable?"). Hard.
   bool requireObservation(const Observation &O);
 
   /// Decodes a full counterexample trace (after Sat).
-  Trace decodeTrace();
+  Trace decodeTrace(const sat::Solver &S) const;
 
-  /// Probe mode, after Sat: keys of the loop instances whose bounds were
+  /// After a Sat probe solve: keys of the loop instances whose bounds were
   /// exceeded in the current model.
-  std::vector<std::string> exceededLoops();
+  std::vector<std::string> exceededLoops(const sat::Solver &S) const;
 
   const trans::FlatProgram &flat() const { return Flat; }
+  const trans::LoopBounds &bounds() const { return Bounds; }
   const EncodeStats &stats() const { return Stats; }
+  EncodeStats &stats() { return Stats; }
   std::vector<std::string> observationLabels() const;
-
-  /// The recorded proof (nullptr unless ProblemConfig::ProofLog was set).
-  const sat::ProofLog *proofLog() const { return Solver.proofLog(); }
+  encode::CnfBuilder &cnf() { return *Cnf; }
 
 private:
   void encodeChecksAndBounds(const ProblemConfig &Cfg);
@@ -110,9 +144,9 @@ private:
       ErrorMsg = Msg;
   }
 
-  sat::Solver Solver;
-  std::unique_ptr<encode::CnfBuilder> Cnf;
+  encode::CnfBuilder *Cnf = nullptr;
   trans::FlatProgram Flat;
+  trans::LoopBounds Bounds;
   trans::RangeInfo Ranges;
   std::unique_ptr<encode::ValueEncoder> Values;
   std::unique_ptr<memmodel::MemoryModelEncoder> Model;
@@ -128,9 +162,59 @@ private:
     std::string Key;
   };
   std::vector<MarkLit> ProbeMarks;
+  std::vector<sat::Lit> WithinAssumptions;
+  sat::Lit ProbeAct;
 
   EncodeStats Stats;
   std::string ErrorMsg;
+};
+
+/// One fully encoded test problem with its own solver - the one-shot
+/// composition used by litmus runs, the test suites, and the
+/// non-incremental reference pipeline (checker::runCheckFresh).
+class EncodedProblem {
+public:
+  EncodedProblem(const lsl::Program &Prog,
+                 const std::vector<std::string> &ThreadProcs,
+                 const trans::LoopBounds &Bounds, const ProblemConfig &Cfg);
+
+  bool ok() const { return Enc->ok(); }
+  const std::string &error() const { return Enc->error(); }
+
+  /// Solves under this problem's mode (within-bounds, or the probe when
+  /// ProblemConfig::ProbeBounds was set); accumulates solve time.
+  sat::SolveResult solve();
+
+  Observation decodeObservation() { return Enc->decodeObservation(Solver); }
+  std::vector<sat::Lit> mismatchClause(const Observation &O) {
+    return Enc->mismatchClause(O);
+  }
+  bool addMismatch(const Observation &O) { return Enc->addMismatch(O); }
+  bool requireObservation(const Observation &O) {
+    return Enc->requireObservation(O);
+  }
+  Trace decodeTrace() { return Enc->decodeTrace(Solver); }
+  std::vector<std::string> exceededLoops() {
+    return Enc->exceededLoops(Solver);
+  }
+
+  const trans::FlatProgram &flat() const { return Enc->flat(); }
+  const EncodeStats &stats() const { return Enc->stats(); }
+  std::vector<std::string> observationLabels() const {
+    return Enc->observationLabels();
+  }
+
+  ProblemEncoding &encoding() { return *Enc; }
+  sat::Solver &solver() { return Solver; }
+
+  /// The recorded proof (nullptr unless ProblemConfig::ProofLog was set).
+  const sat::ProofLog *proofLog() const { return Solver.proofLog(); }
+
+private:
+  sat::Solver Solver;
+  std::unique_ptr<encode::CnfBuilder> Cnf;
+  std::unique_ptr<ProblemEncoding> Enc;
+  bool ProbeMode = false;
 };
 
 } // namespace checker

@@ -42,3 +42,48 @@ checkfence::checker::checkInclusion(EncodedProblem &Prob,
   }
   return Out;
 }
+
+InclusionOutcome checkfence::checker::checkInclusion(
+    SolveContext &Ctx, ProblemEncoding &Enc, const ObservationSet &Spec,
+    const std::vector<sat::Lit> &Assumptions) {
+  InclusionOutcome Out;
+  if (!Enc.ok()) {
+    Out.Error = Enc.error();
+    return Out;
+  }
+
+  Ctx.beginPhase();
+  // One activation literal covers the whole specification; assumed only
+  // for this check, so the probe afterwards sees the unconstrained
+  // observation space again.
+  sat::Lit Act = Ctx.newActivation();
+  bool Consistent = true;
+  for (const Observation &O : Spec)
+    Consistent = Enc.addMismatch(O, Act) && Consistent;
+  if (!Consistent) {
+    // The constraints alone are unsatisfiable: no execution escapes the
+    // specification.
+    Out.Ok = true;
+    Out.Pass = true;
+    return Out;
+  }
+
+  std::vector<sat::Lit> SolveAssumptions = Assumptions;
+  SolveAssumptions.push_back(Act);
+  sat::SolveResult R = Ctx.solveUnder(SolveAssumptions);
+  switch (R) {
+  case sat::SolveResult::Unknown:
+    Out.Error = "solver budget exhausted during inclusion check";
+    return Out;
+  case sat::SolveResult::Unsat:
+    Out.Ok = true;
+    Out.Pass = true;
+    return Out;
+  case sat::SolveResult::Sat:
+    Out.Ok = true;
+    Out.Pass = false;
+    Out.Counterexample = Enc.decodeTrace(Ctx.solver());
+    return Out;
+  }
+  return Out;
+}

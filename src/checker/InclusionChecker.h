@@ -14,7 +14,7 @@
 #ifndef CHECKFENCE_CHECKER_INCLUSIONCHECKER_H
 #define CHECKFENCE_CHECKER_INCLUSIONCHECKER_H
 
-#include "checker/Encoder.h"
+#include "checker/SolveContext.h"
 
 #include <optional>
 
@@ -32,6 +32,15 @@ struct InclusionOutcome {
 /// memory model).
 InclusionOutcome checkInclusion(EncodedProblem &Prob,
                                 const ObservationSet &Spec);
+
+/// Incremental variant: checks inclusion on \p Enc inside \p Ctx, solving
+/// under \p Assumptions (normally Enc.withinBoundsAssumptions()). The
+/// specification's mismatch clauses are gated by a fresh activation
+/// literal, so the context's solver stays usable for the bound probe and
+/// later re-checks afterwards.
+InclusionOutcome checkInclusion(SolveContext &Ctx, ProblemEncoding &Enc,
+                                const ObservationSet &Spec,
+                                const std::vector<sat::Lit> &Assumptions);
 
 } // namespace checker
 } // namespace checkfence

@@ -1,0 +1,49 @@
+//===--- SolveContext.cpp - persistent incremental solving -------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SolveContext.h"
+
+#include "support/Timing.h"
+
+using namespace checkfence;
+using namespace checkfence::checker;
+
+ProblemEncoding &
+SolveContext::encode(const lsl::Program &Prog,
+                     const std::vector<std::string> &ThreadProcs,
+                     const trans::LoopBounds &Bounds,
+                     const ProblemConfig &Cfg) {
+  Encodings.push_back(std::make_unique<ProblemEncoding>(
+      Cnf, Prog, ThreadProcs, Bounds, Cfg));
+  // The solver's budget counts lifetime conflicts; remember the per-phase
+  // allowance and arm it (phases re-arm again via beginPhase()).
+  PhaseBudget = Cfg.ConflictBudget;
+  beginPhase();
+  EncodeStats &Stats = Encodings.back()->stats();
+  // Cumulative solver size: these grow monotonically across encodings,
+  // which is exactly the property the session tests assert.
+  Stats.SatVars = Solver.numVars();
+  Stats.SatClauses = Solver.numClauses();
+  Stats.SolverMemBytes = Solver.memoryBytes();
+  return *Encodings.back();
+}
+
+sat::SolveResult
+SolveContext::solveUnder(const std::vector<sat::Lit> &Assumptions) {
+  Timer T;
+  sat::SolveResult R = Solver.solve(Assumptions);
+  double Secs = T.seconds();
+  SolveSecs += Secs;
+  if (!Encodings.empty()) {
+    EncodeStats &Stats = Encodings.back()->stats();
+    Stats.SolveSeconds += Secs;
+    Stats.SolveCalls += 1;
+    Stats.LearntClauses = Solver.numLearnts();
+    Stats.SolverMemBytes =
+        std::max(Stats.SolverMemBytes, Solver.memoryBytes());
+  }
+  return R;
+}

@@ -43,3 +43,51 @@ MiningOutcome checkfence::checker::mineSpecification(EncodedProblem &Prob,
   Out.Ok = true;
   return Out;
 }
+
+MiningOutcome checkfence::checker::mineSpecification(
+    SolveContext &Ctx, ProblemEncoding &Enc,
+    const std::vector<sat::Lit> &Assumptions, size_t MaxObservations) {
+  MiningOutcome Out;
+  if (!Enc.ok()) {
+    Out.Error = Enc.error();
+    return Out;
+  }
+
+  Ctx.beginPhase();
+  // All blocking clauses of this enumeration share one activation literal;
+  // once mining is over the literal is never assumed again and the blocked
+  // region is released (the probe must be able to revisit any observation).
+  sat::Lit Act = Ctx.newActivation();
+  std::vector<sat::Lit> SolveAssumptions = Assumptions;
+  SolveAssumptions.push_back(Act);
+
+  for (;;) {
+    sat::SolveResult R = Ctx.solveUnder(SolveAssumptions);
+    if (R == sat::SolveResult::Unknown) {
+      Out.Error = "solver budget exhausted during specification mining";
+      return Out;
+    }
+    if (R == sat::SolveResult::Unsat)
+      break;
+
+    ++Out.Iterations;
+    Observation O = Enc.decodeObservation(Ctx.solver());
+    if (O.Error) {
+      // A serial execution misbehaves: report the sequential bug.
+      Out.SequentialBug = true;
+      Out.BugTrace = Enc.decodeTrace(Ctx.solver());
+      Out.Ok = true;
+      return Out;
+    }
+    Out.Spec.insert(O);
+    if (Out.Spec.size() > MaxObservations) {
+      Out.Error = "observation set exceeds the configured limit";
+      return Out;
+    }
+    if (!Enc.addMismatch(O, Act))
+      break; // blocking clause made the formula unsat: enumeration done
+  }
+
+  Out.Ok = true;
+  return Out;
+}

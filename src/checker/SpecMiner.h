@@ -16,7 +16,7 @@
 #ifndef CHECKFENCE_CHECKER_SPECMINER_H
 #define CHECKFENCE_CHECKER_SPECMINER_H
 
-#include "checker/Encoder.h"
+#include "checker/SolveContext.h"
 
 #include <optional>
 
@@ -36,6 +36,14 @@ struct MiningOutcome {
 /// Mines the observation set on \p Prob (which must have been built with
 /// the Serial model). \p MaxObservations caps runaway enumerations.
 MiningOutcome mineSpecification(EncodedProblem &Prob,
+                                size_t MaxObservations = 1 << 20);
+
+/// Incremental variant: mines on \p Enc inside \p Ctx, solving under
+/// \p Assumptions (normally Enc.withinBoundsAssumptions()). The blocking
+/// clauses are gated by a fresh activation literal, so the context's
+/// solver stays usable for other phases (e.g. the bound probe) afterwards.
+MiningOutcome mineSpecification(SolveContext &Ctx, ProblemEncoding &Enc,
+                                const std::vector<sat::Lit> &Assumptions,
                                 size_t MaxObservations = 1 << 20);
 
 } // namespace checker

@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Builds CNF incrementally into a sat::Solver: fresh variables, constant
-/// literals, and Tseitin-encoded gates (and/or/xor/ite) with structural
-/// hashing so identical subcircuits share literals.
+/// Builds CNF incrementally into any sat::ClauseSink (a live solver or a
+/// CnfStore artifact): fresh variables, constant literals, and
+/// Tseitin-encoded gates (and/or/xor/ite) with structural hashing so
+/// identical subcircuits share literals.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,16 +28,16 @@ namespace encode {
 using sat::Lit;
 using sat::Var;
 
-/// Incremental CNF builder over a solver.
+/// Incremental CNF builder over a clause sink.
 class CnfBuilder {
 public:
-  explicit CnfBuilder(sat::Solver &S) : S(S) {
+  explicit CnfBuilder(sat::ClauseSink &S) : S(S) {
     Var T = S.newVar();
     True = Lit::make(T);
     S.addClause(True);
   }
 
-  sat::Solver &solver() { return S; }
+  sat::ClauseSink &sink() { return S; }
 
   Lit trueLit() const { return True; }
   Lit falseLit() const { return ~True; }
@@ -78,7 +79,7 @@ public:
   uint64_t numClausesAdded() const { return ClausesAdded; }
 
 private:
-  sat::Solver &S;
+  sat::ClauseSink &S;
   Lit True;
   uint64_t ClausesAdded = 0;
 

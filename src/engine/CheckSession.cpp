@@ -1,0 +1,201 @@
+//===--- CheckSession.cpp - incremental check orchestration ------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CheckSession.h"
+
+#include "checker/InclusionChecker.h"
+#include "checker/SpecMiner.h"
+#include "support/Timing.h"
+
+using namespace checkfence;
+using namespace checkfence::engine;
+using namespace checkfence::checker;
+
+void CheckSession::snapshot(int Round) {
+  SessionSnapshot S;
+  S.Round = Round;
+  S.MineVars = MineCtx.solver().numVars();
+  S.MineClauses = MineCtx.solver().numClauses();
+  S.CheckVars = CheckCtx.solver().numVars();
+  S.CheckClauses = CheckCtx.solver().numClauses();
+  Snapshots.push_back(S);
+}
+
+CheckResult CheckSession::check(const lsl::Program &ImplProg,
+                                const std::vector<std::string> &ThreadProcs,
+                                const lsl::Program *SpecProg) {
+  Timer Total;
+  CheckResult Result;
+  trans::LoopBounds Bounds = Opts.InitialBounds; // implementation bounds
+  trans::LoopBounds SpecBounds; // reference-program bounds (refset mode)
+  int ProbesLeft = Opts.MaxProbes;
+
+  const lsl::Program &MineProg = SpecProg ? *SpecProg : ImplProg;
+
+  ProblemConfig MineCfg;
+  MineCfg.Model = memmodel::ModelKind::Serial;
+  MineCfg.Order = Opts.Order;
+  MineCfg.RangeAnalysis = Opts.RangeAnalysis;
+  MineCfg.ConflictBudget = Opts.ConflictBudget;
+
+  ProblemConfig CheckCfg = MineCfg;
+  CheckCfg.Model = Opts.Model;
+
+  // Encoding reuse state for this call: the live encoding of each context
+  // and the bounds it was built for. Encodings are only rebuilt when their
+  // program's bounds changed; rebuilding appends to the same solver.
+  ProblemEncoding *MineEnc = nullptr;
+  trans::LoopBounds MineEncBounds;
+  ProblemEncoding *CheckEnc = nullptr;
+  trans::LoopBounds CheckEncBounds;
+
+  // Mining result cache: (bounds of the mined program) -> spec already in
+  // Result.Spec. Valid while the mined program's bounds are unchanged.
+  bool HaveSpec = false;
+  trans::LoopBounds SpecForBounds;
+
+  auto Finish = [&](CheckStatus Status, const std::string &Msg) {
+    Result.Status = Status;
+    Result.Message = Msg;
+    Result.Stats.TotalSeconds = Total.seconds();
+    return Result;
+  };
+
+  for (int Iter = 0; Iter < Opts.MaxBoundIterations; ++Iter) {
+    Result.Stats.BoundIterations = Iter + 1;
+    trans::LoopBounds &MineBounds = SpecProg ? SpecBounds : Bounds;
+
+    // Phase 1: specification mining under the Serial model. Skipped when
+    // the mined program's bounds are unchanged - re-enumerating would
+    // reproduce the identical observation set.
+    if (!HaveSpec || SpecForBounds != MineBounds) {
+      Timer MineTimer;
+      if (!MineEnc || MineEncBounds != MineBounds) {
+        MineEnc = &MineCtx.encode(MineProg, ThreadProcs, MineBounds,
+                                  MineCfg);
+        MineEncBounds = MineBounds;
+        Result.Stats.MiningEncodeSeconds += MineEnc->stats().EncodeSeconds;
+      }
+      double SolveBefore = MineEnc->stats().SolveSeconds;
+      MiningOutcome Mined =
+          mineSpecification(MineCtx, *MineEnc,
+                            MineEnc->withinBoundsAssumptions(),
+                            Opts.MaxObservations);
+      Result.Stats.MiningSeconds += MineTimer.seconds();
+      Result.Stats.MiningSolveSeconds +=
+          MineEnc->stats().SolveSeconds - SolveBefore;
+      if (!Mined.Ok)
+        return Finish(CheckStatus::Error, Mined.Error);
+      if (Mined.SequentialBug) {
+        Result.Counterexample = Mined.BugTrace;
+        return Finish(
+            CheckStatus::SequentialBug,
+            "a serial execution raises an error (see counterexample)");
+      }
+      Result.Spec = std::move(Mined.Spec);
+      Result.Stats.ObservationCount = static_cast<int>(Result.Spec.size());
+      HaveSpec = true;
+      SpecForBounds = MineBounds;
+    }
+
+    // Phase 2: inclusion check under the target model. Shares its encoding
+    // with the bound probe of this round (and reuses the final probe
+    // encoding of the previous round when the bounds stabilized there).
+    if (!CheckEnc || CheckEncBounds != Bounds) {
+      CheckEnc = &CheckCtx.encode(ImplProg, ThreadProcs, Bounds, CheckCfg);
+      CheckEncBounds = Bounds;
+    }
+    {
+      EncodeStats Before = CheckEnc->stats();
+      InclusionOutcome Inc =
+          checkInclusion(CheckCtx, *CheckEnc, Result.Spec,
+                         CheckEnc->withinBoundsAssumptions());
+      // Report this inclusion check's own solving effort; the shared
+      // encoding's counters also accumulate probe solves (those are
+      // charged to ProbeSeconds).
+      Result.Stats.Inclusion = CheckEnc->stats();
+      Result.Stats.Inclusion.SolveSeconds -= Before.SolveSeconds;
+      Result.Stats.Inclusion.SolveCalls -= Before.SolveCalls;
+      if (!Inc.Ok)
+        return Finish(CheckStatus::Error, Inc.Error);
+      if (!Inc.Pass) {
+        // Counterexamples hold regardless of bounds (Sec. 3.3).
+        Result.Counterexample = Inc.Counterexample;
+        Result.FinalBounds = Bounds;
+        snapshot(Iter + 1);
+        return Finish(CheckStatus::Fail,
+                      "inclusion check found a counterexample");
+      }
+    }
+
+    // Phase 3: probe for executions that exceed the current loop bounds,
+    // growing exactly the exceeded loop instances until none remain (or
+    // the probe budget runs out). The probe re-solves the inclusion
+    // encoding under the probe activation literal; each growth appends a
+    // re-unrolled encoding to the same solver.
+    bool Grown = false;
+    while (ProbesLeft-- > 0) {
+      Timer ProbeTimer;
+      if (!CheckEnc->ok())
+        return Finish(CheckStatus::Error, CheckEnc->error());
+      CheckCtx.beginPhase(); // each probe gets its own conflict allowance
+      sat::SolveResult R =
+          CheckCtx.solveUnder(CheckEnc->probeAssumptions());
+      Result.Stats.ProbeSeconds += ProbeTimer.seconds();
+      if (R == sat::SolveResult::Unknown)
+        return Finish(CheckStatus::Error,
+                      "solver budget exhausted during bound probe");
+      if (R == sat::SolveResult::Unsat)
+        break;
+      bool GrewThisProbe = false;
+      for (const std::string &Key :
+           CheckEnc->exceededLoops(CheckCtx.solver())) {
+        int &B = Bounds[Key];
+        B = (B == 0 ? 1 : B) + 1;
+        GrewThisProbe = true;
+      }
+      if (!GrewThisProbe)
+        return Finish(CheckStatus::Error,
+                      "bound probe satisfiable but no mark decoded");
+      Grown = true;
+      CheckEnc = &CheckCtx.encode(ImplProg, ThreadProcs, Bounds, CheckCfg);
+      CheckEncBounds = Bounds;
+    }
+    if (ProbesLeft < 0) {
+      Result.FinalBounds = Bounds;
+      snapshot(Iter + 1);
+      return Finish(CheckStatus::BoundsExhausted,
+                    "loop bounds kept growing past the probe limit");
+    }
+
+    // Probe the reference program separately when mining from it: the
+    // mining encoding doubles as the probe (its blocking clauses were
+    // activation-gated and are no longer assumed).
+    if (!Grown && SpecProg && MineEnc && MineEnc->ok()) {
+      MineCtx.beginPhase();
+      if (MineCtx.solveUnder(MineEnc->probeAssumptions()) ==
+          sat::SolveResult::Sat) {
+        for (const std::string &Key :
+             MineEnc->exceededLoops(MineCtx.solver())) {
+          int &B = SpecBounds[Key];
+          B = (B == 0 ? 1 : B) + 1;
+          Grown = true;
+        }
+      }
+    }
+
+    snapshot(Iter + 1);
+    if (!Grown) {
+      Result.FinalBounds = Bounds;
+      return Finish(CheckStatus::Pass,
+                    "all executions are observationally serial");
+    }
+  }
+
+  Result.FinalBounds = Bounds;
+  return Finish(CheckStatus::BoundsExhausted,
+                "loop bounds kept growing past the iteration limit");
+}

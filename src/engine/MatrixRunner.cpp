@@ -1,0 +1,179 @@
+//===--- MatrixRunner.cpp - parallel (impl x test x model) runs --------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/MatrixRunner.h"
+
+#include "support/Format.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+using namespace checkfence;
+using namespace checkfence::engine;
+using checker::CheckStatus;
+
+void checkfence::engine::parallelFor(
+    int Jobs, size_t Count, const std::function<void(size_t)> &Body) {
+  if (Jobs <= 1 || Count <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  size_t Workers = static_cast<size_t>(Jobs) < Count
+                       ? static_cast<size_t>(Jobs)
+                       : Count;
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (size_t W = 0; W < Workers; ++W)
+    Pool.emplace_back([&] {
+      for (;;) {
+        size_t I = Next.fetch_add(1);
+        if (I >= Count)
+          return;
+        Body(I);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+std::string MatrixCell::label() const {
+  return Impl + ":" + Test + ":" + memmodel::modelName(Model);
+}
+
+int MatrixReport::countWithStatus(CheckStatus S) const {
+  int N = 0;
+  for (const MatrixCellResult &C : Cells)
+    N += C.Result.Status == S;
+  return N;
+}
+
+bool MatrixReport::allCompleted() const {
+  return countWithStatus(CheckStatus::Error) == 0;
+}
+
+std::string checkfence::engine::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string MatrixReport::json(bool IncludeTimings) const {
+  std::ostringstream OS;
+  OS << "{\n";
+  if (IncludeTimings)
+    OS << formatString("  \"jobs\": %d,\n  \"wall_seconds\": %.3f,\n",
+                       Jobs, WallSeconds);
+  OS << formatString(
+      "  \"summary\": {\"pass\": %d, \"fail\": %d, \"sequential_bug\": %d, "
+      "\"bounds_exhausted\": %d, \"error\": %d},\n",
+      countWithStatus(CheckStatus::Pass), countWithStatus(CheckStatus::Fail),
+      countWithStatus(CheckStatus::SequentialBug),
+      countWithStatus(CheckStatus::BoundsExhausted),
+      countWithStatus(CheckStatus::Error));
+  OS << "  \"cells\": [\n";
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    const MatrixCellResult &C = Cells[I];
+    const checker::CheckResult &R = C.Result;
+    const checker::EncodeStats &E = R.Stats.Inclusion;
+    OS << "    {";
+    OS << formatString(
+        "\"impl\": \"%s\", \"test\": \"%s\", \"model\": \"%s\", "
+        "\"status\": \"%s\", \"message\": \"%s\", \"observations\": %d, "
+        "\"bound_iterations\": %d, \"unrolled_instrs\": %d, "
+        "\"loads\": %d, \"stores\": %d, \"sat_vars\": %d, "
+        "\"sat_clauses\": %llu",
+        jsonEscape(C.Cell.Impl).c_str(), jsonEscape(C.Cell.Test).c_str(),
+        memmodel::modelName(C.Cell.Model),
+        checker::checkStatusName(R.Status), jsonEscape(R.Message).c_str(),
+        R.Stats.ObservationCount, R.Stats.BoundIterations,
+        E.UnrolledInstrs, E.Loads, E.Stores, E.SatVars,
+        static_cast<unsigned long long>(E.SatClauses));
+    if (R.Counterexample)
+      OS << formatString(
+          ", \"counterexample\": \"%s\"",
+          jsonEscape(R.Counterexample->Obs.str(
+                         R.Counterexample->ObsLabels))
+              .c_str());
+    if (IncludeTimings)
+      OS << formatString(
+          ", \"seconds\": %.3f, \"encode_seconds\": %.3f, "
+          "\"solve_seconds\": %.3f, \"mining_seconds\": %.3f",
+          C.Seconds, E.EncodeSeconds, E.SolveSeconds,
+          R.Stats.MiningSeconds);
+    OS << "}";
+    if (I + 1 < Cells.size())
+      OS << ",";
+    OS << "\n";
+  }
+  OS << "  ]\n}\n";
+  return OS.str();
+}
+
+std::string MatrixReport::table() const {
+  std::ostringstream OS;
+  OS << formatString("%-10s %-8s %-8s %-16s %8s %6s %9s\n", "impl", "test",
+                     "model", "status", "obs", "iters", "seconds");
+  for (const MatrixCellResult &C : Cells) {
+    const checker::CheckResult &R = C.Result;
+    OS << formatString("%-10s %-8s %-8s %-16s %8d %6d %9.2f\n",
+                       C.Cell.Impl.c_str(), C.Cell.Test.c_str(),
+                       memmodel::modelName(C.Cell.Model),
+                       checker::checkStatusName(R.Status),
+                       R.Stats.ObservationCount, R.Stats.BoundIterations,
+                       C.Seconds);
+  }
+  OS << formatString("%d cells: %d pass, %d fail, %d error (%.2fs wall, "
+                     "%d jobs)\n",
+                     static_cast<int>(Cells.size()),
+                     countWithStatus(CheckStatus::Pass),
+                     countWithStatus(CheckStatus::Fail) +
+                         countWithStatus(CheckStatus::SequentialBug),
+                     countWithStatus(CheckStatus::Error), WallSeconds,
+                     Jobs);
+  return OS.str();
+}
+
+MatrixReport MatrixRunner::run(const std::vector<MatrixCell> &Cells,
+                               const CellFn &Run) const {
+  MatrixReport Report;
+  Report.Jobs = Jobs;
+  Report.Cells.resize(Cells.size());
+  Timer Wall;
+  parallelFor(Jobs, Cells.size(), [&](size_t I) {
+    Timer CellTimer;
+    MatrixCellResult &Out = Report.Cells[I];
+    Out.Cell = Cells[I];
+    Out.Result = Run(Cells[I]);
+    Out.Seconds = CellTimer.seconds();
+  });
+  Report.WallSeconds = Wall.seconds();
+  return Report;
+}

@@ -1,0 +1,96 @@
+//===--- MatrixRunner.h - parallel (impl x test x model) runs ---*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation (Fig. 10/11) is a matrix: every implementation
+/// against every applicable Fig. 8 test under every memory model of
+/// interest. MatrixRunner executes such a matrix across a worker thread
+/// pool. Cells are independent (each runs its own CheckSession), results
+/// are aggregated by cell index, and the report is deterministic: the same
+/// matrix yields byte-identical timing-free JSON at any job count.
+///
+/// The engine layer does not know how to turn cell names into programs -
+/// that is the harness's job (harness::catalogCellRunner); the runner just
+/// schedules an abstract cell function. parallelFor is exposed separately
+/// for other embarrassingly parallel check workloads (e.g. the fence
+/// minimization pass).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_ENGINE_MATRIXRUNNER_H
+#define CHECKFENCE_ENGINE_MATRIXRUNNER_H
+
+#include "checker/CheckFence.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace engine {
+
+/// Runs \p Body(I) for every I in [0, Count) on up to \p Jobs worker
+/// threads (Jobs <= 1 runs inline). Blocks until all iterations finished.
+/// \p Body must be safe to call concurrently for distinct indices.
+void parallelFor(int Jobs, size_t Count,
+                 const std::function<void(size_t)> &Body);
+
+/// Escapes \p S for embedding in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+/// One cell of the evaluation matrix.
+struct MatrixCell {
+  std::string Impl; ///< implementation name (harness resolves it)
+  std::string Test; ///< catalog test name
+  memmodel::ModelKind Model = memmodel::ModelKind::Relaxed;
+
+  std::string label() const;
+};
+
+/// Maps a cell to its check result. Implementations must be thread-safe.
+using CellFn = std::function<checker::CheckResult(const MatrixCell &)>;
+
+struct MatrixCellResult {
+  MatrixCell Cell;
+  checker::CheckResult Result;
+  double Seconds = 0;
+};
+
+struct MatrixReport {
+  std::vector<MatrixCellResult> Cells; ///< in input-matrix order
+  int Jobs = 1;
+  double WallSeconds = 0;
+
+  int countWithStatus(checker::CheckStatus S) const;
+  /// True when no cell ended in CheckStatus::Error.
+  bool allCompleted() const;
+
+  /// Machine-readable report. With \p IncludeTimings false the output
+  /// depends only on the matrix and the verdicts - byte-identical across
+  /// job counts and machines.
+  std::string json(bool IncludeTimings = true) const;
+
+  /// Human-readable fixed-width table.
+  std::string table() const;
+};
+
+class MatrixRunner {
+public:
+  explicit MatrixRunner(int Jobs) : Jobs(Jobs < 1 ? 1 : Jobs) {}
+
+  /// Runs every cell through \p Run on the worker pool and aggregates
+  /// deterministically (results land at their cell's index).
+  MatrixReport run(const std::vector<MatrixCell> &Cells,
+                   const CellFn &Run) const;
+
+private:
+  int Jobs;
+};
+
+} // namespace engine
+} // namespace checkfence
+
+#endif // CHECKFENCE_ENGINE_MATRIXRUNNER_H

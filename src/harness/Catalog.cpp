@@ -7,6 +7,7 @@
 #include "harness/Catalog.h"
 
 #include "frontend/Lowering.h"
+#include "impls/Impls.h"
 
 #include <cassert>
 #include <cstdio>
@@ -112,24 +113,27 @@ const std::vector<CatalogEntry> &checkfence::harness::extensionTests() {
   return Tests;
 }
 
-TestSpec checkfence::harness::testByName(const std::string &Name) {
+const CatalogEntry *
+checkfence::harness::findCatalogEntry(const std::string &Name) {
   for (const std::vector<CatalogEntry> *List :
-       {&paperTests(), &extensionTests()}) {
-    for (const CatalogEntry &E : *List) {
-      if (E.Name != Name)
-        continue;
-      TestSpec Spec;
-      std::string Err;
-      bool Ok =
-          parseTestNotation(E.Notation, alphabetFor(E.Kind), Spec, Err);
-      if (!Ok) {
-        std::fprintf(stderr, "catalog test %s failed to parse: %s\n",
-                     Name.c_str(), Err.c_str());
-        std::abort();
-      }
-      Spec.Name = Name;
-      return Spec;
+       {&paperTests(), &extensionTests()})
+    for (const CatalogEntry &E : *List)
+      if (E.Name == Name)
+        return &E;
+  return nullptr;
+}
+
+TestSpec checkfence::harness::testByName(const std::string &Name) {
+  if (const CatalogEntry *E = findCatalogEntry(Name)) {
+    TestSpec Spec;
+    std::string Err;
+    if (!parseTestNotation(E->Notation, alphabetFor(E->Kind), Spec, Err)) {
+      std::fprintf(stderr, "catalog test %s failed to parse: %s\n",
+                   Name.c_str(), Err.c_str());
+      std::abort();
     }
+    Spec.Name = Name;
+    return Spec;
   }
   std::fprintf(stderr, "unknown catalog test '%s'\n", Name.c_str());
   std::abort();
@@ -170,4 +174,75 @@ checkfence::harness::runTest(const std::string &ImplSource,
 
   return checker::runCheck(Impl, Threads, Opts.Check,
                            UseSpec ? &SpecProg : nullptr);
+}
+
+std::vector<engine::MatrixCell> checkfence::harness::expandMatrix(
+    const std::vector<std::string> &Impls,
+    const std::vector<std::string> &Tests,
+    const std::vector<memmodel::ModelKind> &Models) {
+  std::vector<std::string> UseImpls = Impls;
+  if (UseImpls.empty())
+    for (const impls::ImplInfo &I : impls::allImpls())
+      UseImpls.push_back(I.Name);
+  std::vector<memmodel::ModelKind> UseModels = Models;
+  if (UseModels.empty())
+    UseModels.push_back(memmodel::ModelKind::Relaxed);
+
+  std::vector<engine::MatrixCell> Cells;
+  for (const std::string &Impl : UseImpls) {
+    const impls::ImplInfo *Info = impls::findImpl(Impl);
+    std::string Kind = Info ? Info->Kind : "";
+    std::vector<std::string> UseTests = Tests;
+    if (UseTests.empty()) {
+      for (const std::vector<CatalogEntry> *List :
+           {&paperTests(), &extensionTests()})
+        for (const CatalogEntry &E : *List)
+          if (E.Kind == Kind)
+            UseTests.push_back(E.Name);
+    }
+    if (!Info && UseTests.empty())
+      UseTests.push_back("?"); // keep a cell so the runner reports the typo
+    for (const std::string &Test : UseTests) {
+      const CatalogEntry *E = findCatalogEntry(Test);
+      if (E && !Kind.empty() && E->Kind != Kind)
+        continue; // kind mismatch: the impl cannot run this test
+      for (memmodel::ModelKind Model : UseModels) {
+        engine::MatrixCell Cell;
+        Cell.Impl = Impl;
+        Cell.Test = Test;
+        Cell.Model = Model;
+        Cells.push_back(Cell);
+      }
+    }
+  }
+  return Cells;
+}
+
+engine::CellFn
+checkfence::harness::catalogCellRunner(const RunOptions &Base) {
+  return [Base](const engine::MatrixCell &Cell) -> checker::CheckResult {
+    checker::CheckResult R;
+    if (!impls::findImpl(Cell.Impl)) {
+      R.Status = checker::CheckStatus::Error;
+      R.Message = "unknown implementation '" + Cell.Impl + "'";
+      return R;
+    }
+    const CatalogEntry *E = findCatalogEntry(Cell.Test);
+    if (!E) {
+      R.Status = checker::CheckStatus::Error;
+      R.Message = "unknown catalog test '" + Cell.Test + "'";
+      return R;
+    }
+    TestSpec Spec;
+    std::string Err;
+    if (!parseTestNotation(E->Notation, alphabetFor(E->Kind), Spec, Err)) {
+      R.Status = checker::CheckStatus::Error;
+      R.Message = "catalog test " + Cell.Test + " failed to parse: " + Err;
+      return R;
+    }
+    Spec.Name = E->Name;
+    RunOptions Opts = Base;
+    Opts.Check.Model = Cell.Model;
+    return runTest(impls::sourceFor(Cell.Impl), Spec, Opts);
+  };
 }

@@ -15,6 +15,7 @@
 #define CHECKFENCE_HARNESS_CATALOG_H
 
 #include "checker/CheckFence.h"
+#include "engine/MatrixRunner.h"
 #include "harness/TestSpec.h"
 
 #include <set>
@@ -50,6 +51,9 @@ const std::vector<CatalogEntry> &extensionTests();
 /// aborts on unknown names (programming error in callers).
 TestSpec testByName(const std::string &Name);
 
+/// Looks a catalog test up by name; nullptr for unknown names.
+const CatalogEntry *findCatalogEntry(const std::string &Name);
+
 /// Alphabet for a data-type kind ("queue"/"set"/"deque"/"stack").
 OpAlphabet alphabetFor(const std::string &Kind);
 
@@ -67,6 +71,22 @@ struct RunOptions {
 
 checker::CheckResult runTest(const std::string &ImplSource,
                              const TestSpec &Test, const RunOptions &Opts);
+
+/// Expands an evaluation matrix over catalog names: every (impl, test,
+/// model) combination whose test kind matches the implementation's
+/// data-type kind. An empty \p Impls means every implementation, an empty
+/// \p Tests means every catalog test of the implementation's kind (paper
+/// and extension tests), and an empty \p Models means the Relaxed model.
+std::vector<engine::MatrixCell>
+expandMatrix(const std::vector<std::string> &Impls,
+             const std::vector<std::string> &Tests,
+             const std::vector<memmodel::ModelKind> &Models);
+
+/// A thread-safe engine::CellFn that resolves cell names against the
+/// implementation table and the Fig. 8 catalog and runs the full check
+/// with \p Base options (the cell's model overrides Base.Check.Model).
+/// Unknown names produce CheckStatus::Error results instead of aborting.
+engine::CellFn catalogCellRunner(const RunOptions &Base);
 
 } // namespace harness
 } // namespace checkfence

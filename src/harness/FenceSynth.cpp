@@ -6,11 +6,13 @@
 
 #include "harness/FenceSynth.h"
 
+#include "engine/MatrixRunner.h"
 #include "frontend/Lowering.h"
 #include "support/Format.h"
 #include "support/Timing.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 
 using namespace checkfence;
@@ -178,11 +180,14 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
                                       const SynthOptions &Opts) {
   SynthResult Result;
   Timer Total;
+  std::atomic<int> ChecksRun{0};
 
+  // Thread-safe: compiles its own program and runs its own CheckSession,
+  // so the minimization pass can fan these out across workers.
   auto RunOnce = [&](const TestSpec &Test,
                      const std::vector<FencePlacement> &Fences)
       -> CheckResult {
-    ++Result.ChecksRun;
+    ++ChecksRun;
     frontend::LoweringOptions LO;
     LO.StripFences = Opts.StripFences;
     frontend::DiagEngine Diags;
@@ -201,6 +206,7 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
   auto Fail = [&](const std::string &Msg) {
     Result.Success = false;
     Result.Message = Msg;
+    Result.ChecksRun = ChecksRun;
     Result.TotalSeconds = Total.seconds();
     return Result;
   };
@@ -250,18 +256,21 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
   }
 
   // Necessity pass: drop any fence whose removal keeps all tests passing.
+  // Candidates are tried one at a time (each removal changes the baseline
+  // for the next), but the per-test re-checks of one candidate are
+  // independent and fan out across the worker pool.
   if (Opts.Minimize) {
     for (size_t I = Placed.size(); I-- > 0;) {
       std::vector<FencePlacement> Without = Placed;
       Without.erase(Without.begin() + I);
-      bool AllPass = true;
-      for (const TestSpec &Test : Tests) {
-        if (!RunOnce(Test, Without).passed()) {
-          AllPass = false;
-          break;
-        }
-      }
-      if (AllPass) {
+      std::atomic<bool> AnyFail{false};
+      engine::parallelFor(Opts.Jobs, Tests.size(), [&](size_t T) {
+        if (AnyFail.load())
+          return; // a sibling already refuted this removal
+        if (!RunOnce(Tests[T], Without).passed())
+          AnyFail.store(true);
+      });
+      if (!AnyFail) {
         Result.Log.push_back(
             formatString("minimize: %s is redundant, removing",
                          placementStr(Placed[I]).c_str()));
@@ -276,6 +285,7 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
   Result.Success = true;
   Result.Message = formatString("%d fences suffice",
                                 static_cast<int>(Result.Fences.size()));
+  Result.ChecksRun = ChecksRun;
   Result.TotalSeconds = Total.seconds();
   return Result;
 }

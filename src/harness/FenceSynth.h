@@ -70,6 +70,11 @@ struct SynthOptions {
   int MaxFences = 24;
   /// Drop fences that are not needed by any test (necessity check).
   bool Minimize = true;
+  /// Worker threads for the minimization pass (each removal candidate
+  /// re-checks every test; the per-test checks run in parallel). The
+  /// repair loop itself is inherently sequential (each placement depends
+  /// on the previous counterexample).
+  int Jobs = 1;
 };
 
 struct SynthResult {

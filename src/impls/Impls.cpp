@@ -38,6 +38,14 @@ const std::vector<ImplInfo> &checkfence::impls::allImpls() {
   return Impls;
 }
 
+const checkfence::impls::ImplInfo *
+checkfence::impls::findImpl(const std::string &Name) {
+  for (const ImplInfo &I : allImpls())
+    if (I.Name == Name)
+      return &I;
+  return nullptr;
+}
+
 std::string checkfence::impls::preludeSource() {
   return R"CF(
 /* ---- CheckFence-C prelude: synchronization primitives ---- */

@@ -44,6 +44,9 @@ struct ImplInfo {
 /// The five implementations of Table 1.
 const std::vector<ImplInfo> &allImpls();
 
+/// Looks an implementation up by name; nullptr for unknown names.
+const ImplInfo *findImpl(const std::string &Name);
+
 /// Full CheckFence-C source (prelude + implementation + test wrappers).
 std::string sourceFor(const std::string &Name);
 

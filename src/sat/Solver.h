@@ -87,6 +87,29 @@ inline LBool negate(LBool B) {
 /// Result of a solve() call.
 enum class SolveResult { Sat, Unsat, Unknown };
 
+/// Anything that accepts fresh variables and clauses: the live Solver, or a
+/// CnfStore (sat/CnfStore.h) capturing a solver-free CNF artifact that can
+/// later be replayed into a solver. The encoding layers (encode/, memmodel/,
+/// checker/) build against this interface so the same encoder can target
+/// either destination.
+class ClauseSink {
+public:
+  virtual ~ClauseSink() = default;
+
+  /// Creates a fresh variable and returns it.
+  virtual Var newVar() = 0;
+
+  /// Adds a clause. Returns false if the sink is now known unsatisfiable
+  /// (always true for pure stores, which do no reasoning).
+  virtual bool addClause(const std::vector<Lit> &Lits) = 0;
+
+  bool addClause(Lit A) { return addClause(std::vector<Lit>{A}); }
+  bool addClause(Lit A, Lit B) { return addClause(std::vector<Lit>{A, B}); }
+  bool addClause(Lit A, Lit B, Lit C) {
+    return addClause(std::vector<Lit>{A, B, C});
+  }
+};
+
 /// Aggregate counters exposed for the statistics tables (Fig. 10).
 struct SolverStats {
   uint64_t Conflicts = 0;
@@ -106,27 +129,23 @@ struct SolverStats {
 /// \endcode
 /// After solve() returns, more clauses and variables may be added and
 /// solve() called again (incremental use).
-class Solver {
+class Solver : public ClauseSink {
 public:
   Solver();
-  ~Solver();
+  ~Solver() override;
 
   Solver(const Solver &) = delete;
   Solver &operator=(const Solver &) = delete;
 
   /// Creates a fresh variable and returns it.
-  Var newVar();
+  Var newVar() override;
 
   int numVars() const { return static_cast<int>(Assigns.size()); }
 
   /// Adds a clause. Returns false if the solver is now known unsatisfiable
   /// (e.g. the clause is empty after level-0 simplification).
-  bool addClause(const std::vector<Lit> &Lits);
-  bool addClause(Lit A) { return addClause(std::vector<Lit>{A}); }
-  bool addClause(Lit A, Lit B) { return addClause(std::vector<Lit>{A, B}); }
-  bool addClause(Lit A, Lit B, Lit C) {
-    return addClause(std::vector<Lit>{A, B, C});
-  }
+  bool addClause(const std::vector<Lit> &Lits) override;
+  using ClauseSink::addClause;
 
   /// Solves under the given assumptions. Assumptions are temporary unit
   /// clauses for this call only.

@@ -1,0 +1,267 @@
+//===--- EngineTests.cpp - session engine and matrix runner tests ----------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// The session engine must be a pure optimization: for any cell it returns
+// the same verdict and the same mined observation set as the from-scratch
+// pipeline, while keeping one persistent solver per memory model whose
+// variable/clause counts only ever grow across the mine/include/probe
+// phases and the lazy-unrolling bound iterations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CheckSession.h"
+#include "engine/MatrixRunner.h"
+#include "frontend/Lowering.h"
+#include "harness/Catalog.h"
+#include "impls/Impls.h"
+#include "sat/CnfStore.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+
+using namespace checkfence;
+using namespace checkfence::checker;
+using namespace checkfence::engine;
+using namespace checkfence::harness;
+
+namespace {
+
+bool compileInto(const std::string &Source, lsl::Program &Prog) {
+  frontend::DiagEngine Diags;
+  return frontend::compileC(Source, {}, Prog, Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental vs from-scratch equivalence.
+//===----------------------------------------------------------------------===//
+
+/// Checks one (source, test) cell under \p Model through both pipelines
+/// and asserts identical verdicts and observation sets.
+void expectSessionMatchesFresh(const std::string &Source,
+                               const std::string &Test,
+                               memmodel::ModelKind Model) {
+  lsl::Program Prog;
+  ASSERT_TRUE(compileInto(Source, Prog));
+  TestSpec Spec = testByName(Test);
+  std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
+
+  CheckOptions Opts;
+  Opts.Model = Model;
+
+  CheckResult Fresh = runCheckFresh(Prog, Threads, Opts);
+
+  CheckSession Session(Opts);
+  CheckResult Inc = Session.check(Prog, Threads);
+
+  SCOPED_TRACE(Test + " on " + memmodel::modelName(Model));
+  EXPECT_EQ(Inc.Status, Fresh.Status)
+      << "session: " << Inc.Message << " / fresh: " << Fresh.Message;
+  EXPECT_EQ(Inc.Spec, Fresh.Spec);
+  // Note: FinalBounds may legitimately differ - a satisfiable probe's
+  // model (and hence which loop instances grow first) depends on solver
+  // state. Verdict and observation set may not.
+}
+
+TEST(SessionEquivalence, RefQueueT0AllModels) {
+  for (memmodel::ModelKind M :
+       {memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::TSO,
+        memmodel::ModelKind::Relaxed})
+    expectSessionMatchesFresh(impls::referenceFor("queue"), "T0", M);
+}
+
+TEST(SessionEquivalence, RefQueueTi2AllModels) {
+  for (memmodel::ModelKind M :
+       {memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::TSO,
+        memmodel::ModelKind::Relaxed})
+    expectSessionMatchesFresh(impls::referenceFor("queue"), "Ti2", M);
+}
+
+TEST(SessionEquivalence, RefSetS1AllModels) {
+  for (memmodel::ModelKind M :
+       {memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::TSO,
+        memmodel::ModelKind::Relaxed})
+    expectSessionMatchesFresh(impls::referenceFor("set"), "S1", M);
+}
+
+TEST(SessionEquivalence, MsnT0RelaxedWithAndWithoutFences) {
+  // A PASS cell with bound growth and a FAIL cell (counterexample path).
+  expectSessionMatchesFresh(impls::sourceFor("msn"), "T0",
+                            memmodel::ModelKind::Relaxed);
+
+  frontend::LoweringOptions LO;
+  LO.StripFences = true;
+  frontend::DiagEngine Diags;
+  lsl::Program Stripped;
+  ASSERT_TRUE(frontend::compileC(impls::sourceFor("msn"), {}, Stripped,
+                                 Diags, LO));
+  TestSpec Spec = testByName("T0");
+  std::vector<std::string> Threads = buildTestThreads(Stripped, Spec);
+  CheckOptions Opts;
+  Opts.Model = memmodel::ModelKind::Relaxed;
+  CheckResult Fresh = runCheckFresh(Stripped, Threads, Opts);
+  CheckSession Session(Opts);
+  CheckResult Inc = Session.check(Stripped, Threads);
+  EXPECT_EQ(Fresh.Status, CheckStatus::Fail);
+  EXPECT_EQ(Inc.Status, CheckStatus::Fail);
+  ASSERT_TRUE(Inc.Counterexample.has_value());
+  // The specific counterexample model may differ between pipelines, but
+  // both must exhibit an observation outside the (identical) spec.
+  EXPECT_EQ(Inc.Spec, Fresh.Spec);
+  EXPECT_EQ(Inc.Spec.count(Inc.Counterexample->Obs), 0u);
+}
+
+TEST(SessionEquivalence, RefspecModeMatches) {
+  // Refset mining (Fig. 11a): spec mined from the reference queue while
+  // checking msn. Exercises the second persistent context's probe reuse.
+  lsl::Program Impl, Ref;
+  ASSERT_TRUE(compileInto(impls::sourceFor("msn"), Impl));
+  ASSERT_TRUE(compileInto(impls::referenceFor("queue"), Ref));
+  TestSpec Spec = testByName("T0");
+  std::vector<std::string> Threads = buildTestThreads(Impl, Spec);
+  std::vector<std::string> RefThreads = buildTestThreads(Ref, Spec);
+  ASSERT_EQ(Threads, RefThreads);
+
+  CheckOptions Opts;
+  Opts.Model = memmodel::ModelKind::Relaxed;
+  CheckResult Fresh = runCheckFresh(Impl, Threads, Opts, &Ref);
+  CheckSession Session(Opts);
+  CheckResult Inc = Session.check(Impl, Threads, &Ref);
+  EXPECT_EQ(Inc.Status, Fresh.Status)
+      << "session: " << Inc.Message << " / fresh: " << Fresh.Message;
+  EXPECT_EQ(Inc.Spec, Fresh.Spec);
+}
+
+//===----------------------------------------------------------------------===//
+// The no-reset property: one persistent solver across phases and bounds.
+//===----------------------------------------------------------------------===//
+
+TEST(SessionSolverGrowth, VarsAndClausesGrowMonotonically) {
+  // msn T0 on Relaxed needs a bound growth round (retry loops), so the
+  // session runs >= 2 bound iterations and >= 2 inclusion encodings - all
+  // on the same target-model solver.
+  lsl::Program Prog;
+  ASSERT_TRUE(compileInto(impls::sourceFor("msn"), Prog));
+  TestSpec Spec = testByName("T0");
+  std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
+
+  CheckOptions Opts;
+  Opts.Model = memmodel::ModelKind::Relaxed;
+  CheckSession Session(Opts);
+  CheckResult R = Session.check(Prog, Threads);
+  ASSERT_EQ(R.Status, CheckStatus::Pass) << R.Message;
+
+  const std::vector<SessionSnapshot> &Snaps = Session.snapshots();
+  ASSERT_GE(Snaps.size(), 2u) << "expected a bound-growth round";
+  for (size_t I = 1; I < Snaps.size(); ++I) {
+    // Monotone, never reset.
+    EXPECT_GE(Snaps[I].CheckVars, Snaps[I - 1].CheckVars);
+    EXPECT_GE(Snaps[I].CheckClauses, Snaps[I - 1].CheckClauses);
+    EXPECT_GE(Snaps[I].MineVars, Snaps[I - 1].MineVars);
+    EXPECT_GE(Snaps[I].MineClauses, Snaps[I - 1].MineClauses);
+  }
+  // The growth round appended a re-unrolled encoding: strictly more vars.
+  EXPECT_GT(Snaps.back().CheckVars, Snaps.front().CheckVars);
+
+  // The snapshots describe the live solvers, not copies.
+  EXPECT_EQ(Session.checkContext().solver().numVars(),
+            Snaps.back().CheckVars);
+  EXPECT_EQ(Session.mineContext().solver().numVars(),
+            Snaps.back().MineVars);
+  // Inclusion + probe + re-encoded inclusion all went through one context.
+  EXPECT_GE(Session.checkContext().numEncodings(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// MatrixRunner: determinism and parallel scheduling.
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixRunner, TimingFreeReportIsIdenticalAcrossJobCounts) {
+  std::vector<MatrixCell> Cells = expandMatrix(
+      {"ms2", "msn"}, {"T0"},
+      {memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::Relaxed});
+  ASSERT_EQ(Cells.size(), 4u);
+
+  RunOptions Base;
+  MatrixReport Seq = MatrixRunner(1).run(Cells, catalogCellRunner(Base));
+  MatrixReport Par = MatrixRunner(4).run(Cells, catalogCellRunner(Base));
+
+  ASSERT_EQ(Seq.Cells.size(), Par.Cells.size());
+  EXPECT_TRUE(Seq.allCompleted());
+  EXPECT_TRUE(Par.allCompleted());
+  EXPECT_EQ(Seq.json(/*IncludeTimings=*/false),
+            Par.json(/*IncludeTimings=*/false));
+  // Cell order follows the input matrix regardless of completion order.
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    EXPECT_EQ(Par.Cells[I].Cell.label(), Cells[I].label());
+    EXPECT_EQ(Par.Cells[I].Result.Status, Seq.Cells[I].Result.Status);
+  }
+}
+
+TEST(MatrixRunner, ExpandFiltersKindMismatches) {
+  // Explicit tests that do not fit an implementation's kind are dropped.
+  std::vector<MatrixCell> Cells = expandMatrix(
+      {"msn", "lazylist"}, {"T0", "Sac"}, {memmodel::ModelKind::Relaxed});
+  ASSERT_EQ(Cells.size(), 2u);
+  EXPECT_EQ(Cells[0].label(), "msn:T0:relaxed");
+  EXPECT_EQ(Cells[1].label(), "lazylist:Sac:relaxed");
+}
+
+TEST(MatrixRunner, UnknownNamesBecomeErrorCells) {
+  std::vector<MatrixCell> Cells(1);
+  Cells[0].Impl = "no-such-impl";
+  Cells[0].Test = "T0";
+  MatrixReport Report =
+      MatrixRunner(2).run(Cells, catalogCellRunner(RunOptions()));
+  ASSERT_EQ(Report.Cells.size(), 1u);
+  EXPECT_EQ(Report.Cells[0].Result.Status, CheckStatus::Error);
+  EXPECT_FALSE(Report.allCompleted());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> Hits(257);
+  for (auto &H : Hits)
+    H = 0;
+  parallelFor(8, Hits.size(), [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I], 1) << "index " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// The solver-free encoding artifact.
+//===----------------------------------------------------------------------===//
+
+TEST(ProblemEncodingArtifact, CnfStoreReplayReproducesTheProblem) {
+  lsl::Program Prog;
+  ASSERT_TRUE(compileInto(impls::referenceFor("queue"), Prog));
+  TestSpec Spec = testByName("T0");
+  std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
+
+  ProblemConfig Cfg;
+  Cfg.Model = memmodel::ModelKind::Serial;
+
+  // Capture the encoding into a pure store - no solver involved.
+  sat::CnfStore Store;
+  encode::CnfBuilder Cnf(Store);
+  ProblemEncoding Enc(Cnf, Prog, Threads, {}, Cfg);
+  ASSERT_TRUE(Enc.ok()) << Enc.error();
+  EXPECT_GT(Store.numVars(), 0);
+  EXPECT_GT(Store.numClauses(), 0u);
+
+  // Replay preserves variable numbering, so the artifact's decode maps
+  // apply to the replayed solver's models.
+  sat::Solver S;
+  ASSERT_TRUE(Store.replayInto(S));
+  EXPECT_EQ(S.numVars(), Store.numVars());
+  ASSERT_EQ(S.solve(Enc.withinBoundsAssumptions()), sat::SolveResult::Sat);
+  Observation O = Enc.decodeObservation(S);
+  EXPECT_EQ(O.Values.size(), Enc.observationLabels().size());
+
+  // The probe activation works on the replayed solver too: the reference
+  // queue's primed-free T0 has no unrollable loops beyond its bounds, so
+  // the probe must be unsatisfiable.
+  EXPECT_EQ(S.solve(Enc.probeAssumptions()), sat::SolveResult::Unsat);
+}
+
+} // namespace

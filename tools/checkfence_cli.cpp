@@ -5,6 +5,7 @@
 // Usage:
 //   checkfence [options] <impl> <test>
 //   checkfence [options] --file impl.c --kind queue --notation "( e | d )"
+//   checkfence --matrix [--impls a,b] [--tests x,y] [--models m,n] [options]
 //
 //   <impl>  one of: ms2 msn lazylist harris snark treiber  (or --file <path>)
 //   <test>  a Fig. 8 test name (T0, Tpc3, Sac, D0, ...) or --notation
@@ -19,13 +20,20 @@
 //   --no-range               disable range-analysis optimizations
 //   --spec                   print the mined observation set
 //   --synth                  synthesize a fence placement (from stripped)
+//   --matrix                 run an (impl x test x model) evaluation matrix
+//   --impls a,b / --tests x,y / --models m,n   matrix axes (defaults: all
+//                            impls, all kind-matching tests, --model)
+//   --jobs N                 worker threads (matrix cells / synth checks)
+//   --json PATH              write a machine-readable report ("-" = stdout)
 //   --quiet                  verdict only
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/MatrixRunner.h"
 #include "harness/Catalog.h"
 #include "harness/FenceSynth.h"
 #include "impls/Impls.h"
+#include "support/Format.h"
 
 #include <cstdio>
 #include <cstring>
@@ -57,8 +65,46 @@ void usage() {
       "  --spec               print the mined observation set\n"
       "  --synth              synthesize a fence placement instead of\n"
       "                       checking (starts from stripped fences)\n"
+      "  --matrix             run an (impl x test x model) matrix\n"
+      "  --impls a,b          matrix implementations (default: all)\n"
+      "  --tests x,y          matrix tests (default: kind-matching)\n"
+      "  --models m,n         matrix models (default: --model)\n"
+      "  --jobs N             worker threads for --matrix / --synth\n"
+      "  --json PATH          write a JSON report ('-' = stdout)\n"
       "  --quiet              verdict only\n"
       "  --list               list implementations and tests\n");
+}
+
+/// Writes \p Content to \p Path ("-" = stdout). False on I/O failure.
+bool writeReport(const std::string &Path, const std::string &Content) {
+  if (Path == "-") {
+    std::printf("%s", Content.c_str());
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Content;
+  return true;
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
 }
 
 void listCatalog() {
@@ -78,6 +124,11 @@ int main(int argc, char **argv) {
   std::string Impl, Test, File, Kind, Notation, Model = "relaxed";
   RunOptions Opts;
   bool PrintSpec = false, Quiet = false, RefSpec = false, Synth = false;
+  bool Matrix = false;
+  int Jobs = 1;
+  std::string JsonPath;
+  std::vector<std::string> MatrixImpls, MatrixTests;
+  std::vector<std::string> MatrixModels;
 
   std::vector<std::string> Positional;
   for (int I = 1; I < argc; ++I) {
@@ -119,6 +170,20 @@ int main(int argc, char **argv) {
       PrintSpec = true;
     } else if (A == "--synth") {
       Synth = true;
+    } else if (A == "--matrix") {
+      Matrix = true;
+    } else if (A == "--impls") {
+      MatrixImpls = splitList(Next());
+    } else if (A == "--tests") {
+      MatrixTests = splitList(Next());
+    } else if (A == "--models") {
+      MatrixModels = splitList(Next());
+    } else if (A == "--jobs") {
+      Jobs = std::atoi(Next().c_str());
+      if (Jobs < 1)
+        Jobs = 1;
+    } else if (A == "--json") {
+      JsonPath = Next();
     } else if (A == "--quiet") {
       Quiet = true;
     } else if (!A.empty() && A[0] == '-') {
@@ -139,6 +204,35 @@ int main(int argc, char **argv) {
   } else {
     std::fprintf(stderr, "unknown model '%s'\n", Model.c_str());
     return 2;
+  }
+
+  // Matrix mode: expand the (impl x test x model) grid, run it on the
+  // worker pool, and report.
+  if (Matrix) {
+    std::vector<memmodel::ModelKind> Models;
+    for (const std::string &M : MatrixModels) {
+      auto K = memmodel::modelKindFromName(M);
+      if (!K) {
+        std::fprintf(stderr, "unknown model '%s'\n", M.c_str());
+        return 2;
+      }
+      Models.push_back(*K);
+    }
+    if (Models.empty())
+      Models.push_back(Opts.Check.Model);
+    std::vector<engine::MatrixCell> Cells =
+        expandMatrix(MatrixImpls, MatrixTests, Models);
+    if (Cells.empty()) {
+      std::fprintf(stderr, "matrix is empty (check --impls/--tests)\n");
+      return 2;
+    }
+    engine::MatrixRunner Runner(Jobs);
+    engine::MatrixReport Report = Runner.run(Cells, catalogCellRunner(Opts));
+    if (!Quiet)
+      std::printf("%s", Report.table().c_str());
+    if (!JsonPath.empty() && !writeReport(JsonPath, Report.json()))
+      return 2;
+    return Report.allCompleted() ? 0 : 1;
   }
 
   // Resolve the implementation source.
@@ -194,6 +288,7 @@ int main(int argc, char **argv) {
     SynthOptions SO;
     SO.Check = Opts.Check;
     SO.Defines = Opts.Defines;
+    SO.Jobs = Jobs;
     SO.MinLine = 1;
     for (char C : impls::preludeSource())
       SO.MinLine += C == '\n';
@@ -201,6 +296,21 @@ int main(int argc, char **argv) {
     if (!Quiet)
       for (const std::string &Step : S.Log)
         std::printf("%s\n", Step.c_str());
+    if (!JsonPath.empty()) {
+      std::string Json = formatString(
+          "{\"success\": %s, \"message\": \"%s\", "
+          "\"checks\": %d, \"seconds\": %.3f, \"fences\": [",
+          S.Success ? "true" : "false",
+          engine::jsonEscape(S.Message).c_str(), S.ChecksRun,
+          S.TotalSeconds);
+      for (size_t I = 0; I < S.Fences.size(); ++I)
+        Json += formatString("%s{\"line\": %d, \"kind\": \"%s\"}",
+                             I ? ", " : "", S.Fences[I].Line,
+                             lsl::fenceKindName(S.Fences[I].Kind));
+      Json += "]}\n";
+      if (!writeReport(JsonPath, Json))
+        return 2;
+    }
     if (!S.Success) {
       std::printf("SYNTHESIS FAILED: %s\n", S.Message.c_str());
       return 1;
@@ -214,6 +324,20 @@ int main(int argc, char **argv) {
 
   checker::CheckResult R = runTest(Source, Spec, Opts);
 
+  if (!JsonPath.empty()) {
+    // Reuse the matrix report shape for a single cell.
+    engine::MatrixReport Report;
+    Report.Cells.resize(1);
+    Report.Cells[0].Cell.Impl = Impl.empty() ? File : Impl;
+    Report.Cells[0].Cell.Test = Spec.Name;
+    Report.Cells[0].Cell.Model = Opts.Check.Model;
+    Report.Cells[0].Result = R;
+    Report.Cells[0].Seconds = R.Stats.TotalSeconds;
+    Report.WallSeconds = R.Stats.TotalSeconds;
+    if (!writeReport(JsonPath, Report.json()))
+      return 2;
+  }
+
   std::printf("%s\n", checker::checkStatusName(R.Status));
   if (Quiet)
     return R.passed() ? 0 : 1;
@@ -222,11 +346,11 @@ int main(int argc, char **argv) {
   std::printf("stats: %d instrs, %d loads, %d stores | spec %d obs "
               "(%.2fs) | CNF %d vars %llu clauses | encode %.2fs solve "
               "%.2fs | total %.2fs, %d bound rounds\n",
-              R.Stats.UnrolledInstrs, R.Stats.Loads, R.Stats.Stores,
+              R.Stats.Inclusion.UnrolledInstrs, R.Stats.Inclusion.Loads, R.Stats.Inclusion.Stores,
               R.Stats.ObservationCount, R.Stats.MiningSeconds,
-              R.Stats.SatVars,
-              static_cast<unsigned long long>(R.Stats.SatClauses),
-              R.Stats.EncodeSeconds, R.Stats.SolveSeconds,
+              R.Stats.Inclusion.SatVars,
+              static_cast<unsigned long long>(R.Stats.Inclusion.SatClauses),
+              R.Stats.Inclusion.EncodeSeconds, R.Stats.Inclusion.SolveSeconds,
               R.Stats.TotalSeconds, R.Stats.BoundIterations);
   if (PrintSpec)
     for (const checker::Observation &O : R.Spec)
