@@ -35,7 +35,7 @@ int main() {
   double SumObs = 0, SumCommit = 0;
   for (const auto &[Impl, Test] : Grid) {
     RunOptions Warm;
-    Warm.Check.Model = memmodel::ModelKind::SeqConsistency;
+    Warm.Check.Model = memmodel::ModelParams::sc();
     checker::CheckResult W = benchutil::runOne(Impl, Test, Warm);
 
     RunOptions Opts = Warm;
@@ -44,7 +44,7 @@ int main() {
     double TObs = RObs.Stats.TotalSeconds;
 
     baseline::CommitPointOptions CO;
-    CO.Model = memmodel::ModelKind::SeqConsistency;
+    CO.Model = memmodel::ModelParams::sc();
     CO.Bounds = W.FinalBounds;
     baseline::CommitPointResult RCp = baseline::runCommitPointTest(
         impls::sourceFor(Impl), impls::referenceFor("queue"),

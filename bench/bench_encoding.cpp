@@ -32,7 +32,7 @@ int main() {
   double SumPw = 0, SumRk = 0;
   for (const auto &[Impl, Test] : Grid) {
     RunOptions Warm;
-    Warm.Check.Model = memmodel::ModelKind::Relaxed;
+    Warm.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult W = benchutil::runOne(Impl, Test, Warm);
 
     RunOptions Pw = Warm;

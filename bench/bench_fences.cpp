@@ -24,7 +24,7 @@ int main() {
   };
   for (const auto &[Impl, Test] : Grid) {
     RunOptions Fenced;
-    Fenced.Check.Model = memmodel::ModelKind::Relaxed;
+    Fenced.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult RF = benchutil::runOne(Impl, Test, Fenced);
 
     RunOptions Stripped = Fenced;
@@ -38,7 +38,7 @@ int main() {
   // the algorithm behaves.
   {
     RunOptions Fenced;
-    Fenced.Check.Model = memmodel::ModelKind::Relaxed;
+    Fenced.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult RF = benchutil::runOne("snark", "Da", Fenced);
     RunOptions Stripped = Fenced;
     Stripped.StripFences = true;
@@ -65,7 +65,7 @@ int main() {
   }
   for (const auto &[LineNo, Text] : Fences) {
     RunOptions Opts;
-    Opts.Check.Model = memmodel::ModelKind::Relaxed;
+    Opts.Check.Model = memmodel::ModelParams::relaxed();
     Opts.StripFenceLines = {LineNo};
     checker::CheckResult R = runTest(Source, testByName(Test), Opts);
     std::printf("  line %3d %-24s -> %s\n", LineNo, Text.c_str(),

@@ -37,7 +37,7 @@ int main() {
     // Warm-up run discovers sufficient loop bounds (not timed separately
     // here; the paper likewise excludes lazy unrolling from the table).
     RunOptions Warm;
-    Warm.Check.Model = memmodel::ModelKind::Relaxed;
+    Warm.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult W = benchutil::runOne(Impl, Test, Warm);
 
     RunOptions Opts = Warm;

@@ -28,7 +28,7 @@ namespace {
 /// engine; returns a JSON object fragment (an error object on frontend
 /// failure, so the report always stays parseable).
 std::string benchFreshVsSession(const char *Impl, const char *Test,
-                                memmodel::ModelKind Model) {
+                                memmodel::ModelParams Model) {
   frontend::DiagEngine Diags;
   lsl::Program Prog;
   if (!frontend::compileC(impls::sourceFor(Impl), {}, Prog, Diags))
@@ -51,7 +51,7 @@ std::string benchFreshVsSession(const char *Impl, const char *Test,
       "{\"impl\": \"%s\", \"test\": \"%s\", \"model\": \"%s\", "
       "\"status\": \"%s\", \"fresh_seconds\": %.3f, "
       "\"session_seconds\": %.3f, \"speedup\": %.3f}",
-      Impl, Test, memmodel::modelName(Model),
+      Impl, Test, memmodel::modelName(Model).c_str(),
       checker::checkStatusName(Sess.Status), FreshSecs, SessSecs,
       SessSecs > 0 ? FreshSecs / SessSecs : 0);
 }
@@ -62,11 +62,11 @@ int main() {
   // The queue family of Fig. 8 on both queue implementations, under the
   // cheap models by default (msn's T1/Ti2+ cells run minutes each).
   std::vector<std::string> Tests = {"T0", "Tpc2"};
-  std::vector<memmodel::ModelKind> Models = {
-      memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::TSO};
+  std::vector<memmodel::ModelParams> Models = {
+      memmodel::ModelParams::sc(), memmodel::ModelParams::tso()};
   if (benchutil::fullRun()) {
     Tests.insert(Tests.end(), {"T1", "Tpc3", "Ti2", "Ti3", "T53"});
-    Models.push_back(memmodel::ModelKind::Relaxed);
+    Models.push_back(memmodel::ModelParams::relaxed());
   }
   std::vector<MatrixCell> Cells =
       expandMatrix({"ms2", "msn"}, Tests, Models);
@@ -83,14 +83,14 @@ int main() {
       Par.WallSeconds > 0 ? Seq.WallSeconds / Par.WallSeconds : 0;
   std::vector<std::string> Fragments;
   Fragments.push_back(
-      benchFreshVsSession("msn", "T0", memmodel::ModelKind::Relaxed));
+      benchFreshVsSession("msn", "T0", memmodel::ModelParams::relaxed()));
   Fragments.push_back(benchFreshVsSession(
-      "msn", "Tpc2", memmodel::ModelKind::SeqConsistency));
+      "msn", "Tpc2", memmodel::ModelParams::sc()));
   Fragments.push_back(
-      benchFreshVsSession("ms2", "Ti2", memmodel::ModelKind::Relaxed));
+      benchFreshVsSession("ms2", "Ti2", memmodel::ModelParams::relaxed()));
   if (benchutil::fullRun())
     Fragments.push_back(benchFreshVsSession(
-        "msn", "Ti2", memmodel::ModelKind::SeqConsistency));
+        "msn", "Ti2", memmodel::ModelParams::sc()));
 
   // One parseable document: the per-cell engine comparison plus the
   // parallel-matrix trajectory.

@@ -23,8 +23,8 @@ namespace {
 void modelSpectrum() {
   std::printf("\n=== model spectrum: verdicts without fences ===\n");
   std::printf("%-9s %-6s |", "impl", "test");
-  for (memmodel::ModelKind K : memmodel::allModels())
-    std::printf(" %8s", memmodel::modelName(K));
+  for (memmodel::ModelParams K : memmodel::allModels())
+    std::printf(" %8s", memmodel::modelName(K).c_str());
   std::printf("   (fenced on relaxed)\n");
 
   std::vector<std::pair<std::string, std::string>> Grid = {
@@ -37,7 +37,7 @@ void modelSpectrum() {
 
   for (const auto &[Impl, Test] : Grid) {
     std::printf("%-9s %-6s |", Impl.c_str(), Test.c_str());
-    for (memmodel::ModelKind K : memmodel::allModels()) {
+    for (memmodel::ModelParams K : memmodel::allModels()) {
       RunOptions O;
       O.Check.Model = K;
       O.StripFences = true;
@@ -45,7 +45,7 @@ void modelSpectrum() {
       std::printf(" %8s", R.passed() ? "pass" : "FAIL");
     }
     RunOptions F;
-    F.Check.Model = memmodel::ModelKind::Relaxed;
+    F.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult R = benchutil::runOne(Impl, Test, F);
     std::printf("   %s\n", R.passed() ? "pass" : "FAIL");
   }
@@ -64,7 +64,7 @@ int main() {
   double SumRelaxed = 0, SumSC = 0;
   for (const auto &[Impl, Test] : benchutil::benchGrid()) {
     RunOptions Warm;
-    Warm.Check.Model = memmodel::ModelKind::Relaxed;
+    Warm.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult W = benchutil::runOne(Impl, Test, Warm);
 
     RunOptions Rlx = Warm;
@@ -72,7 +72,7 @@ int main() {
     checker::CheckResult RRelaxed = benchutil::runOne(Impl, Test, Rlx);
 
     RunOptions Sc = Rlx;
-    Sc.Check.Model = memmodel::ModelKind::SeqConsistency;
+    Sc.Check.Model = memmodel::ModelParams::sc();
     checker::CheckResult RSc = benchutil::runOne(Impl, Test, Sc);
 
     double TR = RRelaxed.Stats.TotalSeconds, TS = RSc.Stats.TotalSeconds;

@@ -19,7 +19,7 @@ int main() {
   double SumWith = 0, SumWithout = 0;
   for (const auto &[Impl, Test] : benchutil::benchGrid()) {
     RunOptions Warm;
-    Warm.Check.Model = memmodel::ModelKind::Relaxed;
+    Warm.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult W = benchutil::runOne(Impl, Test, Warm);
 
     RunOptions On = Warm;

@@ -27,7 +27,7 @@ int main() {
 
     // Mining from the implementation (warm bounds first).
     RunOptions Warm;
-    Warm.Check.Model = memmodel::ModelKind::Relaxed;
+    Warm.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult W = benchutil::runOne(Impl, Test, Warm);
     RunOptions Opts = Warm;
     Opts.Check.InitialBounds = W.FinalBounds;

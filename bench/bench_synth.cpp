@@ -61,13 +61,13 @@ int main() {
   if (benchutil::fullRun())
     Work.push_back({"treiber", "Ui2"});
 
-  const memmodel::ModelKind Models[] = {memmodel::ModelKind::Relaxed,
-                                        memmodel::ModelKind::PSO,
-                                        memmodel::ModelKind::TSO};
+  const memmodel::ModelParams Models[] = {memmodel::ModelParams::relaxed(),
+                                        memmodel::ModelParams::pso(),
+                                        memmodel::ModelParams::tso()};
 
   for (const Workload &W : Work) {
     std::string Source = impls::sourceFor(W.Impl);
-    for (memmodel::ModelKind Model : Models) {
+    for (memmodel::ModelParams Model : Models) {
       SynthOptions Opts;
       Opts.Check.Model = Model;
       Opts.MinLine = preludeLines() + 1;
@@ -75,7 +75,7 @@ int main() {
           synthesizeFences(Source, {testByName(W.Test)}, Opts);
 
       std::printf("%-9s %-5s %-8s | %7d %7d %7d | %7d %8.2f | %s\n",
-                  W.Impl, W.Test, memmodel::modelName(Model),
+                  W.Impl, W.Test, memmodel::modelName(Model).c_str(),
                   static_cast<int>(R.Fences.size() + R.Removed.size()),
                   static_cast<int>(R.Fences.size()), shippedFences(Source),
                   R.ChecksRun, R.TotalSeconds,
@@ -90,7 +90,7 @@ int main() {
               "\"fixed\" ===\n");
   {
     SynthOptions Opts;
-    Opts.Check.Model = memmodel::ModelKind::SeqConsistency;
+    Opts.Check.Model = memmodel::ModelParams::sc();
     Opts.MinLine = preludeLines() + 1;
     SynthResult R = synthesizeFences(impls::sourceFor("snark"),
                                      {testByName("D0")}, Opts);
@@ -99,7 +99,7 @@ int main() {
   }
   {
     SynthOptions Opts;
-    Opts.Check.Model = memmodel::ModelKind::Relaxed;
+    Opts.Check.Model = memmodel::ModelParams::relaxed();
     Opts.Defines = {"LAZYLIST_INIT_BUG"};
     Opts.MinLine = preludeLines() + 1;
     SynthResult R = synthesizeFences(impls::sourceFor("lazylist"),

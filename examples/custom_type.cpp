@@ -91,18 +91,18 @@ int main() {
   // Step 3: check on both ends of the model spectrum.
   std::printf("unfenced user stack, test u ( uo | ou ):\n");
   RunOptions SC;
-  SC.Check.Model = memmodel::ModelKind::SeqConsistency;
+  SC.Check.Model = memmodel::ModelParams::sc();
   report("sequential consistency:", runTest(Source, Test, SC));
 
   RunOptions RLX;
-  RLX.Check.Model = memmodel::ModelKind::Relaxed;
+  RLX.Check.Model = memmodel::ModelParams::relaxed();
   checker::CheckResult Weak = runTest(Source, Test, RLX);
   report("relaxed:", Weak); // step 4: the trace shows the stale read
 
   // Step 5: synthesize the missing fences and re-check.
   std::printf("\nsynthesizing fences on relaxed...\n");
   SynthOptions Synth;
-  Synth.Check.Model = memmodel::ModelKind::Relaxed;
+  Synth.Check.Model = memmodel::ModelParams::relaxed();
   Synth.MinLine = 1; // the user source holds lines beyond the prelude
   for (char C : impls::preludeSource())
     Synth.MinLine += C == '\n';

@@ -40,7 +40,7 @@ int main() {
     std::printf("test %s:\n", TestName);
 
     RunOptions Base;
-    Base.Check.Model = memmodel::ModelKind::Relaxed;
+    Base.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult All = runTest(Source, Test, Base);
     std::printf("  all fences present:  %s (sufficient)\n",
                 checker::checkStatusName(All.Status));

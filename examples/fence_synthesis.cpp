@@ -44,13 +44,13 @@ int main() {
   for (char C : impls::preludeSource())
     PreludeLines += C == '\n';
 
-  const memmodel::ModelKind Models[] = {memmodel::ModelKind::Relaxed,
-                                        memmodel::ModelKind::PSO,
-                                        memmodel::ModelKind::TSO};
+  const memmodel::ModelParams Models[] = {memmodel::ModelParams::relaxed(),
+                                        memmodel::ModelParams::pso(),
+                                        memmodel::ModelParams::tso()};
 
-  for (memmodel::ModelKind Model : Models) {
+  for (memmodel::ModelParams Model : Models) {
     std::printf("=== synthesizing fences for msn (T0) on %s ===\n",
-                memmodel::modelName(Model));
+                memmodel::modelName(Model).c_str());
     SynthOptions Opts;
     Opts.Check.Model = Model;
     Opts.MinLine = PreludeLines + 1; // fences go in the implementation

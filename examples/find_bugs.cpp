@@ -19,7 +19,7 @@ using namespace checkfence::harness;
 int main() {
   std::printf("=== snark deque bug (D0, sequential consistency) ===\n");
   RunOptions Opts;
-  Opts.Check.Model = memmodel::ModelKind::SeqConsistency;
+  Opts.Check.Model = memmodel::ModelParams::sc();
   checker::CheckResult R =
       runTest(impls::sourceFor("snark"), testByName("D0"), Opts);
   std::printf("verdict: %s\n", checker::checkStatusName(R.Status));
@@ -32,7 +32,7 @@ int main() {
 
   std::printf("\n=== lazylist missing initialization (Sac) ===\n");
   RunOptions BugOpts;
-  BugOpts.Check.Model = memmodel::ModelKind::SeqConsistency;
+  BugOpts.Check.Model = memmodel::ModelParams::sc();
   BugOpts.Defines = {"LAZYLIST_INIT_BUG"}; // published pseudocode variant
   checker::CheckResult R2 =
       runTest(impls::sourceFor("lazylist"), testByName("Sac"), BugOpts);

@@ -21,7 +21,7 @@ namespace {
 
 bool reachable(const std::string &Source,
                const std::vector<std::string> &Ops,
-               memmodel::ModelKind Model, const std::vector<Value> &Out) {
+               memmodel::ModelParams Model, const std::vector<Value> &Out) {
   frontend::DiagEngine Diags;
   lsl::Program Prog;
   if (!frontend::compileC(Source, {}, Prog, Diags)) {
@@ -61,18 +61,18 @@ void f2_op(void) { y = 1; fence("store-load"); observe(x); }
   std::printf("store buffering (Dekker), outcome r1 = r2 = 0:\n");
   std::printf("  SC:                      %s\n",
               reachable(Sb, {"t1_op", "t2_op"},
-                        memmodel::ModelKind::SeqConsistency,
+                        memmodel::ModelParams::sc(),
                         {IV(0), IV(0)})
                   ? "reachable"
                   : "impossible");
   std::printf("  Relaxed:                 %s\n",
               reachable(Sb, {"t1_op", "t2_op"},
-                        memmodel::ModelKind::Relaxed, {IV(0), IV(0)})
+                        memmodel::ModelParams::relaxed(), {IV(0), IV(0)})
                   ? "reachable"
                   : "impossible");
   std::printf("  Relaxed + sl-fences:     %s\n",
               reachable(Sb, {"f1_op", "f2_op"},
-                        memmodel::ModelKind::Relaxed, {IV(0), IV(0)})
+                        memmodel::ModelParams::relaxed(), {IV(0), IV(0)})
                   ? "reachable"
                   : "impossible");
 
@@ -93,7 +93,7 @@ void r2_op(void) { int c = y; fence("load-load"); int d = x;
               "on store order:\n");
   std::printf("  Relaxed:                 %s\n",
               reachable(Iriw, {"w1_op", "w2_op", "r1_op", "r2_op"},
-                        memmodel::ModelKind::Relaxed,
+                        memmodel::ModelParams::relaxed(),
                         {IV(1), IV(0), IV(1), IV(0)})
                   ? "reachable (NOT expected)"
                   : "impossible (stores are globally ordered)");

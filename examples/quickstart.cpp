@@ -23,7 +23,7 @@ int main() {
 
   // 1. With the paper's fences: every relaxed execution is serializable.
   RunOptions Opts;
-  Opts.Check.Model = memmodel::ModelKind::Relaxed;
+  Opts.Check.Model = memmodel::ModelParams::relaxed();
   checker::CheckResult R = runTest(impls::sourceFor("msn"), Test, Opts);
   std::printf("with fences, Relaxed:    %s\n",
               checker::checkStatusName(R.Status));
@@ -51,7 +51,7 @@ int main() {
                 R2.Counterexample->str().c_str());
 
   // 3. Without fences but sequentially consistent: correct again.
-  Opts.Check.Model = memmodel::ModelKind::SeqConsistency;
+  Opts.Check.Model = memmodel::ModelParams::sc();
   checker::CheckResult R3 = runTest(impls::sourceFor("msn"), Test, Opts);
   std::printf("\nwithout fences, SC:      %s\n",
               checker::checkStatusName(R3.Status));

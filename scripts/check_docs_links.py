@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in README.md and docs/*.md.
+
+Checks every markdown inline link ``[text](target)`` whose target is not
+an absolute URL or a pure in-page anchor: the target path (resolved
+relative to the file containing the link, fragment stripped) must exist
+in the repository. Run from anywhere; the repo root is located relative
+to this script.
+
+Exit code 0 when all links resolve, 1 otherwise (each broken link is
+reported on stderr).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path):
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append((path, line, target))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = list(doc_files(root))
+    if not files:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    broken = []
+    checked = 0
+    for path in files:
+        checked += 1
+        broken.extend(check_file(path))
+    for path, line, target in broken:
+        print(f"{path.relative_to(root)}:{line}: broken link -> {target}",
+              file=sys.stderr)
+    print(f"checked {checked} file(s), {len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

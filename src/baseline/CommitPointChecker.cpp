@@ -30,7 +30,7 @@ public:
 
   bool build(CnfBuilder &Cnf, const lsl::Program &Prog,
              const std::vector<std::string> &Threads,
-             const LoopBounds &Bounds, memmodel::ModelKind Model,
+             const LoopBounds &Bounds, memmodel::ModelParams Model,
              OrderMode Order, std::string &Err) {
     Flattener F(Prog, Flat, Bounds);
     for (size_t T = 0; T < Threads.size(); ++T) {
@@ -112,7 +112,7 @@ CommitPointResult checkfence::baseline::checkCommitPoints(
                   Opts.Order, Result.Error))
     return Result;
   if (!Ref.build(Cnf, RefProg, ThreadProcs, /*Bounds=*/{},
-                 memmodel::ModelKind::Serial, Opts.Order, Result.Error))
+                 memmodel::ModelParams::serial(), Opts.Order, Result.Error))
     return Result;
 
   if (Impl.Flat.CommitMarks.empty()) {

@@ -52,7 +52,7 @@ struct CommitPointResult {
 };
 
 struct CommitPointOptions {
-  memmodel::ModelKind Model = memmodel::ModelKind::Relaxed;
+  memmodel::ModelParams Model = memmodel::ModelParams::relaxed();
   encode::OrderMode Order = encode::OrderMode::Pairwise;
   trans::LoopBounds Bounds; ///< unroll bounds (from a prior run's probe)
   int64_t ConflictBudget = -1;

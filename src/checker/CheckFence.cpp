@@ -49,7 +49,7 @@ CheckResult checkfence::checker::runCheckFresh(
 
     // Phase 1: specification mining under the Serial model.
     ProblemConfig MineCfg;
-    MineCfg.Model = memmodel::ModelKind::Serial;
+    MineCfg.Model = memmodel::ModelParams::serial();
     MineCfg.Order = Opts.Order;
     MineCfg.RangeAnalysis = Opts.RangeAnalysis;
     MineCfg.ConflictBudget = Opts.ConflictBudget;
@@ -159,7 +159,7 @@ CheckResult checkfence::checker::runCheckFresh(
     // Probe the reference program separately when mining from it.
     if (!Grown && SpecProg) {
       ProblemConfig SpecProbeCfg = ProbeCfg;
-      SpecProbeCfg.Model = memmodel::ModelKind::Serial;
+      SpecProbeCfg.Model = memmodel::ModelParams::serial();
       EncodedProblem Probe(*SpecProg, ThreadProcs, SpecBounds,
                            SpecProbeCfg);
       if (Probe.ok() && Probe.solve() == sat::SolveResult::Sat) {

@@ -34,7 +34,7 @@ namespace checkfence {
 namespace checker {
 
 struct CheckOptions {
-  memmodel::ModelKind Model = memmodel::ModelKind::Relaxed;
+  memmodel::ModelParams Model = memmodel::ModelParams::relaxed();
   encode::OrderMode Order = encode::OrderMode::Pairwise;
   bool RangeAnalysis = true;
   /// Outer mine/include/probe rounds (bounds stabilize in round one via

@@ -57,7 +57,10 @@ ProblemEncoding::ProblemEncoding(CnfBuilder &CnfB, const lsl::Program &Prog,
   Model = std::make_unique<memmodel::MemoryModelEncoder>(
       *Values, Flat, Ranges, Cfg.Model, Cfg.Order, EO);
   if (!Model->encode()) {
-    fail("memory model encoding failed");
+    fail("memory model encoding failed for '" +
+         memmodel::modelName(Cfg.Model) +
+         "' (non-multi-copy-atomic models are not supported by the SAT "
+         "encoder)");
     return;
   }
 

@@ -48,7 +48,7 @@ namespace checkfence {
 namespace checker {
 
 struct ProblemConfig {
-  memmodel::ModelKind Model = memmodel::ModelKind::Relaxed;
+  memmodel::ModelParams Model = memmodel::ModelParams::relaxed();
   encode::OrderMode Order = encode::OrderMode::Pairwise;
   /// Use the range-analysis results to fix constants, minimize widths, and
   /// prune aliases (Fig. 11c ablation switch).

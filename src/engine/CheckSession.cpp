@@ -36,7 +36,7 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
   const lsl::Program &MineProg = SpecProg ? *SpecProg : ImplProg;
 
   ProblemConfig MineCfg;
-  MineCfg.Model = memmodel::ModelKind::Serial;
+  MineCfg.Model = memmodel::ModelParams::serial();
   MineCfg.Order = Opts.Order;
   MineCfg.RangeAnalysis = Opts.RangeAnalysis;
   MineCfg.ConflictBudget = Opts.ConflictBudget;

@@ -6,6 +6,7 @@
 
 #include "engine/MatrixRunner.h"
 
+#include "engine/WeakestModelSearch.h"
 #include "support/Format.h"
 #include "support/Timing.h"
 
@@ -111,7 +112,7 @@ std::string MatrixReport::json(bool IncludeTimings) const {
         "\"loads\": %d, \"stores\": %d, \"sat_vars\": %d, "
         "\"sat_clauses\": %llu",
         jsonEscape(C.Cell.Impl).c_str(), jsonEscape(C.Cell.Test).c_str(),
-        memmodel::modelName(C.Cell.Model),
+        memmodel::modelName(C.Cell.Model).c_str(),
         checker::checkStatusName(R.Status), jsonEscape(R.Message).c_str(),
         R.Stats.ObservationCount, R.Stats.BoundIterations,
         E.UnrolledInstrs, E.Loads, E.Stores, E.SatVars,
@@ -133,7 +134,19 @@ std::string MatrixReport::json(bool IncludeTimings) const {
       OS << ",";
     OS << "\n";
   }
-  OS << "  ]\n}\n";
+  OS << "  ]";
+  // Multi-model sweeps additionally report the weakest passing model per
+  // (impl, test). Derived from the verdicts above, so it stays
+  // byte-identical across job counts.
+  std::vector<WeakestSummary> Summaries = summarizeReport(*this);
+  if (Cells.size() > Summaries.size()) {
+    OS << ",\n  \"weakest_passing\": ";
+    OS << weakestJson(Summaries);
+    OS << "\n";
+  } else {
+    OS << "\n";
+  }
+  OS << "}\n";
   return OS.str();
 }
 
@@ -145,7 +158,7 @@ std::string MatrixReport::table() const {
     const checker::CheckResult &R = C.Result;
     OS << formatString("%-10s %-8s %-8s %-16s %8d %6d %9.2f\n",
                        C.Cell.Impl.c_str(), C.Cell.Test.c_str(),
-                       memmodel::modelName(C.Cell.Model),
+                       memmodel::modelName(C.Cell.Model).c_str(),
                        checker::checkStatusName(R.Status),
                        R.Stats.ObservationCount, R.Stats.BoundIterations,
                        C.Seconds);
@@ -158,6 +171,11 @@ std::string MatrixReport::table() const {
                          countWithStatus(CheckStatus::SequentialBug),
                      countWithStatus(CheckStatus::Error), WallSeconds,
                      Jobs);
+  std::vector<WeakestSummary> Summaries = summarizeReport(*this);
+  if (Cells.size() > Summaries.size()) {
+    OS << "\nweakest passing model per (impl, test):\n";
+    OS << weakestTable(Summaries);
+  }
   return OS.str();
 }
 

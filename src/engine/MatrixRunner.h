@@ -45,7 +45,7 @@ std::string jsonEscape(const std::string &S);
 struct MatrixCell {
   std::string Impl; ///< implementation name (harness resolves it)
   std::string Test; ///< catalog test name
-  memmodel::ModelKind Model = memmodel::ModelKind::Relaxed;
+  memmodel::ModelParams Model = memmodel::ModelParams::relaxed();
 
   std::string label() const;
 };

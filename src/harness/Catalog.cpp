@@ -179,14 +179,14 @@ checkfence::harness::runTest(const std::string &ImplSource,
 std::vector<engine::MatrixCell> checkfence::harness::expandMatrix(
     const std::vector<std::string> &Impls,
     const std::vector<std::string> &Tests,
-    const std::vector<memmodel::ModelKind> &Models) {
+    const std::vector<memmodel::ModelParams> &Models) {
   std::vector<std::string> UseImpls = Impls;
   if (UseImpls.empty())
     for (const impls::ImplInfo &I : impls::allImpls())
       UseImpls.push_back(I.Name);
-  std::vector<memmodel::ModelKind> UseModels = Models;
+  std::vector<memmodel::ModelParams> UseModels = Models;
   if (UseModels.empty())
-    UseModels.push_back(memmodel::ModelKind::Relaxed);
+    UseModels.push_back(memmodel::ModelParams::relaxed());
 
   std::vector<engine::MatrixCell> Cells;
   for (const std::string &Impl : UseImpls) {
@@ -206,7 +206,7 @@ std::vector<engine::MatrixCell> checkfence::harness::expandMatrix(
       const CatalogEntry *E = findCatalogEntry(Test);
       if (E && !Kind.empty() && E->Kind != Kind)
         continue; // kind mismatch: the impl cannot run this test
-      for (memmodel::ModelKind Model : UseModels) {
+      for (memmodel::ModelParams Model : UseModels) {
         engine::MatrixCell Cell;
         Cell.Impl = Impl;
         Cell.Test = Test;

@@ -80,7 +80,7 @@ checker::CheckResult runTest(const std::string &ImplSource,
 std::vector<engine::MatrixCell>
 expandMatrix(const std::vector<std::string> &Impls,
              const std::vector<std::string> &Tests,
-             const std::vector<memmodel::ModelKind> &Models);
+             const std::vector<memmodel::ModelParams> &Models);
 
 /// A thread-safe engine::CellFn that resolves cell names against the
 /// implementation table and the Fig. 8 catalog and runs the full check

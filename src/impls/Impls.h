@@ -5,14 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// CheckFence-C sources for the five algorithms of Table 1:
+/// CheckFence-C sources for six concurrent data-type implementations:
+/// the five algorithms of the paper's Table 1 plus one extension.
 ///
-///   ms2      - Michael & Scott two-lock queue
-///   msn      - Michael & Scott non-blocking queue (paper Fig. 9)
-///   lazylist - Heller et al. lazy list-based set
-///   harris   - Harris non-blocking set (marked pointers)
-///   snark    - DCAS-based non-blocking deque (with the published bugs)
-///   treiber  - Treiber lock-free stack (extension beyond Table 1)
+///   ms2      - Michael & Scott two-lock queue           (Table 1)
+///   msn      - Michael & Scott non-blocking queue       (Table 1, Fig. 9)
+///   lazylist - Heller et al. lazy list-based set        (Table 1)
+///   harris   - Harris non-blocking set (marked pointers) (Table 1)
+///   snark    - DCAS-based non-blocking deque, with the
+///              published bugs                           (Table 1)
+///   treiber  - Treiber lock-free stack                  (extension)
 ///
 /// plus simple sequential reference implementations per data-type kind
 /// ("refset" specification mining, Fig. 11a). All sources include the

@@ -21,7 +21,7 @@ namespace {
 /// One enumeration run for a fixed assignment of the Choice values.
 class OrderEnumerator {
 public:
-  OrderEnumerator(const FlatProgram &P, const ModelTraits &Traits,
+  OrderEnumerator(const FlatProgram &P, const ModelParams &Traits,
                   AxiomaticResult &Out, const AxiomaticOptions &Opts,
                   std::vector<Value> &DefVals, std::vector<char> &DefKnown)
       : P(P), Traits(Traits), Out(Out), Opts(Opts), DefVals(DefVals),
@@ -63,7 +63,7 @@ private:
   void finalize();
 
   const FlatProgram &P;
-  const ModelTraits &Traits;
+  const ModelParams &Traits;
   AxiomaticResult &Out;
   const AxiomaticOptions &Opts;
   std::vector<Value> &DefVals;   // shared choice/const memo (static part)
@@ -453,7 +453,7 @@ void OrderEnumerator::extend(size_t Depth) {
 class ChoiceEnumerator {
 public:
   ChoiceEnumerator(const FlatProgram &P, const AxiomaticOptions &Opts)
-      : P(P), Traits(traitsOf(Opts.Model)), Opts(Opts) {
+      : P(P), Traits(Opts.Model), Opts(Opts) {
     for (size_t I = 0; I < P.Defs.size(); ++I)
       if (P.Defs[I].K == FlatDef::Kind::Choice)
         Choices.push_back(static_cast<ValueId>(I));
@@ -491,7 +491,7 @@ private:
   }
 
   const FlatProgram &P;
-  ModelTraits Traits;
+  ModelParams Traits;
   AxiomaticOptions Opts;
   std::vector<ValueId> Choices;
   std::map<ValueId, Value> Bound;

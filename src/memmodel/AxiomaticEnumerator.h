@@ -40,7 +40,7 @@ namespace checkfence {
 namespace memmodel {
 
 struct AxiomaticOptions {
-  ModelKind Model = ModelKind::SeqConsistency;
+  ModelParams Model = ModelParams::sc();
   /// Abort guard: orders explored across all choice assignments.
   uint64_t MaxOrders = 50'000'000;
 };

@@ -1,4 +1,4 @@
-//===--- MemoryModel.cpp - axiomatic memory models --------------------------===//
+//===--- MemoryModel.cpp - parametric axiomatic memory models ---------------===//
 //
 // Part of the CheckFence reproduction (PLDI'07).
 //
@@ -8,83 +8,217 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
+#include <sstream>
 
 using namespace checkfence;
 using namespace checkfence::memmodel;
 using namespace checkfence::encode;
 using namespace checkfence::trans;
 
-const char *checkfence::memmodel::modelName(ModelKind K) {
-  switch (K) {
-  case ModelKind::SeqConsistency:
-    return "sc";
-  case ModelKind::TSO:
-    return "tso";
-  case ModelKind::PSO:
-    return "pso";
-  case ModelKind::Relaxed:
-    return "relaxed";
-  case ModelKind::Serial:
-    return "serial";
-  }
-  return "<bad-model>";
-}
+//===----------------------------------------------------------------------===//
+// Named lattice points
+//===----------------------------------------------------------------------===//
 
-std::optional<ModelKind>
-checkfence::memmodel::modelKindFromName(const std::string &Name) {
-  for (ModelKind K : allModels())
-    if (Name == modelName(K))
-      return K;
-  if (Name == "serial")
-    return ModelKind::Serial;
-  return std::nullopt;
-}
-
-const std::vector<ModelKind> &checkfence::memmodel::allModels() {
-  static const std::vector<ModelKind> Models = {
-      ModelKind::SeqConsistency, ModelKind::TSO, ModelKind::PSO,
-      ModelKind::Relaxed};
+const std::vector<NamedModel> &checkfence::memmodel::namedModels() {
+  static const std::vector<NamedModel> Models = {
+      {"serial", ModelParams::serial(),
+       "operation-granularity sequential order (specification mining)"},
+      {"sc", ModelParams::sc(), "sequential consistency"},
+      {"tso", ModelParams::tso(), "total store order (FIFO store buffer)"},
+      {"pso", ModelParams::pso(),
+       "partial store order (per-address store buffers)"},
+      {"rmo", ModelParams::rmo(),
+       "RMO-like: only load-load order preserved"},
+      {"relaxed", ModelParams::relaxed(),
+       "the paper's Relaxed model (no program order beyond axiom 1)"},
+  };
   return Models;
 }
 
-ModelTraits checkfence::memmodel::traitsOf(ModelKind K) {
-  ModelTraits T;
-  switch (K) {
-  case ModelKind::SeqConsistency:
-    T.OrderLoadLoad = T.OrderLoadStore = true;
-    T.OrderStoreLoad = T.OrderStoreStore = true;
-    break;
-  case ModelKind::TSO:
-    // A FIFO store buffer: stores may be delayed past later loads, and
-    // loads may read their own buffered stores.
-    T.OrderLoadLoad = T.OrderLoadStore = T.OrderStoreStore = true;
-    T.StoreForwarding = true;
-    break;
-  case ModelKind::PSO:
-    // Per-address store buffers: additionally relaxes store-store order
-    // (same-address stores stay ordered via Relaxed axiom 1).
-    T.OrderLoadLoad = T.OrderLoadStore = true;
-    T.StoreForwarding = true;
-    break;
-  case ModelKind::Relaxed:
-    T.StoreForwarding = true;
-    break;
-  case ModelKind::Serial:
-    T.OrderLoadLoad = T.OrderLoadStore = true;
-    T.OrderStoreLoad = T.OrderStoreStore = true;
-    T.SerialOps = true;
-    break;
-  }
-  return T;
+std::string ModelParams::str() const {
+  std::string Edges;
+  auto Add = [&](bool Bit, const char *Name) {
+    if (!Bit)
+      return;
+    if (!Edges.empty())
+      Edges += '+';
+    Edges += Name;
+  };
+  Add(OrderLoadLoad, "ll");
+  Add(OrderLoadStore, "ls");
+  Add(OrderStoreLoad, "sl");
+  Add(OrderStoreStore, "ss");
+  std::string Out = "po:";
+  if (fullProgramOrder())
+    Out += "all";
+  else if (Edges.empty())
+    Out += "none";
+  else
+    Out += Edges;
+  if (StoreForwarding)
+    Out += ",fwd";
+  if (!MultiCopyAtomic)
+    Out += ",nomca";
+  if (SerialOps)
+    Out += ",serial";
+  return Out;
 }
+
+std::string checkfence::memmodel::modelName(const ModelParams &P) {
+  for (const NamedModel &N : namedModels())
+    if (N.Params == P)
+      return N.Name;
+  return P.str();
+}
+
+std::optional<ModelParams>
+checkfence::memmodel::modelFromName(const std::string &Name) {
+  std::string S;
+  S.reserve(Name.size());
+  for (char C : Name)
+    S += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+
+  for (const NamedModel &N : namedModels())
+    if (S == N.Name)
+      return N.Params;
+
+  // Descriptor grammar: po:<edges>[,fwd|,nofwd][,mca|,nomca][,serial]
+  // where <edges> is "all", "none", or a '+'-joined subset of ll/ls/sl/ss.
+  if (S.rfind("po:", 0) != 0)
+    return std::nullopt;
+  // getline never yields the empty clause after a trailing delimiter, so
+  // reject "po:ll," style truncations up front.
+  if (!S.empty() && S.back() == ',')
+    return std::nullopt;
+  ModelParams P;
+  std::stringstream SS(S.substr(3));
+  std::string Clause;
+  bool First = true;
+  while (std::getline(SS, Clause, ',')) {
+    if (First) {
+      First = false;
+      if (Clause == "all") {
+        P.OrderLoadLoad = P.OrderLoadStore = true;
+        P.OrderStoreLoad = P.OrderStoreStore = true;
+      } else if (Clause != "none") {
+        // A '+'-joined edge list; reject empty or dangling tokens
+        // ("po:", "po:ll+").
+        if (Clause.empty() || Clause.front() == '+' ||
+            Clause.back() == '+')
+          return std::nullopt;
+        std::stringstream ES(Clause);
+        std::string Edge;
+        while (std::getline(ES, Edge, '+')) {
+          if (Edge == "ll")
+            P.OrderLoadLoad = true;
+          else if (Edge == "ls")
+            P.OrderLoadStore = true;
+          else if (Edge == "sl")
+            P.OrderStoreLoad = true;
+          else if (Edge == "ss")
+            P.OrderStoreStore = true;
+          else
+            return std::nullopt;
+        }
+      }
+    } else if (Clause == "fwd") {
+      P.StoreForwarding = true;
+    } else if (Clause == "nofwd") {
+      P.StoreForwarding = false;
+    } else if (Clause == "mca") {
+      P.MultiCopyAtomic = true;
+    } else if (Clause == "nomca") {
+      P.MultiCopyAtomic = false;
+    } else if (Clause == "serial") {
+      P.SerialOps = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (First)
+    return std::nullopt; // bare "po:"
+  return P;
+}
+
+const std::vector<ModelParams> &checkfence::memmodel::allModels() {
+  static const std::vector<ModelParams> Models = {
+      ModelParams::sc(), ModelParams::tso(), ModelParams::pso(),
+      ModelParams::relaxed()};
+  return Models;
+}
+
+const std::vector<ModelParams> &checkfence::memmodel::latticeModels() {
+  static const std::vector<ModelParams> Models = [] {
+    auto Pt = [](const char *S) {
+      auto P = modelFromName(S);
+      assert(P && "bad lattice point literal");
+      return *P;
+    };
+    return std::vector<ModelParams>{
+        ModelParams::serial(),
+        ModelParams::sc(),
+        Pt("po:ll+ls+sl,fwd"), // only store-store relaxed
+        ModelParams::tso(),
+        ModelParams::pso(),
+        ModelParams::rmo(),
+        Pt("po:ls,fwd"), // only load-store order preserved
+        Pt("po:ss,fwd"), // only store-store order preserved
+        ModelParams::relaxed(),
+        Pt("po:none"), // relaxed without the store-queue bypass
+    };
+  }();
+  return Models;
+}
+
+bool checkfence::memmodel::atLeastAsStrong(const ModelParams &A,
+                                           const ModelParams &B) {
+  // Serial *with full program order* (the registry's serial model) is
+  // the global top: invocation-granularity total orders then embed all
+  // of program order and need no forwarding, so every such execution is
+  // an execution of every other model. Degenerate serial points with
+  // partial program order (grammar-reachable as e.g. "po:none,serial")
+  // order a thread's invocations freely, which full-order models forbid
+  // - they are comparable only to themselves.
+  if (A.SerialOps && A.fullProgramOrder())
+    return true;
+  if (A.SerialOps || B.SerialOps)
+    return A == B;
+  // B's forced program-order edges must be a subset of A's.
+  if ((B.OrderLoadLoad && !A.OrderLoadLoad) ||
+      (B.OrderLoadStore && !A.OrderLoadStore) ||
+      (B.OrderStoreLoad && !A.OrderStoreLoad) ||
+      (B.OrderStoreStore && !A.OrderStoreStore))
+    return false;
+  // Multi-copy-atomic behaviors are a subset of non-MCA behaviors.
+  if (!A.MultiCopyAtomic && B.MultiCopyAtomic)
+    return false;
+  // Forwarding changes which store a load must read, in both directions,
+  // so differing effective-forwarding bits are incomparable - except when
+  // A preserves store-load order: its executions keep every own earlier
+  // store <M-before the load, where B's forwarding is indistinguishable
+  // from plain visibility.
+  bool FA = A.effectiveForwarding(), FB = B.effectiveForwarding();
+  if (FA == FB)
+    return true;
+  return FB && A.OrderStoreLoad;
+}
+
+bool checkfence::memmodel::strictlyStronger(const ModelParams &A,
+                                            const ModelParams &B) {
+  return atLeastAsStrong(A, B) && !atLeastAsStrong(B, A);
+}
+
+//===----------------------------------------------------------------------===//
+// MemoryModelEncoder
+//===----------------------------------------------------------------------===//
 
 MemoryModelEncoder::MemoryModelEncoder(ValueEncoder &VE,
                                        const FlatProgram &P,
-                                       const RangeInfo &R, ModelKind K,
-                                       OrderMode OM,
+                                       const RangeInfo &R,
+                                       const ModelParams &M, OrderMode OM,
                                        const EncodeOptions &EO)
-    : VE(VE), Cnf(VE.cnf()), P(P), R(R), Kind(K), Traits(traitsOf(K)),
-      OMode(OM), EOpts(EO) {
+    : VE(VE), Cnf(VE.cnf()), P(P), R(R), Params(M), OMode(OM), EOpts(EO) {
   EventAccess.assign(P.Events.size(), -1);
   for (size_t I = 0; I < P.Events.size(); ++I) {
     if (!P.Events[I].isAccess())
@@ -151,7 +285,7 @@ void MemoryModelEncoder::collectForcedPairs(
   // builder gets transitivity from arithmetic.
   std::vector<int> LastOfThread; // last access index seen per thread
   LastOfThread.assign(P.NumThreads, -1);
-  if (Traits.fullProgramOrder()) {
+  if (Params.fullProgramOrder()) {
     for (int A = 0; A < N; ++A) {
       int T = P.Events[AccessEvent[A]].Thread;
       if (LastOfThread[T] >= 0)
@@ -161,20 +295,20 @@ void MemoryModelEncoder::collectForcedPairs(
     return;
   }
 
-  // Partial program order (TSO/PSO): every same-thread pair whose edge
-  // kind the model preserves. The preserved edge set is not closed under
-  // composition with relaxed edges (on TSO, load->store and store->store
-  // do not compose into the relaxed store->load), so all pairs are
-  // emitted, not just consecutive ones.
-  if (Traits.OrderLoadLoad || Traits.OrderLoadStore ||
-      Traits.OrderStoreLoad || Traits.OrderStoreStore) {
+  // Partial program order (TSO/PSO and other lattice points): every
+  // same-thread pair whose edge kind the model preserves. The preserved
+  // edge set is not closed under composition with relaxed edges (on TSO,
+  // load->store and store->store do not compose into the relaxed
+  // store->load), so all pairs are emitted, not just consecutive ones.
+  if (Params.OrderLoadLoad || Params.OrderLoadStore ||
+      Params.OrderStoreLoad || Params.OrderStoreStore) {
     for (int A = 0; A < N; ++A) {
       const FlatEvent &EA = P.Events[AccessEvent[A]];
       for (int B = A + 1; B < N; ++B) {
         const FlatEvent &EB = P.Events[AccessEvent[B]];
         if (EB.Thread != EA.Thread)
           continue;
-        if (Traits.ordersEdge(EA.isLoad(), EB.isLoad()))
+        if (Params.ordersEdge(EA.isLoad(), EB.isLoad()))
           Forced.push_back({A, B});
       }
     }
@@ -213,7 +347,7 @@ void MemoryModelEncoder::collectForcedPairs(
 /// Relaxed axiom 1, dynamic cases: same-thread, possibly-aliasing pairs
 /// whose second access is a store get a conditional order edge.
 void MemoryModelEncoder::emitConditionalOrderAxioms() {
-  if (Traits.fullProgramOrder())
+  if (Params.fullProgramOrder())
     return; // subsumed by the forced program order
   int N = numAccesses();
   for (int A = 0; A < N; ++A) {
@@ -222,7 +356,7 @@ void MemoryModelEncoder::emitConditionalOrderAxioms() {
       const FlatEvent &EB = P.Events[AccessEvent[B]];
       if (EB.Thread != EA.Thread || !EB.isStore())
         continue;
-      if (Traits.ordersEdge(EA.isLoad(), /*LaterIsLoad=*/false))
+      if (Params.ordersEdge(EA.isLoad(), /*LaterIsLoad=*/false))
         continue; // already forced unconditionally by the model
       if (EOpts.AliasPruning &&
           !cellsIntersect(AccessEvent[A], AccessEvent[B]))
@@ -238,7 +372,7 @@ void MemoryModelEncoder::emitConditionalOrderAxioms() {
 /// Fence axiom: an executed X-Y fence orders every preceding access of
 /// kind X before every following access of kind Y (same thread).
 void MemoryModelEncoder::emitFenceAxioms() {
-  if (Traits.fullProgramOrder())
+  if (Params.fullProgramOrder())
     return; // fences are no-ops under SC / Serial
   for (size_t F = 0; F < P.Events.size(); ++F) {
     const FlatEvent &EF = P.Events[F];
@@ -274,7 +408,7 @@ void MemoryModelEncoder::emitFenceAxioms() {
 /// Atomic blocks are indivisible: no outside access falls strictly between
 /// two accesses of the same atomic instance.
 void MemoryModelEncoder::emitAtomicExclusivity() {
-  if (Traits.SerialOps)
+  if (Params.SerialOps)
     return; // whole operations are already indivisible
   std::map<int, std::vector<int>> Members;
   int N = numAccesses();
@@ -342,7 +476,7 @@ void MemoryModelEncoder::emitValueAxioms() {
       Lit OrderTerm;
       bool POBefore = ES.Thread == EL.Thread &&
                       ES.IndexInThread < EL.IndexInThread;
-      if (Traits.StoreForwarding && POBefore)
+      if (Params.StoreForwarding && POBefore)
         OrderTerm = Cnf.trueLit(); // forwarding: s <p l suffices
       else
         OrderTerm = Order->before(S, L);
@@ -393,6 +527,12 @@ void MemoryModelEncoder::emitValueAxioms() {
 }
 
 bool MemoryModelEncoder::encode() {
+  // A single total <M is multi-copy atomic by construction; modeling
+  // non-MCA points needs per-thread view orders, which this encoder does
+  // not have yet.
+  if (!Params.MultiCopyAtomic)
+    return false;
+
   std::vector<AccessInfo> Infos;
   Infos.reserve(AccessEvent.size());
   for (int Ev : AccessEvent) {
@@ -407,7 +547,7 @@ bool MemoryModelEncoder::encode() {
   std::vector<std::pair<int, int>> Forced;
   collectForcedPairs(Forced);
   Order = std::make_unique<MemoryOrder>(Cnf, std::move(Infos), OMode,
-                                        Traits.SerialOps, Forced);
+                                        Params.SerialOps, Forced);
 
   emitConditionalOrderAxioms();
   emitFenceAxioms();

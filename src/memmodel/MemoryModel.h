@@ -1,39 +1,51 @@
-//===--- MemoryModel.h - axiomatic memory models ----------------*- C++ -*-==//
+//===--- MemoryModel.h - parametric axiomatic memory models -----*- C++ -*-==//
 //
 // Part of the CheckFence reproduction (PLDI'07).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The memory models of Sec. 2.3, in axiomatic form over the memory
-/// order <M and the visibility set S(l):
+/// Memory models as *points in a relaxation lattice* rather than a closed
+/// enum. A model is a ModelParams descriptor over the axiomatic framework
+/// of Sec. 2.3 (memory order <M, visibility set S(l)):
 ///
-///  * \b SeqConsistency: program order embeds into <M; S(l) = stores to the
-///    same address ordered before l.
-///  * \b Relaxed: only same-address program-order edges ending in a store
-///    embed into <M (plus fences and atomic blocks); S(l) additionally
-///    contains the thread's own program-order-earlier stores (store
-///    forwarding from the local store queue).
-///  * \b Serial: sequential consistency at operation granularity - the
-///    seriality condition used to mine specifications.
+///  * Four program-order edge bits (load-load, load-store, store-load,
+///    store-store): which same-thread edge kinds embed into <M
+///    unconditionally. All four set is sequential consistency; none set is
+///    the paper's Relaxed base (only same-address edges ending in a store
+///    embed, via axiom 1, plus fences and atomic blocks).
+///  * StoreForwarding (read-own-write-early): S(l) additionally contains
+///    the thread's own program-order-earlier stores, the local store-queue
+///    bypass of the Relaxed/TSO/PSO models. A no-op whenever store-load
+///    program order is preserved (the store is then <M-before the load
+///    anyway).
+///  * MultiCopyAtomic: stores become visible to all other threads at one
+///    point in <M. Every model the SAT encoder supports is multi-copy
+///    atomic (a single total <M *is* multi-copy atomicity); the bit exists
+///    so non-MCA lattice points can be described, parsed, and compared -
+///    the encoder rejects them with a clear error until per-thread view
+///    orders are implemented.
+///  * SerialOps: order at operation-invocation granularity - the seriality
+///    condition of Sec. 2.3.2 used to mine specifications.
 ///
-/// plus the two intermediate SPARC models the paper names when observing
-/// that its fence placements are "automatic" on some architectures
-/// (Sec. 4.2): between SC and Relaxed, each model is characterized by the
-/// subset of program-order edge kinds (load-load, load-store, store-load,
-/// store-store) that embed into <M unconditionally:
+/// Named points of the lattice (the registry, strongest first):
 ///
-///  * \b TSO: all but store-load (a FIFO store buffer with forwarding);
-///    the paper's load-load and store-store fences are no-ops here, so
-///    the unfenced algorithms must verify - a claim we test directly.
-///  * \b PSO: load-load and load-store only; store-store order must be
-///    restored with explicit fences (same-address stores stay ordered,
-///    which is Relaxed axiom 1).
+///   serial   SerialOps                      specification mining
+///   sc       po:all                         Sec. 2.3.1
+///   tso      po:ll+ls+ss, fwd               FIFO store buffer (Sec. 4.2)
+///   pso      po:ll+ls, fwd                  per-address store buffers
+///   rmo      po:ll, fwd                     RMO-like intermediate point
+///   relaxed  po:none, fwd                   the paper's Relaxed (Sec. 2.3.2)
 ///
-/// Shared axioms (2) and (3): a load with empty S(l) returns the initial
-/// value (undefined here: memory contents before initialization), otherwise
-/// the value of the <M-maximal store in S(l). These are encoded with the
-/// Init_l and Flows_{s,l} auxiliary variables of Sec. 3.2.1.
+/// Arbitrary points are written in the descriptor grammar parsed by
+/// modelFromName(): `po:<ll|ls|sl|ss joined by +|all|none>[,fwd][,nomca]
+/// [,serial]`, e.g. "po:ll+ls,fwd" (which modelName() prints back as
+/// "pso"). See docs/MODELS.md for the full table and grammar.
+///
+/// Shared value axioms (2) and (3): a load with empty S(l) returns the
+/// initial value (undefined here: memory contents before initialization),
+/// otherwise the value of the <M-maximal store in S(l). These are encoded
+/// with the Init_l and Flows_{s,l} auxiliary variables of Sec. 3.2.1.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,34 +64,22 @@
 namespace checkfence {
 namespace memmodel {
 
-enum class ModelKind {
-  SeqConsistency,
-  TSO,
-  PSO,
-  Relaxed,
-  Serial,
-};
-
-const char *modelName(ModelKind K);
-
-/// Parses "sc" / "tso" / "pso" / "relaxed" / "serial" (as printed by
-/// modelName); returns std::nullopt for anything else.
-std::optional<ModelKind> modelKindFromName(const std::string &Name);
-
-/// All models, strongest first (every Serial execution is SC, every SC
-/// execution is TSO, and so on down to Relaxed).
-const std::vector<ModelKind> &allModels();
-
-/// Structural properties that define each model.
-struct ModelTraits {
-  bool StoreForwarding = false; ///< S(l) includes own earlier stores
-  bool SerialOps = false;       ///< invocation-granularity order
+/// A memory model as a point in the relaxation lattice.
+struct ModelParams {
   // Program-order edge kinds that embed into <M unconditionally. The
   // first letter is the kind of the earlier access, the second the later.
   bool OrderLoadLoad = false;
   bool OrderLoadStore = false;
   bool OrderStoreLoad = false;
   bool OrderStoreStore = false;
+  /// S(l) includes the thread's own program-order-earlier stores.
+  bool StoreForwarding = false;
+  /// Stores become visible to all threads at a single point in <M.
+  /// Non-MCA points are descriptor-only: parse/print/compare work, the
+  /// SAT encoder rejects them (a total <M is inherently multi-copy).
+  bool MultiCopyAtomic = true;
+  /// Invocation-granularity order (the Serial model).
+  bool SerialOps = false;
 
   /// True when every program-order edge embeds into <M (SC and Serial);
   /// fences are no-ops and consecutive-edge closure suffices.
@@ -93,19 +93,128 @@ struct ModelTraits {
       return LaterIsLoad ? OrderLoadLoad : OrderLoadStore;
     return LaterIsLoad ? OrderStoreLoad : OrderStoreStore;
   }
+  /// Forwarding with its no-op cases normalized away: when store-load
+  /// program order is preserved (or operations are serial), every own
+  /// earlier store is <M-before the load already, so the bypass changes
+  /// nothing.
+  bool effectiveForwarding() const {
+    return StoreForwarding && !OrderStoreLoad && !SerialOps;
+  }
+
+  /// Canonical descriptor string ("po:ll+ls,fwd"); parseable by
+  /// modelFromName. Registry names are *not* substituted - use modelName
+  /// for display.
+  std::string str() const;
+
+  friend bool operator==(const ModelParams &A, const ModelParams &B) {
+    return A.OrderLoadLoad == B.OrderLoadLoad &&
+           A.OrderLoadStore == B.OrderLoadStore &&
+           A.OrderStoreLoad == B.OrderStoreLoad &&
+           A.OrderStoreStore == B.OrderStoreStore &&
+           A.StoreForwarding == B.StoreForwarding &&
+           A.MultiCopyAtomic == B.MultiCopyAtomic &&
+           A.SerialOps == B.SerialOps;
+  }
+  friend bool operator!=(const ModelParams &A, const ModelParams &B) {
+    return !(A == B);
+  }
+
+  // The named lattice points.
+  /// Operation-granularity sequential order (specification mining).
+  static constexpr ModelParams serial() {
+    ModelParams P = sc();
+    P.SerialOps = true;
+    return P;
+  }
+  /// Sequential consistency: full program order.
+  static constexpr ModelParams sc() {
+    ModelParams P;
+    P.OrderLoadLoad = P.OrderLoadStore = true;
+    P.OrderStoreLoad = P.OrderStoreStore = true;
+    return P;
+  }
+  /// A FIFO store buffer: stores may be delayed past later loads, and
+  /// loads may read their own buffered stores.
+  static constexpr ModelParams tso() {
+    ModelParams P;
+    P.OrderLoadLoad = P.OrderLoadStore = P.OrderStoreStore = true;
+    P.StoreForwarding = true;
+    return P;
+  }
+  /// Per-address store buffers: additionally relaxes store-store order
+  /// (same-address stores stay ordered via Relaxed axiom 1).
+  static constexpr ModelParams pso() {
+    ModelParams P;
+    P.OrderLoadLoad = P.OrderLoadStore = true;
+    P.StoreForwarding = true;
+    return P;
+  }
+  /// RMO-like: the lattice point between PSO and Relaxed that additionally
+  /// relaxes load-store order while keeping load-load order. Named for its
+  /// position in the SPARC family sweep, not for exact RMO semantics
+  /// (dependency order is not modeled here).
+  static constexpr ModelParams rmo() {
+    ModelParams P;
+    P.OrderLoadLoad = true;
+    P.StoreForwarding = true;
+    return P;
+  }
+  /// The paper's Relaxed model: no unconditional program order at all.
+  static constexpr ModelParams relaxed() {
+    ModelParams P;
+    P.StoreForwarding = true;
+    return P;
+  }
 };
 
-ModelTraits traitsOf(ModelKind K);
+/// A registry entry naming a lattice point.
+struct NamedModel {
+  std::string Name;
+  ModelParams Params;
+  std::string Note; ///< one-line description for --list / docs
+};
+
+/// The named models, strongest first: serial, sc, tso, pso, rmo, relaxed.
+const std::vector<NamedModel> &namedModels();
+
+/// Display name: the registry name when \p P matches a named point
+/// exactly, otherwise the canonical descriptor string.
+std::string modelName(const ModelParams &P);
+
+/// Parses a registry name ("tso") or a descriptor string ("po:ll+ls,fwd",
+/// see the file comment for the grammar); std::nullopt on syntax errors.
+std::optional<ModelParams> modelFromName(const std::string &Name);
+
+/// The classic four-model sweep (sc, tso, pso, relaxed), strongest first -
+/// the default model axis of the paper's evaluation tables.
+const std::vector<ModelParams> &allModels();
+
+/// The lattice sweep: the named points plus the unnamed intermediate
+/// points worth checking, strongest first. Used by `--models lattice` and
+/// the weakest-passing-model search.
+const std::vector<ModelParams> &latticeModels();
+
+/// The lattice order: true when every execution allowed under \p A is
+/// also allowed under \p B (A is at least as strong as B). Reflexive and
+/// transitive; a partial order up to semantic equivalence (e.g. sc with
+/// and without the forwarding bit compare equal both ways). A check that
+/// passes under B is guaranteed to pass under A, and a counterexample
+/// found under A also exists under B.
+bool atLeastAsStrong(const ModelParams &A, const ModelParams &B);
+
+/// Strict version: atLeastAsStrong(A, B) but not the converse.
+bool strictlyStronger(const ModelParams &A, const ModelParams &B);
 
 /// Emits the memory-model formula Theta for a FlatProgram into the CNF
 /// being built by a ValueEncoder.
 class MemoryModelEncoder {
 public:
   MemoryModelEncoder(encode::ValueEncoder &VE, const trans::FlatProgram &P,
-                     const trans::RangeInfo &R, ModelKind K,
+                     const trans::RangeInfo &R, const ModelParams &M,
                      encode::OrderMode OM, const encode::EncodeOptions &EO);
 
-  /// Encodes everything; returns false on unsupported input.
+  /// Encodes everything; returns false on unsupported input (currently:
+  /// non-multi-copy-atomic models).
   bool encode();
 
   /// Execution literal of event \p EventIdx (truthiness of its guard).
@@ -136,8 +245,7 @@ private:
   encode::CnfBuilder &Cnf;
   const trans::FlatProgram &P;
   const trans::RangeInfo &R;
-  ModelKind Kind;
-  ModelTraits Traits;
+  ModelParams Params;
   encode::OrderMode OMode;
   encode::EncodeOptions EOpts;
 

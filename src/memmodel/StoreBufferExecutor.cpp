@@ -36,7 +36,9 @@ struct ThreadState {
 class Machine {
 public:
   Machine(const FlatProgram &P, const StoreBufferOptions &Opts)
-      : P(P), Opts(Opts), Fifo(Opts.Model == ModelKind::TSO) {
+      // The buffer drains FIFO exactly when the model preserves
+      // store-store program order (TSO); PSO drains per-address.
+      : P(P), Opts(Opts), Fifo(Opts.Model.OrderStoreStore) {
     ThreadEvents.resize(P.NumThreads);
     for (size_t I = 0; I < P.Events.size(); ++I)
       ThreadEvents[P.Events[I].Thread].push_back(static_cast<int>(I));

@@ -48,8 +48,9 @@ namespace checkfence {
 namespace memmodel {
 
 struct StoreBufferOptions {
-  /// Must be TSO or PSO.
-  ModelKind Model = ModelKind::TSO;
+  /// Must be ModelParams::tso() or ModelParams::pso() - the two lattice
+  /// points this buffer machine realizes.
+  ModelParams Model = ModelParams::tso();
   uint64_t MaxSteps = 50'000'000;
 };
 

@@ -33,14 +33,14 @@ using lsl::Value;
 
 namespace {
 
-constexpr auto SER = memmodel::ModelKind::Serial;
-constexpr auto SC = memmodel::ModelKind::SeqConsistency;
-constexpr auto TSO = memmodel::ModelKind::TSO;
-constexpr auto PSO = memmodel::ModelKind::PSO;
-constexpr auto RLX = memmodel::ModelKind::Relaxed;
+constexpr auto SER = memmodel::ModelParams::serial();
+constexpr auto SC = memmodel::ModelParams::sc();
+constexpr auto TSO = memmodel::ModelParams::tso();
+constexpr auto PSO = memmodel::ModelParams::pso();
+constexpr auto RLX = memmodel::ModelParams::relaxed();
 
-const std::vector<memmodel::ModelKind> &allFive() {
-  static const std::vector<memmodel::ModelKind> Models = {SER, SC, TSO, PSO,
+const std::vector<memmodel::ModelParams> &allFive() {
+  static const std::vector<memmodel::ModelParams> Models = {SER, SC, TSO, PSO,
                                                           RLX};
   return Models;
 }
@@ -91,7 +91,7 @@ int compareAllModels(const std::string &Source,
   std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
 
   int Compared = 0;
-  for (memmodel::ModelKind Model : allFive()) {
+  for (memmodel::ModelParams Model : allFive()) {
     ProblemConfig Cfg;
     Cfg.Model = Model;
     EncodedProblem Prob(Prog, Threads, {}, Cfg);
@@ -283,7 +283,7 @@ int compareBufferMachine(const std::string &Source,
   std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
 
   int Compared = 0;
-  for (memmodel::ModelKind Model : {TSO, PSO}) {
+  for (memmodel::ModelParams Model : {TSO, PSO}) {
     ProblemConfig Cfg;
     Cfg.Model = Model;
     EncodedProblem Prob(Prog, Threads, {}, Cfg);

@@ -18,7 +18,7 @@ namespace {
 
 CommitPointOptions scOpts() {
   CommitPointOptions O;
-  O.Model = memmodel::ModelKind::SeqConsistency;
+  O.Model = memmodel::ModelParams::sc();
   return O;
 }
 
@@ -92,7 +92,7 @@ TEST(CommitPoint, AgreesWithObservationSetMethod) {
   // Both methods must agree on PASS across queue tests under SC.
   for (const char *Test : {"T0", "Tpc2", "Ti2"}) {
     RunOptions RO;
-    RO.Check.Model = memmodel::ModelKind::SeqConsistency;
+    RO.Check.Model = memmodel::ModelParams::sc();
     checker::CheckResult R1 =
         runTest(impls::sourceFor("msn"), testByName(Test), RO);
     ASSERT_EQ(R1.Status, checker::CheckStatus::Pass) << Test;

@@ -19,13 +19,13 @@ namespace {
 
 RunOptions relaxedOpts() {
   RunOptions O;
-  O.Check.Model = memmodel::ModelKind::Relaxed;
+  O.Check.Model = memmodel::ModelParams::relaxed();
   return O;
 }
 
 RunOptions scOpts() {
   RunOptions O;
-  O.Check.Model = memmodel::ModelKind::SeqConsistency;
+  O.Check.Model = memmodel::ModelParams::sc();
   return O;
 }
 
@@ -82,7 +82,7 @@ void crossValidateSpec(const std::string &Source, const std::string &Test) {
 
   // SAT-based mining.
   ProblemConfig Cfg;
-  Cfg.Model = memmodel::ModelKind::Serial;
+  Cfg.Model = memmodel::ModelParams::serial();
   EncodedProblem Prob(Prog, Threads, {}, Cfg);
   ASSERT_TRUE(Prob.ok()) << Prob.error();
   MiningOutcome Mined = mineSpecification(Prob);

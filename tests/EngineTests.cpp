@@ -41,7 +41,7 @@ bool compileInto(const std::string &Source, lsl::Program &Prog) {
 /// and asserts identical verdicts and observation sets.
 void expectSessionMatchesFresh(const std::string &Source,
                                const std::string &Test,
-                               memmodel::ModelKind Model) {
+                               memmodel::ModelParams Model) {
   lsl::Program Prog;
   ASSERT_TRUE(compileInto(Source, Prog));
   TestSpec Spec = testByName(Test);
@@ -65,30 +65,30 @@ void expectSessionMatchesFresh(const std::string &Source,
 }
 
 TEST(SessionEquivalence, RefQueueT0AllModels) {
-  for (memmodel::ModelKind M :
-       {memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::TSO,
-        memmodel::ModelKind::Relaxed})
+  for (memmodel::ModelParams M :
+       {memmodel::ModelParams::sc(), memmodel::ModelParams::tso(),
+        memmodel::ModelParams::relaxed()})
     expectSessionMatchesFresh(impls::referenceFor("queue"), "T0", M);
 }
 
 TEST(SessionEquivalence, RefQueueTi2AllModels) {
-  for (memmodel::ModelKind M :
-       {memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::TSO,
-        memmodel::ModelKind::Relaxed})
+  for (memmodel::ModelParams M :
+       {memmodel::ModelParams::sc(), memmodel::ModelParams::tso(),
+        memmodel::ModelParams::relaxed()})
     expectSessionMatchesFresh(impls::referenceFor("queue"), "Ti2", M);
 }
 
 TEST(SessionEquivalence, RefSetS1AllModels) {
-  for (memmodel::ModelKind M :
-       {memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::TSO,
-        memmodel::ModelKind::Relaxed})
+  for (memmodel::ModelParams M :
+       {memmodel::ModelParams::sc(), memmodel::ModelParams::tso(),
+        memmodel::ModelParams::relaxed()})
     expectSessionMatchesFresh(impls::referenceFor("set"), "S1", M);
 }
 
 TEST(SessionEquivalence, MsnT0RelaxedWithAndWithoutFences) {
   // A PASS cell with bound growth and a FAIL cell (counterexample path).
   expectSessionMatchesFresh(impls::sourceFor("msn"), "T0",
-                            memmodel::ModelKind::Relaxed);
+                            memmodel::ModelParams::relaxed());
 
   frontend::LoweringOptions LO;
   LO.StripFences = true;
@@ -99,7 +99,7 @@ TEST(SessionEquivalence, MsnT0RelaxedWithAndWithoutFences) {
   TestSpec Spec = testByName("T0");
   std::vector<std::string> Threads = buildTestThreads(Stripped, Spec);
   CheckOptions Opts;
-  Opts.Model = memmodel::ModelKind::Relaxed;
+  Opts.Model = memmodel::ModelParams::relaxed();
   CheckResult Fresh = runCheckFresh(Stripped, Threads, Opts);
   CheckSession Session(Opts);
   CheckResult Inc = Session.check(Stripped, Threads);
@@ -124,7 +124,7 @@ TEST(SessionEquivalence, RefspecModeMatches) {
   ASSERT_EQ(Threads, RefThreads);
 
   CheckOptions Opts;
-  Opts.Model = memmodel::ModelKind::Relaxed;
+  Opts.Model = memmodel::ModelParams::relaxed();
   CheckResult Fresh = runCheckFresh(Impl, Threads, Opts, &Ref);
   CheckSession Session(Opts);
   CheckResult Inc = Session.check(Impl, Threads, &Ref);
@@ -147,7 +147,7 @@ TEST(SessionSolverGrowth, VarsAndClausesGrowMonotonically) {
   std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
 
   CheckOptions Opts;
-  Opts.Model = memmodel::ModelKind::Relaxed;
+  Opts.Model = memmodel::ModelParams::relaxed();
   CheckSession Session(Opts);
   CheckResult R = Session.check(Prog, Threads);
   ASSERT_EQ(R.Status, CheckStatus::Pass) << R.Message;
@@ -180,7 +180,7 @@ TEST(SessionSolverGrowth, VarsAndClausesGrowMonotonically) {
 TEST(MatrixRunner, TimingFreeReportIsIdenticalAcrossJobCounts) {
   std::vector<MatrixCell> Cells = expandMatrix(
       {"ms2", "msn"}, {"T0"},
-      {memmodel::ModelKind::SeqConsistency, memmodel::ModelKind::Relaxed});
+      {memmodel::ModelParams::sc(), memmodel::ModelParams::relaxed()});
   ASSERT_EQ(Cells.size(), 4u);
 
   RunOptions Base;
@@ -202,7 +202,7 @@ TEST(MatrixRunner, TimingFreeReportIsIdenticalAcrossJobCounts) {
 TEST(MatrixRunner, ExpandFiltersKindMismatches) {
   // Explicit tests that do not fit an implementation's kind are dropped.
   std::vector<MatrixCell> Cells = expandMatrix(
-      {"msn", "lazylist"}, {"T0", "Sac"}, {memmodel::ModelKind::Relaxed});
+      {"msn", "lazylist"}, {"T0", "Sac"}, {memmodel::ModelParams::relaxed()});
   ASSERT_EQ(Cells.size(), 2u);
   EXPECT_EQ(Cells[0].label(), "msn:T0:relaxed");
   EXPECT_EQ(Cells[1].label(), "lazylist:Sac:relaxed");
@@ -239,7 +239,7 @@ TEST(ProblemEncodingArtifact, CnfStoreReplayReproducesTheProblem) {
   std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
 
   ProblemConfig Cfg;
-  Cfg.Model = memmodel::ModelKind::Serial;
+  Cfg.Model = memmodel::ModelParams::serial();
 
   // Capture the encoding into a pure store - no solver involved.
   sat::CnfStore Store;

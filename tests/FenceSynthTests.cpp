@@ -24,10 +24,10 @@ using namespace checkfence::harness;
 
 namespace {
 
-constexpr auto SC = memmodel::ModelKind::SeqConsistency;
-constexpr auto TSO = memmodel::ModelKind::TSO;
-constexpr auto PSO = memmodel::ModelKind::PSO;
-constexpr auto RLX = memmodel::ModelKind::Relaxed;
+constexpr auto SC = memmodel::ModelParams::sc();
+constexpr auto TSO = memmodel::ModelParams::tso();
+constexpr auto PSO = memmodel::ModelParams::pso();
+constexpr auto RLX = memmodel::ModelParams::relaxed();
 
 int lineCount(const std::string &S) {
   return static_cast<int>(std::count(S.begin(), S.end(), '\n'));
@@ -35,7 +35,7 @@ int lineCount(const std::string &S) {
 
 /// Synthesis options whose eligible region excludes the shared prelude
 /// (fences belong in the implementation, not inside cas/lock builtins).
-SynthOptions implRegionOptions(memmodel::ModelKind Model) {
+SynthOptions implRegionOptions(memmodel::ModelParams Model) {
   SynthOptions O;
   O.Check.Model = Model;
   O.MinLine = lineCount(impls::preludeSource()) + 1;

@@ -32,7 +32,7 @@ namespace {
 /// observation is reachable under the model.
 bool reachable(const std::string &Source,
                const std::vector<std::string> &Ops,
-               memmodel::ModelKind Model,
+               memmodel::ModelParams Model,
                const std::vector<Value> &Outcome, bool OutcomeError = false) {
   frontend::DiagEngine Diags;
   lsl::Program Prog;
@@ -57,9 +57,9 @@ bool reachable(const std::string &Source,
   return Prob.solve() == sat::SolveResult::Sat;
 }
 
-constexpr auto SC = memmodel::ModelKind::SeqConsistency;
-constexpr auto RLX = memmodel::ModelKind::Relaxed;
-constexpr auto SER = memmodel::ModelKind::Serial;
+constexpr auto SC = memmodel::ModelParams::sc();
+constexpr auto RLX = memmodel::ModelParams::relaxed();
+constexpr auto SER = memmodel::ModelParams::serial();
 
 Value IV(int64_t N) { return Value::integer(N); }
 
@@ -357,8 +357,8 @@ TEST(Litmus, DependentLoadFineOnSC) {
 // relaxes only store-load order; PSO additionally relaxes store-store.
 //===----------------------------------------------------------------------===//
 
-constexpr auto TSO = memmodel::ModelKind::TSO;
-constexpr auto PSO = memmodel::ModelKind::PSO;
+constexpr auto TSO = memmodel::ModelParams::tso();
+constexpr auto PSO = memmodel::ModelParams::pso();
 
 TEST(LitmusTsoPso, StoreBufferingAllowedOnTsoAndPso) {
   // The one relaxation TSO has: both loads may overtake the buffered
@@ -492,10 +492,10 @@ TEST(Litmus, LostUpdateImpossibleOnSerial) {
 //===----------------------------------------------------------------------===//
 
 class OrderModeAgreement
-    : public ::testing::TestWithParam<memmodel::ModelKind> {};
+    : public ::testing::TestWithParam<memmodel::ModelParams> {};
 
 TEST_P(OrderModeAgreement, SameVerdicts) {
-  memmodel::ModelKind Model = GetParam();
+  memmodel::ModelParams Model = GetParam();
   struct Case {
     const char *Src;
     std::vector<std::string> Ops;
@@ -562,10 +562,10 @@ TEST_P(ModelHierarchy, ObservationSetsAreNested) {
     Spec.Threads.push_back({OpSpec{Op, 0, false, false}});
   std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
 
-  const std::vector<memmodel::ModelKind> Chain = {
+  const std::vector<memmodel::ModelParams> Chain = {
       SER, SC, TSO, PSO, RLX};
   std::vector<ObservationSet> Sets;
-  for (memmodel::ModelKind K : Chain) {
+  for (memmodel::ModelParams K : Chain) {
     ProblemConfig Cfg;
     Cfg.Model = K;
     EncodedProblem Prob(Prog, Threads, {}, Cfg);

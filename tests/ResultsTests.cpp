@@ -20,21 +20,21 @@ using namespace checkfence::harness;
 
 namespace {
 
-RunOptions model(memmodel::ModelKind M) {
+RunOptions model(memmodel::ModelParams M) {
   RunOptions O;
   O.Check.Model = M;
   return O;
 }
 
-constexpr auto SC = memmodel::ModelKind::SeqConsistency;
-constexpr auto TSO = memmodel::ModelKind::TSO;
-constexpr auto PSO = memmodel::ModelKind::PSO;
-constexpr auto RLX = memmodel::ModelKind::Relaxed;
+constexpr auto SC = memmodel::ModelParams::sc();
+constexpr auto TSO = memmodel::ModelParams::tso();
+constexpr auto PSO = memmodel::ModelParams::pso();
+constexpr auto RLX = memmodel::ModelParams::relaxed();
 
 struct GridCase {
   const char *Impl;
   const char *Test;
-  memmodel::ModelKind Model;
+  memmodel::ModelParams Model;
   bool StripFences;
   CheckStatus Expected;
 };

@@ -227,7 +227,7 @@ TEST(SatProof, InclusionCheckPassIsCertified) {
 
   // Mine the specification under Serial...
   ProblemConfig SerialCfg;
-  SerialCfg.Model = memmodel::ModelKind::Serial;
+  SerialCfg.Model = memmodel::ModelParams::serial();
   EncodedProblem SerialProb(Prog, Threads, {}, SerialCfg);
   ASSERT_TRUE(SerialProb.ok()) << SerialProb.error();
   MiningOutcome Spec = mineSpecification(SerialProb);
@@ -235,7 +235,7 @@ TEST(SatProof, InclusionCheckPassIsCertified) {
 
   // ...then run the inclusion check on Relaxed with proof logging.
   ProblemConfig Cfg;
-  Cfg.Model = memmodel::ModelKind::Relaxed;
+  Cfg.Model = memmodel::ModelParams::relaxed();
   Cfg.ProofLog = true;
   EncodedProblem Prob(Prog, Threads, {}, Cfg);
   ASSERT_TRUE(Prob.ok()) << Prob.error();

@@ -23,12 +23,12 @@ using namespace checkfence::harness;
 
 namespace {
 
-constexpr auto SC = memmodel::ModelKind::SeqConsistency;
-constexpr auto TSO = memmodel::ModelKind::TSO;
-constexpr auto PSO = memmodel::ModelKind::PSO;
-constexpr auto RLX = memmodel::ModelKind::Relaxed;
+constexpr auto SC = memmodel::ModelParams::sc();
+constexpr auto TSO = memmodel::ModelParams::tso();
+constexpr auto PSO = memmodel::ModelParams::pso();
+constexpr auto RLX = memmodel::ModelParams::relaxed();
 
-CheckResult run(const std::string &Test, memmodel::ModelKind Model,
+CheckResult run(const std::string &Test, memmodel::ModelParams Model,
                 bool Strip, const std::string &SpecSource = "") {
   RunOptions O;
   O.Check.Model = Model;
@@ -39,7 +39,7 @@ CheckResult run(const std::string &Test, memmodel::ModelKind Model,
 
 struct GridCase {
   const char *Test;
-  memmodel::ModelKind Model;
+  memmodel::ModelParams Model;
   bool StripFences;
   CheckStatus Expected;
 };

@@ -11,7 +11,9 @@
 //   <test>  a Fig. 8 test name (T0, Tpc3, Sac, D0, ...) or --notation
 //
 // Options:
-//   --model sc|tso|pso|relaxed  target memory model (default relaxed)
+//   --model <model>          target memory model (default relaxed); a name
+//                            (sc tso pso rmo relaxed serial) or a lattice
+//                            descriptor like "po:ll+ls,fwd" (docs/MODELS.md)
 //   --strip-fences           remove all fence() calls
 //   --strip-line N           remove the fence on source line N (repeatable)
 //   --define NAME            preprocessor define (e.g. LAZYLIST_INIT_BUG)
@@ -22,9 +24,14 @@
 //   --synth                  synthesize a fence placement (from stripped)
 //   --matrix                 run an (impl x test x model) evaluation matrix
 //   --impls a,b / --tests x,y / --models m,n   matrix axes (defaults: all
-//                            impls, all kind-matching tests, --model)
+//                            impls, all kind-matching tests, --model);
+//                            --models also accepts "all" (every named
+//                            model) and "lattice" (the full sweep with a
+//                            weakest-passing-model summary)
 //   --jobs N                 worker threads (matrix cells / synth checks)
 //   --json PATH              write a machine-readable report ("-" = stdout)
+//   --no-timings             omit timing fields from the JSON report (the
+//                            result is then byte-identical at any --jobs)
 //   --quiet                  verdict only
 //
 //===----------------------------------------------------------------------===//
@@ -54,7 +61,9 @@ void usage() {
       "  test: a Fig. 8 name (T0, Tpc3, Sac, D0, ...) or --notation "
       "\"( e | d )\"\n"
       "options:\n"
-      "  --model sc|tso|pso|relaxed  target model (default: relaxed)\n"
+      "  --model <m>          target model (default: relaxed): a name\n"
+      "                       (sc tso pso rmo relaxed serial) or a\n"
+      "                       descriptor like po:ll+ls,fwd\n"
       "  --strip-fences       remove all fence() calls\n"
       "  --strip-line N       remove the fence on line N (repeatable)\n"
       "  --define NAME        preprocessor define\n"
@@ -68,9 +77,13 @@ void usage() {
       "  --matrix             run an (impl x test x model) matrix\n"
       "  --impls a,b          matrix implementations (default: all)\n"
       "  --tests x,y          matrix tests (default: kind-matching)\n"
-      "  --models m,n         matrix models (default: --model)\n"
+      "  --models m,n         matrix models (default: --model); 'all' =\n"
+      "                       every named model, 'lattice' = the full\n"
+      "                       relaxation-lattice sweep\n"
       "  --jobs N             worker threads for --matrix / --synth\n"
       "  --json PATH          write a JSON report ('-' = stdout)\n"
+      "  --no-timings         omit timing fields from the JSON report\n"
+      "                       (byte-identical output at any --jobs)\n"
       "  --quiet              verdict only\n"
       "  --list               list implementations and tests\n");
 }
@@ -116,6 +129,10 @@ void listCatalog() {
   for (const CatalogEntry &E : paperTests())
     std::printf("  %-8s (%s)  %s\n", E.Name.c_str(), E.Kind.c_str(),
                 E.Notation.c_str());
+  std::printf("models (strongest first):\n");
+  for (const memmodel::NamedModel &N : memmodel::namedModels())
+    std::printf("  %-8s %-16s %s\n", N.Name.c_str(),
+                N.Params.str().c_str(), N.Note.c_str());
 }
 
 } // namespace
@@ -124,7 +141,7 @@ int main(int argc, char **argv) {
   std::string Impl, Test, File, Kind, Notation, Model = "relaxed";
   RunOptions Opts;
   bool PrintSpec = false, Quiet = false, RefSpec = false, Synth = false;
-  bool Matrix = false;
+  bool Matrix = false, NoTimings = false;
   int Jobs = 1;
   std::string JsonPath;
   std::vector<std::string> MatrixImpls, MatrixTests;
@@ -184,6 +201,8 @@ int main(int argc, char **argv) {
         Jobs = 1;
     } else if (A == "--json") {
       JsonPath = Next();
+    } else if (A == "--no-timings") {
+      NoTimings = true;
     } else if (A == "--quiet") {
       Quiet = true;
     } else if (!A.empty() && A[0] == '-') {
@@ -199,7 +218,7 @@ int main(int argc, char **argv) {
   if (Positional.size() > 1)
     Test = Positional[1];
 
-  if (auto K = memmodel::modelKindFromName(Model)) {
+  if (auto K = memmodel::modelFromName(Model)) {
     Opts.Check.Model = *K;
   } else {
     std::fprintf(stderr, "unknown model '%s'\n", Model.c_str());
@@ -209,9 +228,19 @@ int main(int argc, char **argv) {
   // Matrix mode: expand the (impl x test x model) grid, run it on the
   // worker pool, and report.
   if (Matrix) {
-    std::vector<memmodel::ModelKind> Models;
+    std::vector<memmodel::ModelParams> Models;
     for (const std::string &M : MatrixModels) {
-      auto K = memmodel::modelKindFromName(M);
+      if (M == "all") {
+        for (const memmodel::NamedModel &N : memmodel::namedModels())
+          Models.push_back(N.Params);
+        continue;
+      }
+      if (M == "lattice") {
+        for (const memmodel::ModelParams &P : memmodel::latticeModels())
+          Models.push_back(P);
+        continue;
+      }
+      auto K = memmodel::modelFromName(M);
       if (!K) {
         std::fprintf(stderr, "unknown model '%s'\n", M.c_str());
         return 2;
@@ -230,7 +259,7 @@ int main(int argc, char **argv) {
     engine::MatrixReport Report = Runner.run(Cells, catalogCellRunner(Opts));
     if (!Quiet)
       std::printf("%s", Report.table().c_str());
-    if (!JsonPath.empty() && !writeReport(JsonPath, Report.json()))
+    if (!JsonPath.empty() && !writeReport(JsonPath, Report.json(!NoTimings)))
       return 2;
     return Report.allCompleted() ? 0 : 1;
   }
@@ -334,7 +363,7 @@ int main(int argc, char **argv) {
     Report.Cells[0].Result = R;
     Report.Cells[0].Seconds = R.Stats.TotalSeconds;
     Report.WallSeconds = R.Stats.TotalSeconds;
-    if (!writeReport(JsonPath, Report.json()))
+    if (!writeReport(JsonPath, Report.json(!NoTimings)))
       return 2;
   }
 
