@@ -5,54 +5,57 @@
 // the paper's four categories), while the placed fences are sufficient;
 // per-fence removal shows which fences the small tests already require.
 //
+// Runs entirely through the public API (include/checkfence/).
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "checkfence/checkfence.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 using namespace checkfence;
-using namespace checkfence::harness;
+
+namespace {
+
+bool fullRun() {
+  const char *E = std::getenv("CF_BENCH_FULL");
+  return E && std::string(E) == "1";
+}
+
+} // namespace
 
 int main() {
+  Verifier V;
+
   std::printf("=== Sec. 4.2: all implementations need fences on Relaxed "
               "===\n");
   std::printf("%-9s %-6s | %-18s %-18s\n", "impl", "test", "with fences",
               "fences stripped");
   std::vector<std::pair<std::string, std::string>> Grid = {
       {"ms2", "T0"}, {"msn", "T0"}, {"lazylist", "Sar"}, {"harris", "Sar"},
+      // snark is already buggy with fences (Sec. 4.1), so compare on Da
+      // where the algorithm behaves.
+      {"snark", "Da"},
   };
   for (const auto &[Impl, Test] : Grid) {
-    RunOptions Fenced;
-    Fenced.Check.Model = memmodel::ModelParams::relaxed();
-    checker::CheckResult RF = benchutil::runOne(Impl, Test, Fenced);
-
-    RunOptions Stripped = Fenced;
-    Stripped.StripFences = true;
-    checker::CheckResult RS = benchutil::runOne(Impl, Test, Stripped);
+    Result RF =
+        V.check(Request::check(Impl, Test).model("relaxed"));
+    Result RS = V.check(
+        Request::check(Impl, Test).model("relaxed").stripFences());
     std::printf("%-9s %-6s | %-18s %-18s\n", Impl.c_str(), Test.c_str(),
-                checker::checkStatusName(RF.Status),
-                checker::checkStatusName(RS.Status));
-  }
-  // snark is already buggy with fences (Sec. 4.1), so compare on Da where
-  // the algorithm behaves.
-  {
-    RunOptions Fenced;
-    Fenced.Check.Model = memmodel::ModelParams::relaxed();
-    checker::CheckResult RF = benchutil::runOne("snark", "Da", Fenced);
-    RunOptions Stripped = Fenced;
-    Stripped.StripFences = true;
-    checker::CheckResult RS = benchutil::runOne("snark", "Da", Stripped);
-    std::printf("%-9s %-6s | %-18s %-18s\n", "snark", "Da",
-                checker::checkStatusName(RF.Status),
-                checker::checkStatusName(RS.Status));
+                statusName(RF.Verdict), statusName(RS.Verdict));
   }
 
   // T0 keeps the default run fast (each stripped-fence check on Ti2 costs
   // over a minute); CF_BENCH_FULL=1 switches to the larger test.
-  const char *Test = benchutil::fullRun() ? "Ti2" : "T0";
+  const char *Test = fullRun() ? "Ti2" : "T0";
   std::printf("\n=== per-fence necessity on msn (test %s) ===\n", Test);
-  std::string Source = impls::sourceFor("msn");
+  std::string Source = implementationSource("msn");
   std::istringstream In(Source);
   std::string Line;
   int No = 0;
@@ -64,14 +67,12 @@ int main() {
       Fences.push_back({No, Line.substr(Pos, 24)});
   }
   for (const auto &[LineNo, Text] : Fences) {
-    RunOptions Opts;
-    Opts.Check.Model = memmodel::ModelParams::relaxed();
-    Opts.StripFenceLines = {LineNo};
-    checker::CheckResult R = runTest(Source, testByName(Test), Opts);
+    Result R = V.check(Request::check("msn", Test)
+                           .model("relaxed")
+                           .stripFenceLine(LineNo));
     std::printf("  line %3d %-24s -> %s\n", LineNo, Text.c_str(),
-                R.Status == checker::CheckStatus::Fail
-                    ? "FAIL (necessary)"
-                    : checker::checkStatusName(R.Status));
+                R.Verdict == Status::Fail ? "FAIL (necessary)"
+                                          : statusName(R.Verdict));
   }
   std::printf("\nfailure classes observed (Sec. 4.3): incomplete "
               "initialization,\ndependent-load reordering, CAS reordering, "

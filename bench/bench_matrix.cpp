@@ -2,58 +2,58 @@
 //
 // Part of the CheckFence reproduction (PLDI'07).
 //
-// Runs the Fig. 8 queue-family matrix through engine::MatrixRunner at one
-// worker and at N workers and emits the perf trajectory as JSON: per-cell
-// seconds, both wall times, and the speedup. CF_BENCH_FULL=1 widens the
-// matrix; CF_BENCH_JOBS overrides the parallel job count (default 4).
+// Runs the Fig. 8 queue-family matrix through the public Verifier API at
+// one worker and at N workers and emits the perf trajectory as JSON:
+// both wall times, the speedup, and per-cell fresh-vs-session engine
+// comparisons. CF_BENCH_FULL=1 widens the matrix; CF_BENCH_JOBS
+// overrides the parallel job count (default 4).
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
-#include "engine/MatrixRunner.h"
-#include "frontend/Lowering.h"
-#include "support/Format.h"
-#include "support/Timing.h"
+#include "checkfence/checkfence.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 using namespace checkfence;
-using namespace checkfence::engine;
-using namespace checkfence::harness;
 
 namespace {
 
+bool fullRun() {
+  const char *E = std::getenv("CF_BENCH_FULL");
+  return E && std::string(E) == "1";
+}
+
 /// Times one cell through the from-scratch pipeline and the session
-/// engine; returns a JSON object fragment (an error object on frontend
-/// failure, so the report always stays parseable).
+/// engine; returns a JSON object fragment (an error object on failure,
+/// so the report always stays parseable). Uses its own Verifier so the
+/// session measurement never starts on a pool-warmed solver from a
+/// previous fragment.
 std::string benchFreshVsSession(const char *Impl, const char *Test,
-                                memmodel::ModelParams Model) {
-  frontend::DiagEngine Diags;
-  lsl::Program Prog;
-  if (!frontend::compileC(impls::sourceFor(Impl), {}, Prog, Diags))
-    return formatString("{\"impl\": \"%s\", \"test\": \"%s\", "
-                        "\"status\": \"ERROR\"}",
-                        Impl, Test);
-  TestSpec Spec = testByName(Test);
-  std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
-  checker::CheckOptions Opts;
-  Opts.Model = Model;
+                                const char *Model) {
+  Verifier V;
+  Request Base = Request::check(Impl, Test).model(Model).noCache();
 
-  Timer FreshT;
-  checker::CheckResult Fresh = checker::runCheckFresh(Prog, Threads, Opts);
-  double FreshSecs = FreshT.seconds();
-  Timer SessT;
-  checker::CheckResult Sess = checker::runCheck(Prog, Threads, Opts);
-  double SessSecs = SessT.seconds();
+  Result Fresh = V.check(Request(Base).freshPipeline());
+  Result Sess = V.check(Base);
+  if (Fresh.Verdict == Status::Error || Sess.Verdict == Status::Error)
+    return "{\"impl\": \"" + std::string(Impl) + "\", \"test\": \"" +
+           Test + "\", \"status\": \"ERROR\"}";
 
-  return formatString(
+  char Buf[256];
+  std::snprintf(
+      Buf, sizeof(Buf),
       "{\"impl\": \"%s\", \"test\": \"%s\", \"model\": \"%s\", "
       "\"status\": \"%s\", \"fresh_seconds\": %.3f, "
       "\"session_seconds\": %.3f, \"speedup\": %.3f}",
-      Impl, Test, memmodel::modelName(Model).c_str(),
-      checker::checkStatusName(Sess.Status), FreshSecs, SessSecs,
-      SessSecs > 0 ? FreshSecs / SessSecs : 0);
+      Impl, Test, Model, statusName(Sess.Verdict),
+      Fresh.Stats.TotalSeconds, Sess.Stats.TotalSeconds,
+      Sess.Stats.TotalSeconds > 0
+          ? Fresh.Stats.TotalSeconds / Sess.Stats.TotalSeconds
+          : 0);
+  return Buf;
 }
 
 } // namespace
@@ -62,35 +62,37 @@ int main() {
   // The queue family of Fig. 8 on both queue implementations, under the
   // cheap models by default (msn's T1/Ti2+ cells run minutes each).
   std::vector<std::string> Tests = {"T0", "Tpc2"};
-  std::vector<memmodel::ModelParams> Models = {
-      memmodel::ModelParams::sc(), memmodel::ModelParams::tso()};
-  if (benchutil::fullRun()) {
+  std::vector<std::string> Models = {"sc", "tso"};
+  if (fullRun()) {
     Tests.insert(Tests.end(), {"T1", "Tpc3", "Ti2", "Ti3", "T53"});
-    Models.push_back(memmodel::ModelParams::relaxed());
+    Models.push_back("relaxed");
   }
-  std::vector<MatrixCell> Cells =
-      expandMatrix({"ms2", "msn"}, Tests, Models);
 
   int Jobs = 4;
   if (const char *E = std::getenv("CF_BENCH_JOBS"))
     Jobs = std::atoi(E) > 0 ? std::atoi(E) : Jobs;
 
-  RunOptions Base;
-  MatrixReport Seq = MatrixRunner(1).run(Cells, catalogCellRunner(Base));
-  MatrixReport Par = MatrixRunner(Jobs).run(Cells, catalogCellRunner(Base));
+  Verifier V;
+  Request Base = Request::matrix()
+                     .impls({"ms2", "msn"})
+                     .tests(Tests)
+                     .models(Models);
+  Report Seq = V.matrix(Request(Base).jobs(1));
+  Report Par = V.matrix(Request(Base).jobs(Jobs));
+  if (!Seq.ok() || !Par.ok()) {
+    std::fprintf(stderr, "matrix setup failed: %s\n",
+                 (!Seq.ok() ? Seq : Par).error().c_str());
+    return 1;
+  }
 
   double Speedup =
-      Par.WallSeconds > 0 ? Seq.WallSeconds / Par.WallSeconds : 0;
+      Par.wallSeconds() > 0 ? Seq.wallSeconds() / Par.wallSeconds() : 0;
   std::vector<std::string> Fragments;
-  Fragments.push_back(
-      benchFreshVsSession("msn", "T0", memmodel::ModelParams::relaxed()));
-  Fragments.push_back(benchFreshVsSession(
-      "msn", "Tpc2", memmodel::ModelParams::sc()));
-  Fragments.push_back(
-      benchFreshVsSession("ms2", "Ti2", memmodel::ModelParams::relaxed()));
-  if (benchutil::fullRun())
-    Fragments.push_back(benchFreshVsSession(
-        "msn", "Ti2", memmodel::ModelParams::sc()));
+  Fragments.push_back(benchFreshVsSession("msn", "T0", "relaxed"));
+  Fragments.push_back(benchFreshVsSession("msn", "Tpc2", "sc"));
+  Fragments.push_back(benchFreshVsSession("ms2", "Ti2", "relaxed"));
+  if (fullRun())
+    Fragments.push_back(benchFreshVsSession("msn", "Ti2", "sc"));
 
   // One parseable document: the per-cell engine comparison plus the
   // parallel-matrix trajectory.
@@ -104,8 +106,8 @@ int main() {
               "    \"jobs\": %d,\n    \"sequential_wall_seconds\": %.3f,\n"
               "    \"parallel_wall_seconds\": %.3f,\n"
               "    \"speedup\": %.3f,\n    \"parallel_report\": ",
-              static_cast<int>(Cells.size()), Jobs, Seq.WallSeconds,
-              Par.WallSeconds, Speedup);
+              static_cast<int>(Par.cellCount()), Jobs, Seq.wallSeconds(),
+              Par.wallSeconds(), Speedup);
   std::string Json = Par.json();
   std::printf("%s", Json.c_str());
   std::printf("  }\n}\n");

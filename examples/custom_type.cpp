@@ -10,24 +10,23 @@
 //   4. read the counterexample trace,
 //   5. let the synthesizer propose fences, and re-check.
 //
-// Everything happens through the public headers; no repository-internal
-// sources are involved.
+// Everything happens through include/checkfence/checkfence.h; the
+// Verifier prepends the shared prelude (cas/dcas/locks) to user sources
+// automatically.
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/FenceSynth.h"
-#include "impls/Impls.h"
+#include "checkfence/checkfence.h"
 
 #include <cstdio>
 
 using namespace checkfence;
-using namespace checkfence::harness;
 
 namespace {
 
 // Step 1: the user's implementation. `new_node`, `cas`, `fence`, `atomic`
-// and the *_op test wrappers are the CheckFence-C interface; the prelude
-// (impls::preludeSource) supplies cas/locks.
+// and the *_op test wrappers are the CheckFence-C interface; the shared
+// prelude supplies cas/locks.
 const char *UserStack = R"(
 typedef int value_t;
 typedef struct node {
@@ -65,59 +64,53 @@ value_t pop_op(void) {
 }
 )";
 
-void report(const char *What, const checker::CheckResult &R) {
-  std::printf("  %-28s %s\n", What, checker::checkStatusName(R.Status));
-  if (R.Counterexample) {
+void report(const char *What, const Result &R) {
+  std::printf("  %-28s %s\n", What, statusName(R.Verdict));
+  if (R.HasCounterexample) {
     std::printf("--- counterexample ---\n%s----------------------\n",
-                R.Counterexample->str().c_str());
+                R.CounterexampleTrace.c_str());
   }
+}
+
+/// The test used throughout: one seeded push, then push/pop against
+/// pop/push, arguments drawn from {0,1}.
+Request userCase() {
+  return Request::check()
+      .source(UserStack)
+      .label("user-stack")
+      .dataType("stack")
+      .notation("u ( uo | ou )");
 }
 
 } // namespace
 
 int main() {
-  std::string Source = impls::preludeSource() + UserStack;
+  Verifier V;
 
-  // Step 2: a symbolic test - one seeded push, then push/pop against
-  // pop/push, arguments drawn from {0,1}.
-  std::string Err;
-  TestSpec Test;
-  if (!parseTestNotation("u ( uo | ou )", stackAlphabet(), Test, Err)) {
-    std::printf("bad test notation: %s\n", Err.c_str());
-    return 1;
-  }
-  Test.Name = "Ui2";
-
-  // Step 3: check on both ends of the model spectrum.
+  // Steps 2+3: check on both ends of the model spectrum.
   std::printf("unfenced user stack, test u ( uo | ou ):\n");
-  RunOptions SC;
-  SC.Check.Model = memmodel::ModelParams::sc();
-  report("sequential consistency:", runTest(Source, Test, SC));
+  report("sequential consistency:", V.check(userCase().model("sc")));
 
-  RunOptions RLX;
-  RLX.Check.Model = memmodel::ModelParams::relaxed();
-  checker::CheckResult Weak = runTest(Source, Test, RLX);
-  report("relaxed:", Weak); // step 4: the trace shows the stale read
+  // Step 4: the trace shows the stale read.
+  report("relaxed:", V.check(userCase().model("relaxed")));
 
   // Step 5: synthesize the missing fences and re-check.
   std::printf("\nsynthesizing fences on relaxed...\n");
-  SynthOptions Synth;
-  Synth.Check.Model = memmodel::ModelParams::relaxed();
-  Synth.MinLine = 1; // the user source holds lines beyond the prelude
-  for (char C : impls::preludeSource())
-    Synth.MinLine += C == '\n';
-  SynthResult S = synthesizeFences(Source, {Test}, Synth);
+  Request Synth = userCase().model("relaxed");
+  Synth.RequestKind = Request::Kind::Synthesis;
+  SynthOutcome S = V.synthesize(Synth);
   if (!S.Success) {
     std::printf("  synthesis failed: %s\n", S.Message.c_str());
     return 1;
   }
   for (const std::string &Step : S.Log)
     std::printf("  %s\n", Step.c_str());
-  for (const FencePlacement &P : S.Fences)
-    std::printf("  -> insert %s\n", placementStr(P).c_str());
+  for (const SynthFence &F : S.Fences)
+    std::printf("  -> insert fence(\"%s\") before line %d\n",
+                F.Kind.c_str(), F.Line);
 
   std::printf("\nDone: the placement above makes the test pass on "
               "Relaxed; the repository's\n'treiber' implementation ships "
-              "these fences (see impls::sourceFor(\"treiber\")).\n");
+              "these fences (see implementationSource(\"treiber\")).\n");
   return 0;
 }

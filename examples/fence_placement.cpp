@@ -7,17 +7,18 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Catalog.h"
-#include "impls/Impls.h"
+#include "checkfence/checkfence.h"
 
 #include <cstdio>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 using namespace checkfence;
-using namespace checkfence::harness;
 
 int main() {
-  std::string Source = impls::sourceFor("msn");
+  Verifier V;
+  std::string Source = implementationSource("msn");
 
   // Locate the fence() calls in the source.
   std::vector<std::pair<int, std::string>> Fences;
@@ -36,20 +37,18 @@ int main() {
 
   const char *Tests[] = {"T0", "Ti2"};
   for (const char *TestName : Tests) {
-    TestSpec Test = testByName(TestName);
     std::printf("test %s:\n", TestName);
 
-    RunOptions Base;
-    Base.Check.Model = memmodel::ModelParams::relaxed();
-    checker::CheckResult All = runTest(Source, Test, Base);
+    Result All =
+        V.check(Request::check("msn", TestName).model("relaxed"));
     std::printf("  all fences present:  %s (sufficient)\n",
-                checker::checkStatusName(All.Status));
+                statusName(All.Verdict));
 
     for (const auto &[Line, Text] : Fences) {
-      RunOptions Opts = Base;
-      Opts.StripFenceLines = {Line};
-      checker::CheckResult R = runTest(Source, Test, Opts);
-      bool Necessary = R.Status == checker::CheckStatus::Fail;
+      Result R = V.check(Request::check("msn", TestName)
+                             .model("relaxed")
+                             .stripFenceLine(Line));
+      bool Necessary = R.Verdict == Status::Fail;
       std::printf("  without line %3d %-28s %s\n", Line,
                   Text.substr(0, 28).c_str(),
                   Necessary ? "FAIL -> necessary"

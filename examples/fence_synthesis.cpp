@@ -1,10 +1,10 @@
 //===--- fence_synthesis.cpp - derive fence placements automatically --------===//
 //
 // The paper places fences by hand, guided by counterexample traces
-// (Sec. 4.2/4.3). This example automates that loop with the FenceSynth
-// module: strip every fence from the Michael & Scott non-blocking queue,
-// then let the counterexample-guided synthesizer rediscover a sufficient
-// and minimal placement for each memory model.
+// (Sec. 4.2/4.3). This example automates that loop through the public
+// API's synthesis requests: strip every fence from the Michael & Scott
+// non-blocking queue, then let the counterexample-guided synthesizer
+// rediscover a sufficient and minimal placement for each memory model.
 //
 // Expected shape of the output:
 //   * Relaxed needs store-store fences (publication, CAS ordering) and
@@ -15,14 +15,12 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/FenceSynth.h"
-#include "impls/Impls.h"
+#include "checkfence/checkfence.h"
 
 #include <cstdio>
 #include <sstream>
 
 using namespace checkfence;
-using namespace checkfence::harness;
 
 namespace {
 
@@ -39,23 +37,15 @@ std::string sourceLine(const std::string &Source, int Line) {
 } // namespace
 
 int main() {
-  std::string Source = impls::sourceFor("msn");
-  int PreludeLines = 0;
-  for (char C : impls::preludeSource())
-    PreludeLines += C == '\n';
+  Verifier V;
+  std::string Source = implementationSource("msn");
 
-  const memmodel::ModelParams Models[] = {memmodel::ModelParams::relaxed(),
-                                        memmodel::ModelParams::pso(),
-                                        memmodel::ModelParams::tso()};
-
-  for (memmodel::ModelParams Model : Models) {
+  const char *Models[] = {"relaxed", "pso", "tso"};
+  for (const char *Model : Models) {
     std::printf("=== synthesizing fences for msn (T0) on %s ===\n",
-                memmodel::modelName(Model).c_str());
-    SynthOptions Opts;
-    Opts.Check.Model = Model;
-    Opts.MinLine = PreludeLines + 1; // fences go in the implementation
-    SynthResult R =
-        synthesizeFences(Source, {testByName("T0")}, Opts);
+                Model);
+    SynthOutcome R =
+        V.synthesize(Request::synthesis("msn", "T0").model(Model));
 
     for (const std::string &Step : R.Log)
       std::printf("  %s\n", Step.c_str());
@@ -65,16 +55,17 @@ int main() {
     }
     std::printf("  -> %s (%d checks, %.1fs)\n", R.Message.c_str(),
                 R.ChecksRun, R.TotalSeconds);
-    for (const FencePlacement &P : R.Fences)
-      std::printf("     insert %-28s | %s\n", placementStr(P).c_str(),
-                  sourceLine(Source, P.Line).c_str());
+    for (const SynthFence &F : R.Fences)
+      std::printf("     insert %-11s fence at line %-4d | %s\n",
+                  F.Kind.c_str(), F.Line,
+                  sourceLine(Source, F.Line).c_str());
     std::printf("\n");
   }
 
   std::printf("The paper's own Fig. 9 placement was verified against the "
               "full Fig. 10 test\nset; placements synthesized from T0 "
               "alone cover the failure classes that\nsmall test "
-              "exercises. Pass more tests to synthesizeFences() to "
-              "tighten them.\n");
+              "exercises. Pass more tests (Request::synthesis + tests())"
+              "\nto tighten them.\n");
   return 0;
 }

@@ -8,45 +8,38 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Catalog.h"
-#include "impls/Impls.h"
+#include "checkfence/checkfence.h"
 
 #include <cstdio>
 
 using namespace checkfence;
-using namespace checkfence::harness;
 
 int main() {
+  Verifier V;
+
   std::printf("=== snark deque bug (D0, sequential consistency) ===\n");
-  RunOptions Opts;
-  Opts.Check.Model = memmodel::ModelParams::sc();
-  checker::CheckResult R =
-      runTest(impls::sourceFor("snark"), testByName("D0"), Opts);
-  std::printf("verdict: %s\n", checker::checkStatusName(R.Status));
-  if (R.Counterexample) {
-    std::printf("%s", R.Counterexample->str().c_str());
+  Result R = V.check(Request::check("snark", "D0").model("sc"));
+  std::printf("verdict: %s\n", statusName(R.Verdict));
+  if (R.HasCounterexample) {
+    std::printf("%s", R.CounterexampleTrace.c_str());
     std::printf("\nThe observation is not producible by any atomic "
                 "interleaving\nof the four deque operations: the deque "
                 "returned a value it\nshould not have.\n");
   }
 
   std::printf("\n=== lazylist missing initialization (Sac) ===\n");
-  RunOptions BugOpts;
-  BugOpts.Check.Model = memmodel::ModelParams::sc();
-  BugOpts.Defines = {"LAZYLIST_INIT_BUG"}; // published pseudocode variant
-  checker::CheckResult R2 =
-      runTest(impls::sourceFor("lazylist"), testByName("Sac"), BugOpts);
-  std::printf("verdict: %s\n", checker::checkStatusName(R2.Status));
-  if (R2.Counterexample) {
-    std::printf("%s", R2.Counterexample->str().c_str());
+  Result R2 = V.check(Request::check("lazylist", "Sac")
+                          .model("sc")
+                          .define("LAZYLIST_INIT_BUG"));
+  std::printf("verdict: %s\n", statusName(R2.Verdict));
+  if (R2.HasCounterexample) {
+    std::printf("%s", R2.CounterexampleTrace.c_str());
     std::printf("\nThe published pseudocode forgets to initialize the "
                 "'marked'\nfield of a new node; contains() then reads an "
                 "undefined value.\nWith the missing line restored the same "
                 "test passes:\n");
   }
-  checker::CheckResult R3 =
-      runTest(impls::sourceFor("lazylist"), testByName("Sac"), Opts);
-  std::printf("fixed lazylist on Sac: %s\n",
-              checker::checkStatusName(R3.Status));
+  Result R3 = V.check(Request::check("lazylist", "Sac").model("sc"));
+  std::printf("fixed lazylist on Sac: %s\n", statusName(R3.Verdict));
   return 0;
 }

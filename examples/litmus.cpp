@@ -4,49 +4,33 @@
 // observable, fences restore order, and the Fig. 2 outcome is impossible
 // because Relaxed keeps stores globally ordered.
 //
+// Litmus queries go through the public API's reachability entry point:
+// Request::litmus(source) + thread() per op + the expected observation.
+//
 //===----------------------------------------------------------------------===//
 
-#include "checker/Encoder.h"
-#include "frontend/Lowering.h"
-#include "harness/TestSpec.h"
+#include "checkfence/checkfence.h"
 
 #include <cstdio>
 
 using namespace checkfence;
-using namespace checkfence::checker;
-using namespace checkfence::harness;
-using lsl::Value;
 
 namespace {
 
-bool reachable(const std::string &Source,
-               const std::vector<std::string> &Ops,
-               memmodel::ModelParams Model, const std::vector<Value> &Out) {
-  frontend::DiagEngine Diags;
-  lsl::Program Prog;
-  if (!frontend::compileC(Source, {}, Prog, Diags)) {
-    std::printf("compile error:\n%s", Diags.str().c_str());
-    return false;
+const char *answer(Verifier &V, const Request &Req) {
+  LitmusOutcome O = V.observable(Req);
+  if (!O.Ok) {
+    std::printf("query failed: %s\n", O.Error.c_str());
+    return "?";
   }
-  TestSpec Spec;
-  Spec.Name = "litmus";
-  for (const std::string &Op : Ops)
-    Spec.Threads.push_back({OpSpec{Op, 0, false, false}});
-  std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
-  ProblemConfig Cfg;
-  Cfg.Model = Model;
-  EncodedProblem Prob(Prog, Threads, {}, Cfg);
-  Observation O;
-  O.Values = Out;
-  Prob.requireObservation(O);
-  return Prob.solve() == sat::SolveResult::Sat;
+  return O.Reachable ? "reachable" : "impossible";
 }
-
-Value IV(int64_t N) { return Value::integer(N); }
 
 } // namespace
 
 int main() {
+  Verifier V;
+
   const char *Sb = R"(
 extern void observe(int v);
 extern void fence(char *type);
@@ -60,21 +44,23 @@ void f2_op(void) { y = 1; fence("store-load"); observe(x); }
 
   std::printf("store buffering (Dekker), outcome r1 = r2 = 0:\n");
   std::printf("  SC:                      %s\n",
-              reachable(Sb, {"t1_op", "t2_op"},
-                        memmodel::ModelParams::sc(),
-                        {IV(0), IV(0)})
-                  ? "reachable"
-                  : "impossible");
+              answer(V, Request::litmus(Sb)
+                            .thread("t1_op")
+                            .thread("t2_op")
+                            .expect({0, 0})
+                            .model("sc")));
   std::printf("  Relaxed:                 %s\n",
-              reachable(Sb, {"t1_op", "t2_op"},
-                        memmodel::ModelParams::relaxed(), {IV(0), IV(0)})
-                  ? "reachable"
-                  : "impossible");
+              answer(V, Request::litmus(Sb)
+                            .thread("t1_op")
+                            .thread("t2_op")
+                            .expect({0, 0})
+                            .model("relaxed")));
   std::printf("  Relaxed + sl-fences:     %s\n",
-              reachable(Sb, {"f1_op", "f2_op"},
-                        memmodel::ModelParams::relaxed(), {IV(0), IV(0)})
-                  ? "reachable"
-                  : "impossible");
+              answer(V, Request::litmus(Sb)
+                            .thread("f1_op")
+                            .thread("f2_op")
+                            .expect({0, 0})
+                            .model("relaxed")));
 
   // Fig. 2: independent reads of independent writes, with ll-fences.
   const char *Iriw = R"(
@@ -91,10 +77,16 @@ void r2_op(void) { int c = y; fence("load-load"); int d = x;
 )";
   std::printf("\npaper Fig. 2 (IRIW + load-load fences), readers disagree "
               "on store order:\n");
+  LitmusOutcome Fig2 = V.observable(Request::litmus(Iriw)
+                                        .thread("w1_op")
+                                        .thread("w2_op")
+                                        .thread("r1_op")
+                                        .thread("r2_op")
+                                        .expect({1, 0, 1, 0})
+                                        .model("relaxed"));
   std::printf("  Relaxed:                 %s\n",
-              reachable(Iriw, {"w1_op", "w2_op", "r1_op", "r2_op"},
-                        memmodel::ModelParams::relaxed(),
-                        {IV(1), IV(0), IV(1), IV(0)})
+              !Fig2.Ok ? "?"
+              : Fig2.Reachable
                   ? "reachable (NOT expected)"
                   : "impossible (stores are globally ordered)");
   std::printf("\nRelaxed deliberately orders all stores: it soundly covers "

@@ -4,56 +4,51 @@
 // fences) on the smallest symbolic test T0 = (e | d) under the Relaxed
 // memory model, then shows what happens when the fences are removed.
 //
+// Everything goes through the public API: one Verifier, one fluent
+// Request per check.
+//
 // Build & run:  ./examples/quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Catalog.h"
-#include "impls/Impls.h"
+#include "checkfence/checkfence.h"
 
 #include <cstdio>
 
 using namespace checkfence;
-using namespace checkfence::harness;
 
 int main() {
-  TestSpec Test = testByName("T0");
+  Verifier V;
 
   std::printf("CheckFence quickstart: msn (Fig. 9) on T0 = ( e | d )\n\n");
 
   // 1. With the paper's fences: every relaxed execution is serializable.
-  RunOptions Opts;
-  Opts.Check.Model = memmodel::ModelParams::relaxed();
-  checker::CheckResult R = runTest(impls::sourceFor("msn"), Test, Opts);
-  std::printf("with fences, Relaxed:    %s\n",
-              checker::checkStatusName(R.Status));
+  Result R = V.check(Request::check("msn", "T0").model("relaxed"));
+  std::printf("with fences, Relaxed:    %s\n", statusName(R.Verdict));
   std::printf("  specification: %d observations, e.g.\n",
               R.Stats.ObservationCount);
   int Shown = 0;
-  for (const checker::Observation &O : R.Spec) {
-    std::printf("    %s\n", O.str().c_str());
+  for (const std::string &O : R.Observations) {
+    std::printf("    %s\n", O.c_str());
     if (++Shown == 4)
       break;
   }
   std::printf("  unrolled: %d instrs, %d loads, %d stores; CNF: %d vars, "
               "%llu clauses\n",
-              R.Stats.Inclusion.UnrolledInstrs, R.Stats.Inclusion.Loads, R.Stats.Inclusion.Stores,
-              R.Stats.Inclusion.SatVars,
-              static_cast<unsigned long long>(R.Stats.Inclusion.SatClauses));
+              R.Stats.UnrolledInstrs, R.Stats.Loads, R.Stats.Stores,
+              R.Stats.SatVars, R.Stats.SatClauses);
 
   // 2. Without fences: the relaxed model breaks the algorithm.
-  Opts.StripFences = true;
-  checker::CheckResult R2 = runTest(impls::sourceFor("msn"), Test, Opts);
-  std::printf("\nwithout fences, Relaxed: %s\n",
-              checker::checkStatusName(R2.Status));
-  if (R2.Counterexample)
+  Result R2 = V.check(
+      Request::check("msn", "T0").model("relaxed").stripFences());
+  std::printf("\nwithout fences, Relaxed: %s\n", statusName(R2.Verdict));
+  if (R2.HasCounterexample)
     std::printf("\ncounterexample trace:\n%s",
-                R2.Counterexample->str().c_str());
+                R2.CounterexampleTrace.c_str());
 
   // 3. Without fences but sequentially consistent: correct again.
-  Opts.Check.Model = memmodel::ModelParams::sc();
-  checker::CheckResult R3 = runTest(impls::sourceFor("msn"), Test, Opts);
-  std::printf("\nwithout fences, SC:      %s\n",
-              checker::checkStatusName(R3.Status));
+  Result R3 =
+      V.check(Request::check("msn", "T0").model("sc").stripFences());
+  std::printf("\nwithout fences, SC:      %s\n", statusName(R3.Verdict));
   return 0;
 }

@@ -1,0 +1,104 @@
+//===--- checkfence/Events.h - streaming events and cancellation -*- C++ -*-=//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+// Public API - this header is installed and stable; see docs/API.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming progress events and cooperative cancellation for Verifier
+/// requests.
+///
+///  * EventSink - subclass and override the callbacks you care about;
+///    pass a pointer to any Verifier entry point. During matrix runs the
+///    callbacks fire concurrently from worker threads: implementations
+///    must be thread-safe. The Label field identifies the originating
+///    cell ("impl:test:model").
+///  * CancelToken - a copyable handle to a shared cancellation flag.
+///    Keep a copy, call cancel() from anywhere (another thread, a signal
+///    handler shim, an event callback); the running check stops at its
+///    next phase boundary with Status::Cancelled. Deadlines
+///    (Request::deadline) use the same cooperative mechanism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_PUBLIC_EVENTS_H
+#define CHECKFENCE_PUBLIC_EVENTS_H
+
+#include "checkfence/Result.h"
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace checkfence {
+
+/// A mine/include/probe round started.
+struct RoundEvent {
+  std::string Label; ///< "impl:test:model" of the originating check
+  int Round = 0;     ///< 1-based
+};
+
+/// Lazy unrolling grew one loop instance's bound.
+struct BoundGrownEvent {
+  std::string Label;
+  std::string Loop; ///< loop instance key
+  int NewBound = 0;
+};
+
+/// Specification mining completed.
+struct ObservationsMinedEvent {
+  std::string Label;
+  int Count = 0;
+};
+
+/// One matrix cell finished (matrix/sweep requests only).
+struct CellFinishedEvent {
+  std::string Label;
+  size_t Finished = 0; ///< cells finished so far, this one included
+  size_t Total = 0;    ///< matrix size
+  Status Verdict = Status::Error;
+  double Seconds = 0;
+};
+
+/// A request produced its final verdict.
+struct VerdictEvent {
+  std::string Label;
+  Status Verdict = Status::Error;
+  std::string Message;
+  bool FromCache = false;
+};
+
+/// Callback interface for streaming progress. Default implementations do
+/// nothing; override what you need. Matrix runs invoke callbacks from
+/// worker threads concurrently.
+class EventSink {
+public:
+  virtual ~EventSink() = default;
+  virtual void onRoundStarted(const RoundEvent &) {}
+  virtual void onBoundGrown(const BoundGrownEvent &) {}
+  virtual void onObservationsMined(const ObservationsMinedEvent &) {}
+  virtual void onCellFinished(const CellFinishedEvent &) {}
+  virtual void onVerdict(const VerdictEvent &) {}
+};
+
+/// Copyable handle to a shared cancellation flag. All copies observe the
+/// same flag; cancellation is sticky.
+class CancelToken {
+public:
+  CancelToken() : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Thread-safe; callable from event callbacks.
+  void cancel() const { Flag->store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return Flag->load(std::memory_order_relaxed);
+  }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+} // namespace checkfence
+
+#endif // CHECKFENCE_PUBLIC_EVENTS_H

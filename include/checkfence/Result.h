@@ -1,0 +1,214 @@
+//===--- checkfence/Result.h - public result types --------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+// Public API - this header is installed and stable; see docs/API.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value types returned by the Verifier: the verdict of a single check
+/// (Result), a batched matrix run (Report), a fence-synthesis run
+/// (SynthOutcome), a weakest-model search (WeakestOutcome), and a litmus
+/// reachability query (LitmusOutcome).
+///
+/// All results serialize through one versioned JSON schema: every report
+/// carries a top-level "schema_version" field, and a single check emits
+/// the same shape as a one-cell matrix report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_PUBLIC_RESULT_H
+#define CHECKFENCE_PUBLIC_RESULT_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+
+namespace engine {
+struct MatrixReport; // internal representation behind Report
+}
+
+/// The version of the JSON report schema emitted by Result::json,
+/// Report::json, and the CLI's --json flag.
+inline constexpr int JsonSchemaVersion = 1;
+
+/// Verdict of a check.
+enum class Status {
+  Pass,            ///< all executions within spec, bounds sufficient
+  Fail,            ///< counterexample found
+  SequentialBug,   ///< a *serial* execution already misbehaves
+  BoundsExhausted, ///< lazy unrolling hit its iteration/probe budget
+  Error,           ///< frontend/encoder/solver problem (see message)
+  Cancelled,       ///< stopped by a CancelToken or an expired deadline
+};
+
+/// Stable display name: "PASS", "FAIL", "SEQUENTIAL-BUG",
+/// "BOUNDS-EXHAUSTED", "ERROR", "CANCELLED".
+const char *statusName(Status S);
+
+/// The CLI exit-code convention: Pass = 0, Fail = 1, SequentialBug = 2,
+/// BoundsExhausted = 3, Error = 4, Cancelled = 5.
+int exitCodeFor(Status S);
+
+/// Aggregate statistics of one check (the paper's Fig. 10/11 columns).
+struct ResultStats {
+  int ObservationCount = 0; ///< mined specification size
+  int BoundIterations = 0;  ///< outer mine/include/probe rounds
+  int UnrolledInstrs = 0;   ///< final inclusion problem size
+  int Loads = 0;
+  int Stores = 0;
+  int SatVars = 0;
+  unsigned long long SatClauses = 0;
+  double EncodeSeconds = 0;
+  double SolveSeconds = 0;
+  double MiningSeconds = 0;
+  double TotalSeconds = 0;
+};
+
+/// Outcome of a single check request.
+struct Result {
+  Status Verdict = Status::Error;
+  std::string Message;
+
+  // Identity of what ran (as resolved by the Verifier).
+  std::string Impl;  ///< implementation name, or "<source>" / file label
+  std::string Test;  ///< test name ("custom" for ad-hoc notation)
+  std::string Model; ///< model display name (e.g. "tso", "po:ll,fwd")
+
+  /// The mined specification, one rendered observation per entry.
+  std::vector<std::string> Observations;
+
+  bool HasCounterexample = false;
+  std::string CounterexampleTrace;   ///< multi-line rendering
+  std::string CounterexampleColumns; ///< one column per thread
+  /// The offending observation alone (the JSON "counterexample" field).
+  std::string CounterexampleObservation;
+
+  ResultStats Stats;
+
+  /// Per-loop bounds the lazy unrolling settled on; feed them back as a
+  /// later run's initial bounds (the Verifier's cache does this
+  /// automatically for matching programs).
+  std::map<std::string, int> FinalBounds;
+
+  /// True when this result was served from the Verifier's cross-run
+  /// result cache instead of a fresh run.
+  bool FromCache = false;
+
+  bool passed() const { return Verdict == Status::Pass; }
+  bool failed() const {
+    return Verdict == Status::Fail || Verdict == Status::SequentialBug;
+  }
+
+  /// Versioned JSON: the same shape as a one-cell matrix report. With
+  /// \p IncludeTimings false the bytes are machine-independent and a
+  /// cache hit reproduces the original run's bytes exactly. Note that a
+  /// cache-*seeded* run (initial bounds taken from an earlier pass of
+  /// the same program) may settle on different bound/encoding statistics
+  /// than a cold run; use noCache() or VerifierConfig::ReuseBounds =
+  /// false when strict cold-run reproducibility matters.
+  std::string json(bool IncludeTimings = true) const;
+};
+
+/// Outcome of a batched matrix request: a deterministic report over every
+/// (impl, test, model) cell. Cheap to copy (shared immutable state).
+class Report {
+public:
+  Report() = default;
+
+  /// False when the request itself was invalid (unknown model name,
+  /// empty matrix); error() then explains why and there are no cells.
+  bool ok() const { return Err.empty(); }
+  const std::string &error() const { return Err; }
+
+  size_t cellCount() const;
+  int jobs() const;
+  double wallSeconds() const;
+  int count(Status S) const;
+  /// True when every cell ran to a verdict (no Error, no Cancelled
+  /// cells).
+  bool allCompleted() const;
+
+  /// One row per cell, in matrix order.
+  struct Cell {
+    std::string Impl;
+    std::string Test;
+    std::string Model;
+    Status Verdict = Status::Error;
+    std::string Message;
+    double Seconds = 0;
+  };
+  std::vector<Cell> cells() const;
+
+  /// Versioned JSON report (schema_version field included). Timing-free
+  /// output is byte-identical at any job count.
+  std::string json(bool IncludeTimings = true) const;
+  /// Human-readable fixed-width table.
+  std::string table() const;
+
+  /// \internal Constructed by the Verifier.
+  explicit Report(std::shared_ptr<const engine::MatrixReport> Rep)
+      : Rep(std::move(Rep)) {}
+  /// \internal
+  static Report makeError(std::string Message);
+
+private:
+  std::shared_ptr<const engine::MatrixReport> Rep;
+  std::string Err;
+};
+
+/// One synthesized fence placement.
+struct SynthFence {
+  int Line = 0;     ///< 1-based source line (prelude included)
+  std::string Kind; ///< "load-load", "store-store", ...
+};
+
+/// Outcome of a fence-synthesis request.
+struct SynthOutcome {
+  bool Success = false;
+  std::string Message; ///< diagnosis when Success is false
+  /// The search was cut short by a CancelToken or deadline (Success is
+  /// then false, but the placement was not refuted - just unfinished).
+  bool Cancelled = false;
+  std::vector<SynthFence> Fences;  ///< final minimized placement
+  std::vector<SynthFence> Removed; ///< placed but minimized away
+  int ChecksRun = 0;
+  double TotalSeconds = 0;
+  std::vector<std::string> Log; ///< one narrative entry per search step
+
+  /// {"schema_version", "success", "message", "checks", "seconds",
+  ///  "fences": [{"line", "kind"}]}
+  std::string json() const;
+};
+
+/// Outcome of a weakest-model search for one (impl, test).
+struct WeakestOutcome {
+  bool Ok = false;
+  std::string Error;
+  /// The search was cut short by a CancelToken or deadline; the
+  /// verdicts below cover only the lattice points checked before that.
+  bool Cancelled = false;
+  std::string Impl;
+  std::string Test;
+  /// Minimal passing models (several when incomparable); empty when
+  /// nothing passed.
+  std::vector<std::string> Weakest;
+  int ModelsPassed = 0;
+  int ModelsChecked = 0;
+  int CellsRun = 0;      ///< checks actually executed
+  int CellsInferred = 0; ///< verdicts obtained by lattice monotonicity
+};
+
+/// Outcome of a litmus reachability query.
+struct LitmusOutcome {
+  bool Ok = false;       ///< the query itself ran (compile + encode)
+  bool Reachable = false;///< the expected observation has an execution
+  std::string Error;     ///< set when Ok is false
+};
+
+} // namespace checkfence
+
+#endif // CHECKFENCE_PUBLIC_RESULT_H

@@ -1,0 +1,106 @@
+//===--- checkfence/Verifier.h - the verification service -------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+// Public API - this header is installed and stable; see docs/API.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Verifier is the service front of the engine: it owns a pool of
+/// incremental check sessions (persistent SAT solvers, reused across
+/// requests with identical options), a cross-run result cache, and a
+/// worker pool for batched matrices. It is safe to share one Verifier
+/// across threads; individual requests run synchronously on the calling
+/// thread (matrix cells fan out onto workers).
+///
+/// The cache is keyed by (program fingerprint, model, engine options).
+/// A hit returns the stored result without running anything - the
+/// timing-free JSON of a hit is byte-identical to the original run's.
+/// On a miss whose program fingerprint matches an earlier passing run,
+/// the earlier run's final loop bounds seed the new run's initial bounds
+/// (the paper's Fig. 10 re-run workflow). Configure CachePath to persist
+/// the cache across processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_PUBLIC_VERIFIER_H
+#define CHECKFENCE_PUBLIC_VERIFIER_H
+
+#include "checkfence/Events.h"
+#include "checkfence/Request.h"
+#include "checkfence/Result.h"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace checkfence {
+
+struct VerifierConfig {
+  /// Default worker-thread count for matrix cells and synthesis
+  /// minimization when the request does not set its own (minimum 1).
+  int Jobs = 1;
+  /// Enable the in-memory cross-run result cache.
+  bool EnableCache = true;
+  /// When non-empty: load the cache from this file on construction and
+  /// save it back on destruction (and on saveCache()).
+  std::string CachePath;
+  /// Seed a run's initial loop bounds from a previous passing run of the
+  /// same program (single checks only; matrix cells always start clean
+  /// so reports stay byte-identical across job counts and cache states).
+  bool ReuseBounds = true;
+};
+
+/// Cache observability counters.
+struct CacheStats {
+  size_t Entries = 0;
+  size_t Hits = 0;
+  size_t Misses = 0;
+  size_t BoundsSeeded = 0; ///< runs whose initial bounds came from cache
+};
+
+class Verifier {
+public:
+  explicit Verifier(VerifierConfig Config = VerifierConfig());
+  ~Verifier();
+  Verifier(const Verifier &) = delete;
+  Verifier &operator=(const Verifier &) = delete;
+
+  /// Runs a single check (Request::check). Errors - unknown names, bad
+  /// notation, frontend failures - come back as Status::Error results.
+  Result check(const Request &Req, EventSink *Sink = nullptr,
+               CancelToken Token = CancelToken());
+
+  /// Runs a batched matrix or lattice sweep (Request::matrix/sweep).
+  Report matrix(const Request &Req, EventSink *Sink = nullptr,
+                CancelToken Token = CancelToken());
+
+  /// Runs a fence synthesis (Request::synthesis).
+  SynthOutcome synthesize(const Request &Req, EventSink *Sink = nullptr,
+                          CancelToken Token = CancelToken());
+
+  /// Runs an active weakest-passing-model search
+  /// (Request::weakestModel).
+  WeakestOutcome weakestModels(const Request &Req,
+                               EventSink *Sink = nullptr,
+                               CancelToken Token = CancelToken());
+
+  /// Answers a litmus reachability query (Request::litmus). Runs one
+  /// synchronous SAT query: deadlines and cancel tokens do not apply
+  /// here (there is no phase boundary to stop at) - bound long queries
+  /// with Request::conflictBudget instead.
+  LitmusOutcome observable(const Request &Req);
+
+  CacheStats cacheStats() const;
+  void clearCache();
+  /// Persists the cache now (to \p Path, or the configured CachePath).
+  bool saveCache(const std::string &Path = std::string()) const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> Self;
+};
+
+} // namespace checkfence
+
+#endif // CHECKFENCE_PUBLIC_VERIFIER_H

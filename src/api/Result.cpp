@@ -1,0 +1,155 @@
+//===--- Result.cpp - public result types ------------------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkfence/Result.h"
+
+#include "api/ApiInternal.h"
+#include "engine/MatrixRunner.h"
+#include "support/Format.h"
+#include "support/Json.h"
+
+using namespace checkfence;
+
+// Single checks and matrices share one schema; the public constant and
+// the engine's must move together.
+static_assert(JsonSchemaVersion == engine::ReportSchemaVersion,
+              "bump checkfence::JsonSchemaVersion and "
+              "engine::ReportSchemaVersion in lockstep");
+
+const char *checkfence::statusName(Status S) {
+  switch (S) {
+  case Status::Pass:
+    return "PASS";
+  case Status::Fail:
+    return "FAIL";
+  case Status::SequentialBug:
+    return "SEQUENTIAL-BUG";
+  case Status::BoundsExhausted:
+    return "BOUNDS-EXHAUSTED";
+  case Status::Error:
+    return "ERROR";
+  case Status::Cancelled:
+    return "CANCELLED";
+  }
+  return "<bad-status>";
+}
+
+int checkfence::exitCodeFor(Status S) {
+  switch (S) {
+  case Status::Pass:
+    return 0;
+  case Status::Fail:
+    return 1;
+  case Status::SequentialBug:
+    return 2;
+  case Status::BoundsExhausted:
+    return 3;
+  case Status::Error:
+    return 4;
+  case Status::Cancelled:
+    return 5;
+  }
+  return 4;
+}
+
+std::string Result::json(bool IncludeTimings) const {
+  return api::renderSingleCellJson(*this, IncludeTimings);
+}
+
+//===----------------------------------------------------------------------===//
+// Report
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+checker::CheckStatus toInternal(Status S) {
+  switch (S) {
+  case Status::Pass:
+    return checker::CheckStatus::Pass;
+  case Status::Fail:
+    return checker::CheckStatus::Fail;
+  case Status::SequentialBug:
+    return checker::CheckStatus::SequentialBug;
+  case Status::BoundsExhausted:
+    return checker::CheckStatus::BoundsExhausted;
+  case Status::Error:
+    return checker::CheckStatus::Error;
+  case Status::Cancelled:
+    return checker::CheckStatus::Cancelled;
+  }
+  return checker::CheckStatus::Error;
+}
+
+} // namespace
+
+Report Report::makeError(std::string Message) {
+  Report R;
+  R.Err = std::move(Message);
+  return R;
+}
+
+size_t Report::cellCount() const {
+  return Rep ? Rep->Cells.size() : 0;
+}
+
+int Report::jobs() const { return Rep ? Rep->Jobs : 0; }
+
+double Report::wallSeconds() const { return Rep ? Rep->WallSeconds : 0; }
+
+int Report::count(Status S) const {
+  return Rep ? Rep->countWithStatus(toInternal(S)) : 0;
+}
+
+bool Report::allCompleted() const {
+  return Rep ? Rep->allCompleted() : false;
+}
+
+std::vector<Report::Cell> Report::cells() const {
+  std::vector<Cell> Out;
+  if (!Rep)
+    return Out;
+  Out.reserve(Rep->Cells.size());
+  for (const engine::MatrixCellResult &C : Rep->Cells) {
+    Cell Row;
+    Row.Impl = C.Cell.Impl;
+    Row.Test = C.Cell.Test;
+    Row.Model = memmodel::modelName(C.Cell.Model);
+    Row.Verdict = api::toStatus(C.Result.Status);
+    Row.Message = C.Result.Message;
+    Row.Seconds = C.Seconds;
+    Out.push_back(std::move(Row));
+  }
+  return Out;
+}
+
+std::string Report::json(bool IncludeTimings) const {
+  return Rep ? Rep->json(IncludeTimings) : std::string("{}\n");
+}
+
+std::string Report::table() const {
+  return Rep ? Rep->table() : std::string();
+}
+
+//===----------------------------------------------------------------------===//
+// SynthOutcome
+//===----------------------------------------------------------------------===//
+
+std::string SynthOutcome::json() const {
+  support::JsonObject Obj;
+  Obj.field("schema_version", JsonSchemaVersion)
+      .field("success", Success)
+      .field("message", Message)
+      .field("checks", ChecksRun)
+      .fixed("seconds", TotalSeconds);
+  support::JsonArray Arr;
+  for (const SynthFence &F : Fences) {
+    support::JsonObject Fence;
+    Fence.field("line", F.Line).field("kind", F.Kind);
+    Arr.item(Fence);
+  }
+  Obj.raw("fences", Arr.str());
+  return Obj.str() + "\n";
+}

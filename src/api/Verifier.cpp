@@ -1,0 +1,605 @@
+//===--- Verifier.cpp - the verification service -----------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkfence/Verifier.h"
+
+#include "api/ApiInternal.h"
+#include "api/Cache.h"
+#include "checker/Encoder.h"
+#include "engine/CheckSession.h"
+#include "engine/MatrixRunner.h"
+#include "engine/WeakestModelSearch.h"
+#include "frontend/Lowering.h"
+#include "harness/Catalog.h"
+#include "harness/FenceSynth.h"
+#include "impls/Impls.h"
+#include "support/Format.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+using namespace checkfence;
+using namespace checkfence::api;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-request cancellation state: token + optional deadline.
+struct RunControl {
+  CancelToken Token;
+  bool HasDeadline = false;
+  Clock::time_point Deadline;
+
+  static RunControl make(CancelToken Token, double DeadlineSeconds) {
+    RunControl C;
+    C.Token = std::move(Token);
+    if (DeadlineSeconds > 0) {
+      C.HasDeadline = true;
+      C.Deadline = Clock::now() + std::chrono::duration_cast<
+                                      Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          DeadlineSeconds));
+    }
+    return C;
+  }
+
+  bool expired() const {
+    return HasDeadline && Clock::now() >= Deadline;
+  }
+  bool stopRequested() const { return Token.cancelled() || expired(); }
+};
+
+/// Wires a sink + control into the engine's hook structure.
+checker::CheckHooks makeHooks(const std::string &Label, EventSink *Sink,
+                              const RunControl &Control) {
+  checker::CheckHooks Hooks;
+  Hooks.Cancelled = [Control] { return Control.stopRequested(); };
+  if (Sink) {
+    Hooks.OnRoundStarted = [Label, Sink](int Round) {
+      Sink->onRoundStarted({Label, Round});
+    };
+    Hooks.OnObservationsMined = [Label, Sink](int Count) {
+      Sink->onObservationsMined({Label, Count});
+    };
+    Hooks.OnBoundGrown = [Label, Sink](const std::string &Loop, int B) {
+      Sink->onBoundGrown({Label, Loop, B});
+    };
+  }
+  return Hooks;
+}
+
+void fireVerdict(EventSink *Sink, const std::string &Label, Status S,
+                 const std::string &Message, bool FromCache) {
+  if (Sink)
+    Sink->onVerdict({Label, S, Message, FromCache});
+}
+
+/// A ready-made Cancelled result for cells whose run was never started
+/// (the stop request arrived first) - skips the per-cell compile.
+checker::CheckResult cancelledCell() {
+  checker::CheckResult R;
+  R.Status = checker::CheckStatus::Cancelled;
+  R.Message = "check cancelled";
+  return R;
+}
+
+/// Expands model-axis strings ("tso", "po:ll,fwd", "all", "lattice");
+/// empty input falls back to \p Fallback. False + Error on bad names.
+bool resolveModelAxis(const std::vector<std::string> &Names,
+                      memmodel::ModelParams Fallback,
+                      std::vector<memmodel::ModelParams> &Out,
+                      std::string &Error) {
+  for (const std::string &M : Names) {
+    if (M == "all") {
+      for (const memmodel::NamedModel &N : memmodel::namedModels())
+        Out.push_back(N.Params);
+      continue;
+    }
+    if (M == "lattice") {
+      for (const memmodel::ModelParams &P : memmodel::latticeModels())
+        Out.push_back(P);
+      continue;
+    }
+    auto K = memmodel::modelFromName(M);
+    if (!K) {
+      Error = "unknown model '" + M + "'";
+      return false;
+    }
+    Out.push_back(*K);
+  }
+  if (Out.empty())
+    Out.push_back(Fallback);
+  return true;
+}
+
+Result errorResult(const Request &Req, std::string Message);
+
+/// Error results are terminal verdicts too: consumers correlating
+/// requests with onVerdict events must see one even when the request
+/// never ran.
+Result failRequest(const Request &Req, EventSink *Sink,
+                   std::string Message) {
+  Result R = errorResult(Req, std::move(Message));
+  fireVerdict(Sink, R.Impl + ":" + R.Test + ":" + R.Model,
+              Status::Error, R.Message, false);
+  return R;
+}
+
+Result errorResult(const Request &Req, std::string Message) {
+  Result R;
+  R.Verdict = Status::Error;
+  R.Message = std::move(Message);
+  R.Impl = !Req.ImplName.empty()
+               ? Req.ImplName
+               : (Req.Label.empty() ? "<source>" : Req.Label);
+  R.Test = Req.TestName.empty() ? "custom" : Req.TestName;
+  // Canonical model name where possible, matching the success paths
+  // (empty request model = the library default).
+  if (Req.ModelName.empty())
+    R.Model = memmodel::modelName(checker::CheckOptions{}.Model);
+  else if (auto M = memmodel::modelFromName(Req.ModelName))
+    R.Model = memmodel::modelName(*M);
+  else
+    R.Model = Req.ModelName; // the unresolvable name the error is about
+  return R;
+}
+
+int preludeLineCount() {
+  int Lines = 0;
+  for (char C : impls::preludeSource())
+    Lines += C == '\n';
+  return Lines;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Verifier::Impl - session pool + cache
+//===----------------------------------------------------------------------===//
+
+struct Verifier::Impl {
+  VerifierConfig Cfg;
+  ResultCache Cache;
+  /// Cleared when CachePath named an existing file we could not parse:
+  /// saving on destruction would clobber it (wrong file, or a future
+  /// cache format) - an explicit saveCache() still can.
+  bool SaveCacheOnExit = true;
+
+  std::mutex PoolMu;
+  /// Idle sessions keyed by options fingerprint. A leased session is
+  /// removed from the pool and returned after the check, so concurrent
+  /// requests never share a session. The pool is bounded: persistent
+  /// solvers only ever grow, and a long-lived service sees many distinct
+  /// option/bounds keys - sessions beyond the caps are simply freed.
+  static constexpr size_t MaxIdlePerKey = 4;
+  static constexpr size_t MaxIdleTotal = 64;
+  std::map<std::string, std::vector<std::unique_ptr<engine::CheckSession>>>
+      Pool;
+  size_t IdleSessions = 0; // total across Pool, under PoolMu
+
+  std::unique_ptr<engine::CheckSession>
+  leaseSession(const std::string &Key, const checker::CheckOptions &O) {
+    {
+      std::lock_guard<std::mutex> Lock(PoolMu);
+      auto It = Pool.find(Key);
+      if (It != Pool.end() && !It->second.empty()) {
+        std::unique_ptr<engine::CheckSession> S =
+            std::move(It->second.back());
+        It->second.pop_back();
+        --IdleSessions;
+        return S;
+      }
+    }
+    return std::make_unique<engine::CheckSession>(O);
+  }
+
+  void returnSession(const std::string &Key,
+                     std::unique_ptr<engine::CheckSession> S) {
+    S->setHooks(checker::CheckHooks{}); // drop request-scoped callbacks
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    auto &Idle = Pool[Key];
+    if (Idle.size() >= MaxIdlePerKey || IdleSessions >= MaxIdleTotal)
+      return; // over budget: let the session (and its solvers) free
+    Idle.push_back(std::move(S));
+    ++IdleSessions;
+  }
+
+  int jobsFor(const Request &Req) const {
+    int J = Req.Jobs > 0 ? Req.Jobs : Cfg.Jobs;
+    return J < 1 ? 1 : J;
+  }
+};
+
+Verifier::Verifier(VerifierConfig Config)
+    : Self(std::make_unique<Impl>()) {
+  Self->Cfg = std::move(Config);
+  if (Self->Cfg.EnableCache && !Self->Cfg.CachePath.empty()) {
+    bool Exists = std::ifstream(Self->Cfg.CachePath).good();
+    if (!Self->Cache.load(Self->Cfg.CachePath) && Exists)
+      Self->SaveCacheOnExit = false;
+  }
+}
+
+Verifier::~Verifier() {
+  if (Self->Cfg.EnableCache && !Self->Cfg.CachePath.empty() &&
+      Self->SaveCacheOnExit)
+    Self->Cache.save(Self->Cfg.CachePath);
+}
+
+CacheStats Verifier::cacheStats() const { return Self->Cache.stats(); }
+
+void Verifier::clearCache() { Self->Cache.clear(); }
+
+bool Verifier::saveCache(const std::string &Path) const {
+  std::string Target = Path.empty() ? Self->Cfg.CachePath : Path;
+  if (Target.empty())
+    return false;
+  return Self->Cache.save(Target);
+}
+
+//===----------------------------------------------------------------------===//
+// Single checks
+//===----------------------------------------------------------------------===//
+
+Result Verifier::check(const Request &Req, EventSink *Sink,
+                       CancelToken Token) {
+  checker::CheckOptions Opts;
+  std::string Error;
+  if (!checkOptionsFrom(Req, Opts, Error))
+    return failRequest(Req, Sink, Error);
+
+  CompiledCase Case = buildCase(Req);
+  if (!Case.Ok)
+    return failRequest(Req, Sink, Case.Error);
+
+  const std::string ModelStr = memmodel::modelName(Opts.Model);
+  const std::string Label =
+      Case.ImplLabel + ":" + Case.Test.Name + ":" + ModelStr;
+  const std::string OptsFp = optionsFingerprint(Opts, Req.Fresh);
+  const std::string Key = Case.ProgramFp + "|" + OptsFp;
+  const bool Caching = Self->Cfg.EnableCache && Req.UseCache;
+
+  if (Caching) {
+    if (std::optional<Result> Hit = Self->Cache.lookup(Key)) {
+      fireVerdict(Sink, Label, Hit->Verdict, Hit->Message, true);
+      return *Hit;
+    }
+    // Miss with a matching program fingerprint: seed the lazy unrolling
+    // from the earlier passing run's final bounds (Fig. 10 workflow).
+    if (Self->Cfg.ReuseBounds) {
+      if (auto Bounds = Self->Cache.boundsFor(Case.ProgramFp)) {
+        for (const auto &[Loop, Bound] : *Bounds)
+          Opts.InitialBounds[Loop] = Bound;
+        Self->Cache.noteSeed();
+      }
+    }
+  }
+
+  RunControl Control = RunControl::make(Token, Req.DeadlineSeconds);
+  Opts.Hooks = makeHooks(Label, Sink, Control);
+
+  checker::CheckResult R;
+  if (Req.Fresh) {
+    R = checker::runCheckFresh(Case.Impl, Case.Threads, Opts,
+                               Case.HasSpec ? &Case.Spec : nullptr);
+  } else {
+    // Sessions are pooled by options (and any seeded bounds, which are
+    // construction state): a leased session may have served a different
+    // program - appending re-unrollings to a persistent solver across
+    // program variants is exactly the engine's design.
+    std::string PoolKey = OptsFp;
+    for (const auto &[Loop, Bound] : Opts.InitialBounds)
+      PoolKey += formatString("|%s=%d", Loop.c_str(), Bound);
+    std::unique_ptr<engine::CheckSession> Session =
+        Self->leaseSession(PoolKey, Opts);
+    Session->setHooks(Opts.Hooks);
+    R = Session->check(Case.Impl, Case.Threads,
+                       Case.HasSpec ? &Case.Spec : nullptr);
+    Self->returnSession(PoolKey, std::move(Session));
+  }
+
+  Result Out = convertResult(R, Case.ImplLabel, Case.Test.Name, ModelStr);
+  if (Out.Verdict == Status::Cancelled && Control.expired() &&
+      !Token.cancelled())
+    Out.Message = "deadline exceeded";
+  if (Caching && Out.Verdict != Status::Cancelled)
+    Self->Cache.insert(Key, Case.ProgramFp, Out);
+  fireVerdict(Sink, Label, Out.Verdict, Out.Message, false);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Batched matrices and sweeps
+//===----------------------------------------------------------------------===//
+
+Report Verifier::matrix(const Request &Req, EventSink *Sink,
+                        CancelToken Token) {
+  auto Fail = [Sink](std::string Message) {
+    fireVerdict(Sink, "matrix", Status::Error, Message, false);
+    return Report::makeError(std::move(Message));
+  };
+  checker::CheckOptions Opts;
+  std::string Error;
+  if (!checkOptionsFrom(Req, Opts, Error))
+    return Fail(Error);
+
+  std::vector<memmodel::ModelParams> Models;
+  if (Req.RequestKind == Request::Kind::Sweep) {
+    for (const memmodel::ModelParams &P : memmodel::latticeModels())
+      Models.push_back(P);
+  } else if (!resolveModelAxis(Req.Models, Opts.Model, Models, Error)) {
+    return Fail(Error);
+  }
+
+  std::vector<engine::MatrixCell> Cells =
+      harness::expandMatrix(Req.Impls, Req.Tests, Models);
+  if (Cells.empty())
+    return Fail("matrix is empty (check impls/tests)");
+
+  harness::RunOptions Base;
+  Base.Check = Opts;
+  Base.StripFences = Req.StripAllFences;
+  for (int Line : Req.StripLines)
+    Base.StripFenceLines.insert(Line);
+  Base.Defines.insert(Req.Defines.begin(), Req.Defines.end());
+
+  RunControl Control = RunControl::make(Token, Req.DeadlineSeconds);
+  std::atomic<size_t> Finished{0};
+  const size_t Total = Cells.size();
+
+  // Matrix cells deliberately skip the result cache and bounds seeding:
+  // each cell runs clean so the timing-free report stays byte-identical
+  // across job counts and cache states.
+  engine::CellFn Fn =
+      [Base, Sink, Control, &Finished,
+       Total](const engine::MatrixCell &Cell) -> checker::CheckResult {
+    if (Control.stopRequested()) {
+      // Skipped cells still complete the progress contract: Finished
+      // reaches Total even when a deadline wipes out the tail.
+      if (Sink)
+        Sink->onCellFinished({Cell.label(), Finished.fetch_add(1) + 1,
+                              Total, Status::Cancelled, 0});
+      return cancelledCell();
+    }
+    harness::RunOptions O = Base;
+    O.Check.Hooks = makeHooks(Cell.label(), Sink, Control);
+    Timer T;
+    checker::CheckResult R = harness::catalogCellRunner(O)(Cell);
+    if (Sink)
+      Sink->onCellFinished({Cell.label(), Finished.fetch_add(1) + 1,
+                            Total, toStatus(R.Status), T.seconds()});
+    return R;
+  };
+
+  auto Rep = std::make_shared<engine::MatrixReport>(
+      engine::MatrixRunner(Self->jobsFor(Req)).run(Cells, Fn));
+  Status Overall =
+      Control.stopRequested()
+          ? Status::Cancelled
+          : (Rep->allCompleted() ? Status::Pass : Status::Error);
+  fireVerdict(Sink, "matrix", Overall,
+              formatString("%d cells", static_cast<int>(Total)), false);
+  return Report(std::move(Rep));
+}
+
+//===----------------------------------------------------------------------===//
+// Weakest-model search
+//===----------------------------------------------------------------------===//
+
+WeakestOutcome Verifier::weakestModels(const Request &Req,
+                                       EventSink *Sink,
+                                       CancelToken Token) {
+  WeakestOutcome Out;
+  Out.Impl = Req.ImplName;
+  Out.Test = Req.TestName;
+  if (!impls::findImpl(Req.ImplName)) {
+    Out.Error = "unknown implementation '" + Req.ImplName + "'";
+    return Out;
+  }
+  if (!harness::findCatalogEntry(Req.TestName)) {
+    Out.Error = "unknown catalog test '" + Req.TestName + "'";
+    return Out;
+  }
+  checker::CheckOptions Opts;
+  if (!checkOptionsFrom(Req, Opts, Out.Error))
+    return Out;
+
+  harness::RunOptions Base;
+  Base.Check = Opts;
+  Base.StripFences = Req.StripAllFences;
+  for (int Line : Req.StripLines)
+    Base.StripFenceLines.insert(Line);
+  Base.Defines.insert(Req.Defines.begin(), Req.Defines.end());
+
+  RunControl Control = RunControl::make(Token, Req.DeadlineSeconds);
+  engine::CellFn Fn =
+      [Base, Sink,
+       Control](const engine::MatrixCell &Cell) -> checker::CheckResult {
+    if (Control.stopRequested())
+      return cancelledCell();
+    harness::RunOptions O = Base;
+    O.Check.Hooks = makeHooks(Cell.label(), Sink, Control);
+    return harness::catalogCellRunner(O)(Cell);
+  };
+
+  std::vector<memmodel::ModelParams> Lattice;
+  if (!Req.Models.empty()) {
+    if (!resolveModelAxis(Req.Models, Opts.Model, Lattice, Out.Error))
+      return Out;
+  } else {
+    Lattice = memmodel::latticeModels();
+  }
+
+  engine::WeakestSummary S =
+      engine::WeakestModelSearch(Lattice).run(Req.ImplName, Req.TestName,
+                                              Fn);
+  for (const memmodel::ModelParams &M : S.Weakest)
+    Out.Weakest.push_back(memmodel::modelName(M));
+  Out.ModelsPassed = S.ModelsPassed;
+  Out.ModelsChecked = S.ModelsChecked;
+  Out.CellsRun = S.CellsRun;
+  Out.CellsInferred = S.CellsInferred;
+  Out.Cancelled = Control.stopRequested();
+  Out.Ok = true;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Fence synthesis
+//===----------------------------------------------------------------------===//
+
+SynthOutcome Verifier::synthesize(const Request &Req, EventSink *Sink,
+                                  CancelToken Token) {
+  SynthOutcome Out;
+  // Setup failures are terminal verdicts too (see failRequest).
+  auto Fail = [&]() -> SynthOutcome & {
+    fireVerdict(Sink, Req.ImplName + ":synth", Status::Error,
+                Out.Message, false);
+    return Out;
+  };
+  checker::CheckOptions Opts;
+  if (!checkOptionsFrom(Req, Opts, Out.Message))
+    return Fail();
+
+  // Resolve the source and the tests (one, or a Tests list).
+  Request Probe = Req;
+  std::vector<std::string> TestNames = Req.Tests;
+  if (TestNames.empty() && !Req.TestName.empty())
+    TestNames.push_back(Req.TestName);
+  if (TestNames.empty() && Req.Notation.empty()) {
+    Out.Message = "synthesis request names no test";
+    return Fail();
+  }
+  if (!TestNames.empty())
+    Probe.TestName = TestNames[0];
+  CompiledCase Case = buildCase(Probe);
+  if (!Case.Ok) {
+    Out.Message = Case.Error;
+    return Fail();
+  }
+
+  std::vector<harness::TestSpec> Tests;
+  if (!Req.Notation.empty()) {
+    Tests.push_back(Case.Test);
+  } else {
+    for (const std::string &Name : TestNames) {
+      const harness::CatalogEntry *E = harness::findCatalogEntry(Name);
+      if (!E) {
+        Out.Message = "unknown catalog test '" + Name + "'";
+        return Fail();
+      }
+      harness::TestSpec Spec;
+      std::string Err;
+      if (!harness::parseTestNotation(
+              E->Notation, harness::alphabetFor(E->Kind), Spec, Err)) {
+        Out.Message = "catalog test " + Name + " failed to parse: " + Err;
+        return Fail();
+      }
+      Spec.Name = E->Name;
+      Tests.push_back(std::move(Spec));
+    }
+  }
+
+  harness::SynthOptions SO;
+  SO.Check = Opts;
+  SO.Defines.insert(Req.Defines.begin(), Req.Defines.end());
+  SO.StripFences = Req.SynthStrip;
+  SO.MinLine = Req.SynthMinLine ? *Req.SynthMinLine
+                                : preludeLineCount() + 1;
+  if (Req.SynthMaxFences)
+    SO.MaxFences = *Req.SynthMaxFences;
+  SO.Minimize = Req.SynthMinimize;
+  SO.Jobs = Self->jobsFor(Req);
+
+  RunControl Control = RunControl::make(Token, Req.DeadlineSeconds);
+  SO.Check.Hooks =
+      makeHooks(Case.ImplLabel + ":synth", Sink, Control);
+
+  harness::SynthResult S =
+      harness::synthesizeFences(Case.FullSource, Tests, SO);
+  Out.Success = S.Success;
+  Out.Message = S.Message;
+  for (const harness::FencePlacement &P : S.Fences)
+    Out.Fences.push_back({P.Line, lsl::fenceKindName(P.Kind)});
+  for (const harness::FencePlacement &P : S.Removed)
+    Out.Removed.push_back({P.Line, lsl::fenceKindName(P.Kind)});
+  Out.ChecksRun = S.ChecksRun;
+  Out.TotalSeconds = S.TotalSeconds;
+  Out.Log = S.Log;
+  if (Control.stopRequested()) {
+    // A stop mid-run poisons whatever phase it interrupted: repair-loop
+    // probes come back Cancelled (non-pass), and minimization removal
+    // probes read as refutations, silently skipping the necessity
+    // checks. Never report such a run as a completed success.
+    Out.Cancelled = true;
+    Out.Success = false;
+    Out.Message = "synthesis cancelled: " + Out.Message;
+  }
+  fireVerdict(Sink, Case.ImplLabel + ":synth",
+              Out.Cancelled ? Status::Cancelled
+                            : (Out.Success ? Status::Pass : Status::Error),
+              Out.Message, false);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Litmus reachability
+//===----------------------------------------------------------------------===//
+
+LitmusOutcome Verifier::observable(const Request &Req) {
+  LitmusOutcome Out;
+  checker::CheckOptions Opts;
+  if (!checkOptionsFrom(Req, Opts, Out.Error))
+    return Out;
+  if (Req.SourceText.empty() || Req.LitmusThreads.empty()) {
+    Out.Error = "litmus requests need source() and at least one thread()";
+    return Out;
+  }
+
+  frontend::DiagEngine Diags;
+  lsl::Program Prog;
+  std::set<std::string> Defines(Req.Defines.begin(), Req.Defines.end());
+  if (!frontend::compileC(Req.SourceText, Defines, Prog, Diags)) {
+    Out.Error = "frontend error:\n" + Diags.str();
+    return Out;
+  }
+  harness::TestSpec Spec;
+  Spec.Name = "litmus";
+  for (const std::string &Op : Req.LitmusThreads)
+    Spec.Threads.push_back({harness::OpSpec{Op, 0, false, false}});
+  std::vector<std::string> Threads =
+      harness::buildTestThreads(Prog, Spec);
+
+  checker::ProblemConfig Cfg;
+  Cfg.Model = Opts.Model;
+  Cfg.Order = Opts.Order;
+  Cfg.RangeAnalysis = Opts.RangeAnalysis;
+  Cfg.ConflictBudget = Opts.ConflictBudget;
+  checker::EncodedProblem Prob(Prog, Threads, {}, Cfg);
+  checker::Observation O;
+  for (long long V : Req.ExpectedValues)
+    O.Values.push_back(lsl::Value::integer(V));
+  Prob.requireObservation(O);
+  if (!Prob.ok()) {
+    Out.Error = Prob.error();
+    return Out;
+  }
+  sat::SolveResult R = Prob.solve();
+  if (R == sat::SolveResult::Unknown) {
+    Out.Error = "solver budget exhausted";
+    return Out;
+  }
+  Out.Ok = true;
+  Out.Reachable = R == sat::SolveResult::Sat;
+  return Out;
+}

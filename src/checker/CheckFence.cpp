@@ -31,6 +31,8 @@ const char *checkfence::checker::checkStatusName(CheckStatus S) {
     return "BOUNDS-EXHAUSTED";
   case CheckStatus::Error:
     return "ERROR";
+  case CheckStatus::Cancelled:
+    return "CANCELLED";
   }
   return "<bad-status>";
 }
@@ -44,8 +46,23 @@ CheckResult checkfence::checker::runCheckFresh(
   trans::LoopBounds SpecBounds; // reference-program bounds (refset mode)
   int ProbesLeft = Opts.MaxProbes;
 
+  const CheckHooks &Hooks = Opts.Hooks;
+  auto CancelRequested = [&] {
+    return Hooks.Cancelled && Hooks.Cancelled();
+  };
+  auto Cancel = [&] {
+    Result.Status = CheckStatus::Cancelled;
+    Result.Message = "check cancelled";
+    Result.Stats.TotalSeconds = Total.seconds();
+    return Result;
+  };
+
   for (int Iter = 0; Iter < Opts.MaxBoundIterations; ++Iter) {
     Result.Stats.BoundIterations = Iter + 1;
+    if (CancelRequested())
+      return Cancel();
+    if (Hooks.OnRoundStarted)
+      Hooks.OnRoundStarted(Iter + 1);
 
     // Phase 1: specification mining under the Serial model.
     ProblemConfig MineCfg;
@@ -79,7 +96,11 @@ CheckResult checkfence::checker::runCheckFresh(
       Result.Spec = std::move(Mined.Spec);
       Result.Stats.ObservationCount =
           static_cast<int>(Result.Spec.size());
+      if (Hooks.OnObservationsMined)
+        Hooks.OnObservationsMined(Result.Stats.ObservationCount);
     }
+    if (CancelRequested())
+      return Cancel();
 
     // Phase 2: inclusion check under the target model.
     ProblemConfig IncCfg;
@@ -119,6 +140,8 @@ CheckResult checkfence::checker::runCheckFresh(
     ProbeCfg.ConflictBudget = Opts.ConflictBudget;
     bool Grown = false;
     while (ProbesLeft-- > 0) {
+      if (CancelRequested())
+        return Cancel();
       Timer ProbeTimer;
       EncodedProblem Probe(ImplProg, ThreadProcs, Bounds, ProbeCfg);
       if (!Probe.ok()) {
@@ -140,6 +163,8 @@ CheckResult checkfence::checker::runCheckFresh(
         int &B = Bounds[Key];
         B = (B == 0 ? 1 : B) + 1;
         GrewThisProbe = true;
+        if (Hooks.OnBoundGrown)
+          Hooks.OnBoundGrown(Key, B);
       }
       if (!GrewThisProbe) {
         Result.Status = CheckStatus::Error;

@@ -28,10 +28,28 @@
 #include "checker/InclusionChecker.h"
 #include "checker/SpecMiner.h"
 
+#include <functional>
 #include <optional>
 
 namespace checkfence {
 namespace checker {
+
+/// Optional instrumentation and cooperative-cancellation hooks threaded
+/// through the mine/include/probe loop. Every member may be empty. The
+/// hooks fire between solver calls (never inside one), so cancellation is
+/// cooperative: a run stops at the next phase boundary with
+/// CheckStatus::Cancelled instead of aborting mid-round. Callbacks must be
+/// thread-safe when the same options drive parallel matrix cells.
+struct CheckHooks {
+  /// Polled at phase boundaries; return true to stop the run.
+  std::function<bool()> Cancelled;
+  /// A mine/include/probe round started (1-based).
+  std::function<void(int Round)> OnRoundStarted;
+  /// Specification mining completed with this many observations.
+  std::function<void(int Count)> OnObservationsMined;
+  /// Lazy unrolling grew the bound of one loop instance.
+  std::function<void(const std::string &Loop, int NewBound)> OnBoundGrown;
+};
 
 struct CheckOptions {
   memmodel::ModelParams Model = memmodel::ModelParams::relaxed();
@@ -47,6 +65,9 @@ struct CheckOptions {
   /// Starting per-loop bounds (e.g. the FinalBounds of a previous run, to
   /// skip the lazy-unrolling phase as the paper's Fig. 10 timings do).
   trans::LoopBounds InitialBounds;
+  /// Streaming/cancellation hooks. Not part of a run's identity: caches
+  /// and session pools must ignore this field when fingerprinting options.
+  CheckHooks Hooks;
 };
 
 enum class CheckStatus {
@@ -55,6 +76,7 @@ enum class CheckStatus {
   SequentialBug,   ///< a *serial* execution already misbehaves
   BoundsExhausted, ///< lazy unrolling hit MaxBoundIterations
   Error,           ///< frontend/encoder/solver problem (see Message)
+  Cancelled,       ///< stopped by CheckHooks::Cancelled (token/deadline)
 };
 
 const char *checkStatusName(CheckStatus S);

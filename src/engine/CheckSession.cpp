@@ -64,8 +64,17 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
     return Result;
   };
 
+  const CheckHooks &Hooks = Opts.Hooks;
+  auto CancelRequested = [&] {
+    return Hooks.Cancelled && Hooks.Cancelled();
+  };
+
   for (int Iter = 0; Iter < Opts.MaxBoundIterations; ++Iter) {
     Result.Stats.BoundIterations = Iter + 1;
+    if (CancelRequested())
+      return Finish(CheckStatus::Cancelled, "check cancelled");
+    if (Hooks.OnRoundStarted)
+      Hooks.OnRoundStarted(Iter + 1);
     trans::LoopBounds &MineBounds = SpecProg ? SpecBounds : Bounds;
 
     // Phase 1: specification mining under the Serial model. Skipped when
@@ -99,7 +108,11 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
       Result.Stats.ObservationCount = static_cast<int>(Result.Spec.size());
       HaveSpec = true;
       SpecForBounds = MineBounds;
+      if (Hooks.OnObservationsMined)
+        Hooks.OnObservationsMined(Result.Stats.ObservationCount);
     }
+    if (CancelRequested())
+      return Finish(CheckStatus::Cancelled, "check cancelled");
 
     // Phase 2: inclusion check under the target model. Shares its encoding
     // with the bound probe of this round (and reuses the final probe
@@ -138,6 +151,8 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
     // re-unrolled encoding to the same solver.
     bool Grown = false;
     while (ProbesLeft-- > 0) {
+      if (CancelRequested())
+        return Finish(CheckStatus::Cancelled, "check cancelled");
       Timer ProbeTimer;
       if (!CheckEnc->ok())
         return Finish(CheckStatus::Error, CheckEnc->error());
@@ -156,6 +171,8 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
         int &B = Bounds[Key];
         B = (B == 0 ? 1 : B) + 1;
         GrewThisProbe = true;
+        if (Hooks.OnBoundGrown)
+          Hooks.OnBoundGrown(Key, B);
       }
       if (!GrewThisProbe)
         return Finish(CheckStatus::Error,

@@ -59,6 +59,11 @@ public:
                              const std::vector<std::string> &ThreadProcs,
                              const lsl::Program *SpecProg = nullptr);
 
+  /// Replaces the streaming/cancellation hooks for subsequent check()
+  /// calls. Hooks are per-request state, not part of a session's
+  /// identity, so pools reusing a session swap them in here.
+  void setHooks(const checker::CheckHooks &Hooks) { Opts.Hooks = Hooks; }
+
   /// One entry per completed bound iteration, across all check() calls.
   const std::vector<SessionSnapshot> &snapshots() const {
     return Snapshots;

@@ -8,6 +8,7 @@
 
 #include "engine/WeakestModelSearch.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/Timing.h"
 
 #include <atomic>
@@ -56,80 +57,95 @@ int MatrixReport::countWithStatus(CheckStatus S) const {
 }
 
 bool MatrixReport::allCompleted() const {
-  return countWithStatus(CheckStatus::Error) == 0;
+  return countWithStatus(CheckStatus::Error) == 0 &&
+         countWithStatus(CheckStatus::Cancelled) == 0;
 }
 
-std::string checkfence::engine::jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 2);
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20)
-        Out += formatString("\\u%04x", C);
-      else
-        Out += C;
-    }
-  }
-  return Out;
+std::string checkfence::engine::renderReportSummary(
+    int Pass, int Fail, int SequentialBug, int BoundsExhausted,
+    int Error, int Cancelled) {
+  support::JsonObject Summary;
+  Summary.field("pass", Pass)
+      .field("fail", Fail)
+      .field("sequential_bug", SequentialBug)
+      .field("bounds_exhausted", BoundsExhausted)
+      .field("error", Error);
+  if (Cancelled)
+    Summary.field("cancelled", Cancelled);
+  return Summary.str();
+}
+
+std::string
+checkfence::engine::renderReportCell(const ReportCellFields &F) {
+  support::JsonObject Cell;
+  Cell.field("impl", F.Impl)
+      .field("test", F.Test)
+      .field("model", F.Model)
+      .field("status", F.StatusName)
+      .field("message", F.Message)
+      .field("observations", F.Observations)
+      .field("bound_iterations", F.BoundIterations)
+      .field("unrolled_instrs", F.UnrolledInstrs)
+      .field("loads", F.Loads)
+      .field("stores", F.Stores)
+      .field("sat_vars", F.SatVars)
+      .field("sat_clauses", F.SatClauses);
+  if (F.HasCounterexample)
+    Cell.field("counterexample", F.Counterexample);
+  if (F.IncludeTimings)
+    Cell.fixed("seconds", F.Seconds)
+        .fixed("encode_seconds", F.EncodeSeconds)
+        .fixed("solve_seconds", F.SolveSeconds)
+        .fixed("mining_seconds", F.MiningSeconds);
+  return Cell.str();
 }
 
 std::string MatrixReport::json(bool IncludeTimings) const {
   std::ostringstream OS;
   OS << "{\n";
+  OS << formatString("  \"schema_version\": %d,\n", ReportSchemaVersion);
   if (IncludeTimings)
     OS << formatString("  \"jobs\": %d,\n  \"wall_seconds\": %.3f,\n",
                        Jobs, WallSeconds);
-  OS << formatString(
-      "  \"summary\": {\"pass\": %d, \"fail\": %d, \"sequential_bug\": %d, "
-      "\"bounds_exhausted\": %d, \"error\": %d},\n",
-      countWithStatus(CheckStatus::Pass), countWithStatus(CheckStatus::Fail),
-      countWithStatus(CheckStatus::SequentialBug),
-      countWithStatus(CheckStatus::BoundsExhausted),
-      countWithStatus(CheckStatus::Error));
+  OS << "  \"summary\": "
+     << renderReportSummary(countWithStatus(CheckStatus::Pass),
+                            countWithStatus(CheckStatus::Fail),
+                            countWithStatus(CheckStatus::SequentialBug),
+                            countWithStatus(CheckStatus::BoundsExhausted),
+                            countWithStatus(CheckStatus::Error),
+                            countWithStatus(CheckStatus::Cancelled))
+     << ",\n";
   OS << "  \"cells\": [\n";
   for (size_t I = 0; I < Cells.size(); ++I) {
     const MatrixCellResult &C = Cells[I];
     const checker::CheckResult &R = C.Result;
     const checker::EncodeStats &E = R.Stats.Inclusion;
-    OS << "    {";
-    OS << formatString(
-        "\"impl\": \"%s\", \"test\": \"%s\", \"model\": \"%s\", "
-        "\"status\": \"%s\", \"message\": \"%s\", \"observations\": %d, "
-        "\"bound_iterations\": %d, \"unrolled_instrs\": %d, "
-        "\"loads\": %d, \"stores\": %d, \"sat_vars\": %d, "
-        "\"sat_clauses\": %llu",
-        jsonEscape(C.Cell.Impl).c_str(), jsonEscape(C.Cell.Test).c_str(),
-        memmodel::modelName(C.Cell.Model).c_str(),
-        checker::checkStatusName(R.Status), jsonEscape(R.Message).c_str(),
-        R.Stats.ObservationCount, R.Stats.BoundIterations,
-        E.UnrolledInstrs, E.Loads, E.Stores, E.SatVars,
-        static_cast<unsigned long long>(E.SatClauses));
-    if (R.Counterexample)
-      OS << formatString(
-          ", \"counterexample\": \"%s\"",
-          jsonEscape(R.Counterexample->Obs.str(
-                         R.Counterexample->ObsLabels))
-              .c_str());
-    if (IncludeTimings)
-      OS << formatString(
-          ", \"seconds\": %.3f, \"encode_seconds\": %.3f, "
-          "\"solve_seconds\": %.3f, \"mining_seconds\": %.3f",
-          C.Seconds, E.EncodeSeconds, E.SolveSeconds,
-          R.Stats.MiningSeconds);
-    OS << "}";
+    ReportCellFields F;
+    F.Impl = C.Cell.Impl;
+    F.Test = C.Cell.Test;
+    F.Model = memmodel::modelName(C.Cell.Model);
+    F.StatusName = checker::checkStatusName(R.Status);
+    F.Message = R.Message;
+    F.Observations = R.Stats.ObservationCount;
+    F.BoundIterations = R.Stats.BoundIterations;
+    F.UnrolledInstrs = E.UnrolledInstrs;
+    F.Loads = E.Loads;
+    F.Stores = E.Stores;
+    F.SatVars = E.SatVars;
+    F.SatClauses = static_cast<unsigned long long>(E.SatClauses);
+    if (R.Counterexample) {
+      F.HasCounterexample = true;
+      F.Counterexample =
+          R.Counterexample->Obs.str(R.Counterexample->ObsLabels);
+    }
+    if (IncludeTimings) {
+      F.IncludeTimings = true;
+      F.Seconds = C.Seconds;
+      F.EncodeSeconds = E.EncodeSeconds;
+      F.SolveSeconds = E.SolveSeconds;
+      F.MiningSeconds = R.Stats.MiningSeconds;
+    }
+    OS << "    " << renderReportCell(F);
     if (I + 1 < Cells.size())
       OS << ",";
     OS << "\n";
@@ -163,14 +179,17 @@ std::string MatrixReport::table() const {
                        R.Stats.ObservationCount, R.Stats.BoundIterations,
                        C.Seconds);
   }
-  OS << formatString("%d cells: %d pass, %d fail, %d error (%.2fs wall, "
-                     "%d jobs)\n",
+  int Cancelled = countWithStatus(CheckStatus::Cancelled);
+  std::string CancelledNote =
+      Cancelled ? formatString(", %d cancelled", Cancelled) : "";
+  OS << formatString("%d cells: %d pass, %d fail, %d error%s (%.2fs "
+                     "wall, %d jobs)\n",
                      static_cast<int>(Cells.size()),
                      countWithStatus(CheckStatus::Pass),
                      countWithStatus(CheckStatus::Fail) +
                          countWithStatus(CheckStatus::SequentialBug),
-                     countWithStatus(CheckStatus::Error), WallSeconds,
-                     Jobs);
+                     countWithStatus(CheckStatus::Error),
+                     CancelledNote.c_str(), WallSeconds, Jobs);
   std::vector<WeakestSummary> Summaries = summarizeReport(*this);
   if (Cells.size() > Summaries.size()) {
     OS << "\nweakest passing model per (impl, test):\n";

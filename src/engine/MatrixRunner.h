@@ -38,14 +38,53 @@ namespace engine {
 void parallelFor(int Jobs, size_t Count,
                  const std::function<void(size_t)> &Body);
 
-/// Escapes \p S for embedding in a JSON string literal.
-std::string jsonEscape(const std::string &S);
+/// The schema_version stamped into every JSON report (matrix and single
+/// checks share one schema; see docs/API.md).
+inline constexpr int ReportSchemaVersion = 1;
+
+/// The per-cell field set of the versioned report schema. One renderer
+/// defines the cell shape for every emitter - matrix cells here, and
+/// the facade's single-check serializer (which holds pre-rendered
+/// strings, not engine objects).
+struct ReportCellFields {
+  std::string Impl;
+  std::string Test;
+  std::string Model;
+  const char *StatusName = "";
+  std::string Message;
+  int Observations = 0;
+  int BoundIterations = 0;
+  int UnrolledInstrs = 0;
+  int Loads = 0;
+  int Stores = 0;
+  int SatVars = 0;
+  unsigned long long SatClauses = 0;
+  bool HasCounterexample = false;
+  std::string Counterexample;
+  bool IncludeTimings = false;
+  double Seconds = 0;
+  double EncodeSeconds = 0;
+  double SolveSeconds = 0;
+  double MiningSeconds = 0;
+};
+
+/// Renders one inline cell object of the report schema.
+std::string renderReportCell(const ReportCellFields &F);
+
+/// Renders the report's inline summary object. The "cancelled" bucket
+/// appears only when non-zero, keeping uncancelled reports on the
+/// historical five-field shape byte-for-byte.
+std::string renderReportSummary(int Pass, int Fail, int SequentialBug,
+                                int BoundsExhausted, int Error,
+                                int Cancelled);
 
 /// One cell of the evaluation matrix.
 struct MatrixCell {
   std::string Impl; ///< implementation name (harness resolves it)
   std::string Test; ///< catalog test name
-  memmodel::ModelParams Model = memmodel::ModelParams::relaxed();
+  /// Defaults to the one CheckOptions default so a default-model change
+  /// cannot skew only some callers.
+  memmodel::ModelParams Model = checker::CheckOptions{}.Model;
 
   std::string label() const;
 };
@@ -65,7 +104,8 @@ struct MatrixReport {
   double WallSeconds = 0;
 
   int countWithStatus(checker::CheckStatus S) const;
-  /// True when no cell ended in CheckStatus::Error.
+  /// True when every cell ran to a verdict: no Error and no Cancelled
+  /// cells.
   bool allCompleted() const;
 
   /// Machine-readable report. With \p IncludeTimings false the output

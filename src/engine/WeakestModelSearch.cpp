@@ -7,6 +7,7 @@
 #include "engine/WeakestModelSearch.h"
 
 #include "support/Format.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <sstream>
@@ -87,7 +88,7 @@ checkfence::engine::weakestJson(const std::vector<WeakestSummary> &Summaries) {
     const WeakestSummary &S = Summaries[I];
     OS << formatString(
         "    {\"impl\": \"%s\", \"test\": \"%s\", \"weakest\": [",
-        jsonEscape(S.Impl).c_str(), jsonEscape(S.Test).c_str());
+        support::jsonEscape(S.Impl).c_str(), support::jsonEscape(S.Test).c_str());
     for (size_t M = 0; M < S.Weakest.size(); ++M)
       OS << formatString("%s\"%s\"", M ? ", " : "",
                          memmodel::modelName(S.Weakest[M]).c_str());

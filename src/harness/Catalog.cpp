@@ -186,7 +186,7 @@ std::vector<engine::MatrixCell> checkfence::harness::expandMatrix(
       UseImpls.push_back(I.Name);
   std::vector<memmodel::ModelParams> UseModels = Models;
   if (UseModels.empty())
-    UseModels.push_back(memmodel::ModelParams::relaxed());
+    UseModels.push_back(checker::CheckOptions{}.Model); // the one default
 
   std::vector<engine::MatrixCell> Cells;
   for (const std::string &Impl : UseImpls) {

@@ -1,0 +1,468 @@
+//===--- ApiTests.cpp - the public facade ------------------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// Covers the include/checkfence/ facade: request building and dispatch,
+// the shared versioned JSON schema (single check == one-cell matrix),
+// cooperative cancellation and deadlines, and the cross-run result cache
+// (hit determinism, fingerprint invalidation, bounds seeding,
+// persistence).
+//
+// Tests may use internal headers (they are in-tree); the facade itself is
+// exercised strictly through include/checkfence/checkfence.h types.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkfence/checkfence.h"
+
+#include "engine/MatrixRunner.h"
+#include "harness/Catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+using namespace checkfence;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Basic dispatch
+//===----------------------------------------------------------------------===//
+
+TEST(ApiCheck, PassThroughFacade) {
+  Verifier V;
+  Result R = V.check(Request::check("ms2", "T0").model("sc"));
+  EXPECT_EQ(R.Verdict, Status::Pass);
+  EXPECT_TRUE(R.passed());
+  EXPECT_EQ(R.Impl, "ms2");
+  EXPECT_EQ(R.Test, "T0");
+  EXPECT_EQ(R.Model, "sc");
+  EXPECT_GT(R.Stats.ObservationCount, 0);
+  EXPECT_EQ(static_cast<int>(R.Observations.size()),
+            R.Stats.ObservationCount);
+  EXPECT_GT(R.Stats.SatVars, 0);
+  EXPECT_FALSE(R.FromCache);
+}
+
+TEST(ApiCheck, FailureCarriesCounterexample) {
+  Verifier V;
+  Result R = V.check(Request::check("snark", "D0").model("sc"));
+  EXPECT_EQ(R.Verdict, Status::Fail);
+  EXPECT_TRUE(R.HasCounterexample);
+  EXPECT_FALSE(R.CounterexampleTrace.empty());
+  EXPECT_FALSE(R.CounterexampleColumns.empty());
+  EXPECT_FALSE(R.CounterexampleObservation.empty());
+}
+
+TEST(ApiCheck, UnknownNamesAreErrors) {
+  Verifier V;
+  EXPECT_EQ(V.check(Request::check("nosuch", "T0")).Verdict,
+            Status::Error);
+  EXPECT_EQ(V.check(Request::check("ms2", "NoTest")).Verdict,
+            Status::Error);
+  EXPECT_EQ(V.check(Request::check("ms2", "T0").model("badmodel")).Verdict,
+            Status::Error);
+}
+
+TEST(ApiCheck, FreshPipelineMatchesSession) {
+  Verifier V;
+  Request Base = Request::check("ms2", "T0").model("sc").noCache();
+  Result Sess = V.check(Base);
+  Result Fresh = V.check(Request(Base).freshPipeline());
+  EXPECT_EQ(Sess.Verdict, Fresh.Verdict);
+  EXPECT_EQ(Sess.Observations, Fresh.Observations);
+}
+
+TEST(ApiCheck, SourceAndNotationRequests) {
+  Verifier V;
+  // The built-in treiber stack source run as a user source.
+  Result R = V.check(Request::check()
+                         .source(implementationSource("treiber")
+                                     .substr(preludeSource().size()))
+                         .label("user-treiber")
+                         .dataType("stack")
+                         .notation("( u | o )")
+                         .model("sc"));
+  EXPECT_EQ(R.Verdict, Status::Pass) << R.Message;
+  EXPECT_EQ(R.Impl, "user-treiber");
+  EXPECT_EQ(R.Test, "custom");
+}
+
+//===----------------------------------------------------------------------===//
+// The shared versioned JSON schema
+//===----------------------------------------------------------------------===//
+
+TEST(ApiJson, SchemaVersionPresent) {
+  Verifier V;
+  Result R = V.check(Request::check("ms2", "T0").model("sc"));
+  std::string J = R.json(false);
+  EXPECT_NE(J.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_EQ(J.find("\"seconds\""), std::string::npos);
+  std::string JT = R.json(true);
+  EXPECT_NE(JT.find("\"wall_seconds\""), std::string::npos);
+}
+
+TEST(ApiJson, SingleCheckMatchesOneCellMatrixReport) {
+  // The facade's single-check JSON must be byte-identical to the engine
+  // rendering the same verdict as a one-cell matrix report.
+  Verifier V;
+  Result R = V.check(Request::check("ms2", "T0").model("sc").noCache());
+
+  harness::RunOptions Opts;
+  Opts.Check.Model = memmodel::ModelParams::sc();
+  engine::MatrixCell Cell;
+  Cell.Impl = "ms2";
+  Cell.Test = "T0";
+  Cell.Model = memmodel::ModelParams::sc();
+  engine::MatrixReport Rep;
+  Rep.Cells.resize(1);
+  Rep.Cells[0].Cell = Cell;
+  Rep.Cells[0].Result = harness::catalogCellRunner(Opts)(Cell);
+  EXPECT_EQ(R.json(false), Rep.json(false));
+}
+
+TEST(ApiJson, MatrixReportThroughFacadeIsDeterministic) {
+  Verifier V;
+  Request Req = Request::matrix()
+                    .impls({"ms2"})
+                    .tests({"T0", "Tpc2"})
+                    .models({"sc", "tso"});
+  Report R1 = V.matrix(Request(Req).jobs(1));
+  Report R4 = V.matrix(Request(Req).jobs(4));
+  ASSERT_TRUE(R1.ok());
+  ASSERT_TRUE(R4.ok());
+  EXPECT_EQ(R1.cellCount(), 4u);
+  EXPECT_EQ(R1.json(false), R4.json(false));
+  EXPECT_NE(R1.json(false).find("\"schema_version\": 1"),
+            std::string::npos);
+  EXPECT_NE(R1.json(false).find("\"weakest_passing\""),
+            std::string::npos);
+  EXPECT_TRUE(R1.allCompleted());
+  EXPECT_EQ(R1.count(Status::Pass), 4);
+}
+
+TEST(ApiJson, SweepRunsTheFullLattice) {
+  Verifier V;
+  Report R =
+      V.matrix(Request::sweep().impls({"treiber"}).tests({"U0"}).jobs(2));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.cellCount(), memmodel::latticeModels().size());
+  EXPECT_NE(R.json(false).find("\"weakest_passing\""),
+            std::string::npos);
+  std::vector<Report::Cell> Cells = R.cells();
+  ASSERT_EQ(Cells.size(), R.cellCount());
+  EXPECT_EQ(Cells[0].Impl, "treiber");
+  EXPECT_EQ(Cells[0].Test, "U0");
+  EXPECT_EQ(Cells[0].Model, "serial"); // lattice is strongest-first
+}
+
+TEST(ApiJson, MatrixErrorsAreReported) {
+  Verifier V;
+  Report R = V.matrix(Request::matrix().models({"nosuchmodel"}));
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("nosuchmodel"), std::string::npos);
+  EXPECT_EQ(R.cellCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exit codes and status names
+//===----------------------------------------------------------------------===//
+
+TEST(ApiStatus, ExitCodeConvention) {
+  EXPECT_EQ(exitCodeFor(Status::Pass), 0);
+  EXPECT_EQ(exitCodeFor(Status::Fail), 1);
+  EXPECT_EQ(exitCodeFor(Status::SequentialBug), 2);
+  EXPECT_EQ(exitCodeFor(Status::BoundsExhausted), 3);
+  EXPECT_EQ(exitCodeFor(Status::Error), 4);
+  EXPECT_EQ(exitCodeFor(Status::Cancelled), 5);
+}
+
+TEST(ApiStatus, Names) {
+  EXPECT_STREQ(statusName(Status::Pass), "PASS");
+  EXPECT_STREQ(statusName(Status::SequentialBug), "SEQUENTIAL-BUG");
+  EXPECT_STREQ(statusName(Status::Cancelled), "CANCELLED");
+}
+
+//===----------------------------------------------------------------------===//
+// Cancellation, deadlines, and event streaming
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Matrix runs invoke callbacks from worker threads - count atomically.
+struct CountingSink : EventSink {
+  std::atomic<int> Rounds{0}, Mined{0}, Cells{0}, Verdicts{0};
+  void onRoundStarted(const RoundEvent &) override { ++Rounds; }
+  void onObservationsMined(const ObservationsMinedEvent &) override {
+    ++Mined;
+  }
+  void onCellFinished(const CellFinishedEvent &) override { ++Cells; }
+  void onVerdict(const VerdictEvent &) override { ++Verdicts; }
+};
+} // namespace
+
+TEST(ApiCancel, PreCancelledTokenStopsBeforeWork) {
+  Verifier V;
+  CancelToken Token;
+  Token.cancel();
+  Result R =
+      V.check(Request::check("ms2", "T0").model("sc"), nullptr, Token);
+  EXPECT_EQ(R.Verdict, Status::Cancelled);
+  EXPECT_EQ(R.Message, "check cancelled");
+  // Cancelled results are never cached.
+  EXPECT_EQ(V.cacheStats().Entries, 0u);
+}
+
+namespace {
+/// Cancels its token the first time mining reports observations - the
+/// check is then mid-round, between phases.
+struct CancelAfterMining : EventSink {
+  CancelToken Token;
+  void onObservationsMined(const ObservationsMinedEvent &) override {
+    Token.cancel();
+  }
+};
+} // namespace
+
+TEST(ApiCancel, MidRoundCancellationReturnsCleanly) {
+  Verifier V;
+  CancelAfterMining Sink;
+  Result R = V.check(Request::check("ms2", "Tpc2").model("sc"), &Sink,
+                     Sink.Token);
+  EXPECT_EQ(R.Verdict, Status::Cancelled);
+  EXPECT_EQ(R.Message, "check cancelled");
+  // The verifier remains usable after a cancelled run.
+  Result R2 = V.check(Request::check("ms2", "T0").model("sc"));
+  EXPECT_EQ(R2.Verdict, Status::Pass);
+}
+
+TEST(ApiCancel, ExpiredDeadlineCancels) {
+  Verifier V;
+  Result R = V.check(
+      Request::check("ms2", "Tpc2").model("sc").deadline(1e-9));
+  EXPECT_EQ(R.Verdict, Status::Cancelled);
+  EXPECT_EQ(R.Message, "deadline exceeded");
+}
+
+TEST(ApiCancel, CancelledMatrixIsNotCompleted) {
+  Verifier V;
+  CancelToken Token;
+  Token.cancel();
+  CountingSink Sink;
+  Report R = V.matrix(Request::matrix()
+                          .impls({"ms2"})
+                          .tests({"T0"})
+                          .models({"sc", "tso"}),
+                      &Sink, Token);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.count(Status::Cancelled), 2);
+  EXPECT_FALSE(R.allCompleted()); // a cancelled sweep is not a verdict
+  EXPECT_NE(R.json(false).find("\"cancelled\": 2"), std::string::npos);
+  EXPECT_NE(R.table().find("2 cancelled"), std::string::npos);
+  // Skipped cells still complete the progress stream.
+  EXPECT_EQ(Sink.Cells, 2);
+}
+
+TEST(ApiCancel, GenerousDeadlineDoesNotFire) {
+  Verifier V;
+  Result R = V.check(
+      Request::check("ms2", "T0").model("sc").deadline(3600));
+  EXPECT_EQ(R.Verdict, Status::Pass);
+}
+
+//===----------------------------------------------------------------------===//
+// Events
+//===----------------------------------------------------------------------===//
+
+TEST(ApiEvents, SingleCheckStreams) {
+  Verifier V;
+  CountingSink Sink;
+  Result R = V.check(Request::check("ms2", "T0").model("sc"), &Sink);
+  EXPECT_EQ(R.Verdict, Status::Pass);
+  EXPECT_GE(Sink.Rounds, 1);
+  EXPECT_GE(Sink.Mined, 1);
+  EXPECT_EQ(Sink.Verdicts, 1);
+}
+
+TEST(ApiEvents, InvalidRequestsStillProduceAVerdictEvent) {
+  Verifier V;
+  CountingSink Sink;
+  V.check(Request::check("no-such-impl", "T0"), &Sink);
+  V.matrix(Request::matrix().models({"bogus"}), &Sink);
+  V.synthesize(Request::synthesis("ms2", "NoSuchTest"), &Sink);
+  EXPECT_EQ(Sink.Verdicts, 3); // one terminal event per failed request
+}
+
+TEST(ApiEvents, MatrixStreamsCellCompletions) {
+  Verifier V;
+  CountingSink Sink;
+  Report R = V.matrix(Request::matrix()
+                          .impls({"ms2"})
+                          .tests({"T0"})
+                          .models({"sc", "tso"})
+                          .jobs(2),
+                      &Sink);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(Sink.Cells, 2);
+  EXPECT_EQ(Sink.Verdicts, 1); // one overall matrix verdict
+}
+
+//===----------------------------------------------------------------------===//
+// The cross-run result cache
+//===----------------------------------------------------------------------===//
+
+TEST(ApiCache, SecondIdenticalRequestHitsAndIsByteIdentical) {
+  Verifier V;
+  Request Req = Request::check("ms2", "T0").model("sc");
+  Result R1 = V.check(Req);
+  ASSERT_EQ(R1.Verdict, Status::Pass);
+  EXPECT_FALSE(R1.FromCache);
+
+  Result R2 = V.check(Req);
+  EXPECT_TRUE(R2.FromCache);
+  EXPECT_EQ(R2.Verdict, R1.Verdict);
+  EXPECT_EQ(R1.json(false), R2.json(false));
+
+  CacheStats S = V.cacheStats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_GE(S.Misses, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+}
+
+TEST(ApiCache, ChangingAFenceInvalidatesTheFingerprint) {
+  Verifier V;
+  Result R1 = V.check(Request::check("msn", "T0").model("sc"));
+  ASSERT_EQ(R1.Verdict, Status::Pass);
+  // Same request with one fence stripped: a different program, so a
+  // miss, not a hit.
+  Result R2 =
+      V.check(Request::check("msn", "T0").model("sc").stripFences());
+  EXPECT_FALSE(R2.FromCache);
+  EXPECT_EQ(V.cacheStats().Hits, 0u);
+  EXPECT_EQ(V.cacheStats().Entries, 2u);
+}
+
+TEST(ApiCache, OptionsArePartOfTheKey) {
+  Verifier V;
+  V.check(Request::check("ms2", "T0").model("sc"));
+  Result R = V.check(Request::check("ms2", "T0").model("tso"));
+  EXPECT_FALSE(R.FromCache);
+  EXPECT_EQ(V.cacheStats().Entries, 2u);
+}
+
+TEST(ApiCache, BoundsSeedAcrossModelsOfTheSameProgram) {
+  Verifier V;
+  // msn's retry loops make T0 grow bounds lazily, so the pass records
+  // non-trivial final bounds.
+  Result R1 = V.check(Request::check("msn", "T0").model("sc"));
+  ASSERT_EQ(R1.Verdict, Status::Pass);
+  ASSERT_FALSE(R1.FinalBounds.empty());
+  // Different model, same program fingerprint: the pass above seeds the
+  // initial bounds of this run (the Fig. 10 re-run workflow).
+  Result R2 = V.check(Request::check("msn", "T0").model("tso"));
+  EXPECT_EQ(R2.Verdict, Status::Pass);
+  EXPECT_EQ(V.cacheStats().BoundsSeeded, 1u);
+  // Seeding skips the lazy-unrolling rounds the first run needed.
+  EXPECT_LE(R2.Stats.BoundIterations, R1.Stats.BoundIterations);
+}
+
+TEST(ApiCache, NoCacheBypasses) {
+  Verifier V;
+  V.check(Request::check("ms2", "T0").model("sc"));
+  Result R = V.check(Request::check("ms2", "T0").model("sc").noCache());
+  EXPECT_FALSE(R.FromCache);
+}
+
+TEST(ApiCache, UnparseableCacheFileIsNotClobbered) {
+  std::string Path = testing::TempDir() + "cf_api_not_a_cache.txt";
+  {
+    std::ofstream Out(Path);
+    Out << "something that is not a checkfence cache\n";
+  }
+  VerifierConfig Cfg;
+  Cfg.CachePath = Path;
+  {
+    Verifier V(Cfg);
+    V.check(Request::check("ms2", "T0").model("sc"));
+  } // destructor must NOT overwrite the unrecognized file
+  std::ifstream In(Path);
+  std::string Line;
+  ASSERT_TRUE(std::getline(In, Line));
+  EXPECT_EQ(Line, "something that is not a checkfence cache");
+  std::remove(Path.c_str());
+}
+
+TEST(ApiCache, PersistsAcrossVerifiers) {
+  std::string Path = testing::TempDir() + "cf_api_cache_test.txt";
+  std::remove(Path.c_str());
+
+  VerifierConfig Cfg;
+  Cfg.CachePath = Path;
+  Result R1;
+  {
+    Verifier V(Cfg);
+    R1 = V.check(Request::check("ms2", "T0").model("sc"));
+    ASSERT_EQ(R1.Verdict, Status::Pass);
+  } // destructor saves the cache
+
+  Verifier V2(Cfg);
+  Result R2 = V2.check(Request::check("ms2", "T0").model("sc"));
+  EXPECT_TRUE(R2.FromCache);
+  EXPECT_EQ(R1.json(false), R2.json(false));
+  EXPECT_EQ(R1.Observations, R2.Observations);
+  EXPECT_EQ(R1.FinalBounds, R2.FinalBounds);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Other request kinds
+//===----------------------------------------------------------------------===//
+
+TEST(ApiWeakest, ActiveSearchOverNamedModels) {
+  Verifier V;
+  WeakestOutcome O = V.weakestModels(
+      Request::weakestModel("ms2", "T0").models({"sc", "tso"}));
+  ASSERT_TRUE(O.Ok) << O.Error;
+  ASSERT_EQ(O.Weakest.size(), 1u);
+  EXPECT_EQ(O.Weakest[0], "tso");
+  EXPECT_EQ(O.ModelsPassed, 2);
+  // tso passing implies sc by monotonicity: at most one executed cell
+  // plus one inferred.
+  EXPECT_EQ(O.CellsRun + O.CellsInferred, 2);
+  EXPECT_GE(O.CellsInferred, 1);
+}
+
+TEST(ApiLitmus, StoreBufferingReachability) {
+  Verifier V;
+  const char *Sb = R"(
+extern void observe(int v);
+int x; int y;
+void init_op(void) { x = 0; y = 0; }
+void t1_op(void) { x = 1; observe(y); }
+void t2_op(void) { y = 1; observe(x); }
+)";
+  Request Base =
+      Request::litmus(Sb).thread("t1_op").thread("t2_op").expect({0, 0});
+  LitmusOutcome SC = V.observable(Request(Base).model("sc"));
+  ASSERT_TRUE(SC.Ok) << SC.Error;
+  EXPECT_FALSE(SC.Reachable);
+  LitmusOutcome Rlx = V.observable(Request(Base).model("relaxed"));
+  ASSERT_TRUE(Rlx.Ok) << Rlx.Error;
+  EXPECT_TRUE(Rlx.Reachable);
+}
+
+TEST(ApiCatalog, ListingsArePopulated) {
+  EXPECT_EQ(listImplementations().size(), 6u);
+  EXPECT_FALSE(listTests().empty());
+  EXPECT_EQ(listModels().size(), 6u);
+  EXPECT_NE(implementationSource("msn").find("fence"),
+            std::string::npos);
+  EXPECT_TRUE(implementationSource("nosuch").empty());
+  EXPECT_FALSE(preludeSource().empty());
+  EXPECT_STREQ(versionString(), "0.4.0");
+}
+
+} // namespace

@@ -10,49 +10,28 @@
 //   <impl>  one of: ms2 msn lazylist harris snark treiber  (or --file <path>)
 //   <test>  a Fig. 8 test name (T0, Tpc3, Sac, D0, ...) or --notation
 //
-// Options:
-//   --model <model>          target memory model (default relaxed); a name
-//                            (sc tso pso rmo relaxed serial) or a lattice
-//                            descriptor like "po:ll+ls,fwd" (docs/MODELS.md)
-//   --strip-fences           remove all fence() calls
-//   --strip-line N           remove the fence on source line N (repeatable)
-//   --define NAME            preprocessor define (e.g. LAZYLIST_INIT_BUG)
-//   --refspec                mine the spec from the reference implementation
-//   --rank-order             use the rank-based order encoding
-//   --no-range               disable range-analysis optimizations
-//   --spec                   print the mined observation set
-//   --synth                  synthesize a fence placement (from stripped)
-//   --matrix                 run an (impl x test x model) evaluation matrix
-//   --impls a,b / --tests x,y / --models m,n   matrix axes (defaults: all
-//                            impls, all kind-matching tests, --model);
-//                            --models also accepts "all" (every named
-//                            model) and "lattice" (the full sweep with a
-//                            weakest-passing-model summary)
-//   --jobs N                 worker threads (matrix cells / synth checks)
-//   --json PATH              write a machine-readable report ("-" = stdout)
-//   --no-timings             omit timing fields from the JSON report (the
-//                            result is then byte-identical at any --jobs)
-//   --quiet                  verdict only
+// The CLI is a thin shell over the public API (include/checkfence/): it
+// parses flags into a checkfence::Request, dispatches it on a
+// checkfence::Verifier, and renders the result. Exit codes follow the
+// verdict: 0 pass, 1 fail, 2 sequential bug, 3 bounds exhausted, 4 error,
+// 5 cancelled; usage/I-O problems exit 64.
 //
 //===----------------------------------------------------------------------===//
 
-#include "engine/MatrixRunner.h"
-#include "harness/Catalog.h"
-#include "harness/FenceSynth.h"
-#include "impls/Impls.h"
-#include "support/Format.h"
+#include "checkfence/checkfence.h"
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 using namespace checkfence;
-using namespace checkfence::harness;
 
 namespace {
+
+constexpr int ExitUsage = 64; // EX_USAGE: bad flags, unreadable files
 
 void usage() {
   std::printf(
@@ -81,11 +60,18 @@ void usage() {
       "                       every named model, 'lattice' = the full\n"
       "                       relaxation-lattice sweep\n"
       "  --jobs N             worker threads for --matrix / --synth\n"
+      "  --deadline S         cancel cooperatively after S seconds\n"
+      "  --cache PATH         persist the cross-run result cache at PATH\n"
+      "  --no-cache           bypass the result cache\n"
       "  --json PATH          write a JSON report ('-' = stdout)\n"
       "  --no-timings         omit timing fields from the JSON report\n"
       "                       (byte-identical output at any --jobs)\n"
       "  --quiet              verdict only\n"
-      "  --list               list implementations and tests\n");
+      "  --list               list implementations and tests\n"
+      "  --version            print the library version\n"
+      "  --schema             print the JSON report schema version\n"
+      "exit codes: 0 pass, 1 fail, 2 sequential bug, 3 bounds exhausted,\n"
+      "            4 error, 5 cancelled, 64 usage/I-O\n");
 }
 
 /// Writes \p Content to \p Path ("-" = stdout). False on I/O failure.
@@ -122,30 +108,28 @@ std::vector<std::string> splitList(const std::string &S) {
 
 void listCatalog() {
   std::printf("implementations:\n");
-  for (const impls::ImplInfo &I : impls::allImpls())
+  for (const ImplDesc &I : listImplementations())
     std::printf("  %-9s (%s)  %s\n", I.Name.c_str(), I.Kind.c_str(),
                 I.Description.c_str());
   std::printf("tests:\n");
-  for (const CatalogEntry &E : paperTests())
-    std::printf("  %-8s (%s)  %s\n", E.Name.c_str(), E.Kind.c_str(),
-                E.Notation.c_str());
+  for (const TestDesc &T : listTests())
+    std::printf("  %-8s (%s)  %s\n", T.Name.c_str(), T.Kind.c_str(),
+                T.Notation.c_str());
   std::printf("models (strongest first):\n");
-  for (const memmodel::NamedModel &N : memmodel::namedModels())
-    std::printf("  %-8s %-16s %s\n", N.Name.c_str(),
-                N.Params.str().c_str(), N.Note.c_str());
+  for (const ModelDesc &M : listModels())
+    std::printf("  %-8s %-16s %s\n", M.Name.c_str(),
+                M.Descriptor.c_str(), M.Note.c_str());
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string Impl, Test, File, Kind, Notation, Model = "relaxed";
-  RunOptions Opts;
-  bool PrintSpec = false, Quiet = false, RefSpec = false, Synth = false;
-  bool Matrix = false, NoTimings = false;
-  int Jobs = 1;
-  std::string JsonPath;
-  std::vector<std::string> MatrixImpls, MatrixTests;
-  std::vector<std::string> MatrixModels;
+  std::string Impl, Test, File, Kind, Notation;
+  Request Req = Request::check();
+  bool PrintSpec = false, Quiet = false, Synth = false, Matrix = false;
+  bool NoTimings = false;
+  std::string JsonPath, CachePath;
+  std::vector<std::string> MatrixImpls, MatrixTests, MatrixModels;
 
   std::vector<std::string> Positional;
   for (int I = 1; I < argc; ++I) {
@@ -153,30 +137,36 @@ int main(int argc, char **argv) {
     auto Next = [&]() -> std::string {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "missing argument after %s\n", A.c_str());
-        exit(2);
+        exit(ExitUsage);
       }
       return argv[++I];
     };
     if (A == "--help" || A == "-h") {
       usage();
       return 0;
+    } else if (A == "--version") {
+      std::printf("checkfence %s\n", versionString());
+      return 0;
+    } else if (A == "--schema") {
+      std::printf("%d\n", JsonSchemaVersion);
+      return 0;
     } else if (A == "--list") {
       listCatalog();
       return 0;
     } else if (A == "--model") {
-      Model = Next();
+      Req.model(Next());
     } else if (A == "--strip-fences") {
-      Opts.StripFences = true;
+      Req.stripFences();
     } else if (A == "--strip-line") {
-      Opts.StripFenceLines.insert(std::atoi(Next().c_str()));
+      Req.stripFenceLine(std::atoi(Next().c_str()));
     } else if (A == "--define") {
-      Opts.Defines.insert(Next());
+      Req.define(Next());
     } else if (A == "--refspec") {
-      RefSpec = true;
+      Req.refSpec();
     } else if (A == "--rank-order") {
-      Opts.Check.Order = encode::OrderMode::Rank;
+      Req.rankOrder();
     } else if (A == "--no-range") {
-      Opts.Check.RangeAnalysis = false;
+      Req.rangeAnalysis(false);
     } else if (A == "--file") {
       File = Next();
     } else if (A == "--kind") {
@@ -196,9 +186,13 @@ int main(int argc, char **argv) {
     } else if (A == "--models") {
       MatrixModels = splitList(Next());
     } else if (A == "--jobs") {
-      Jobs = std::atoi(Next().c_str());
-      if (Jobs < 1)
-        Jobs = 1;
+      Req.jobs(std::atoi(Next().c_str()));
+    } else if (A == "--deadline") {
+      Req.deadline(std::atof(Next().c_str()));
+    } else if (A == "--cache") {
+      CachePath = Next();
+    } else if (A == "--no-cache") {
+      Req.noCache();
     } else if (A == "--json") {
       JsonPath = Next();
     } else if (A == "--no-timings") {
@@ -207,7 +201,7 @@ int main(int argc, char **argv) {
       Quiet = true;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", A.c_str());
-      return 2;
+      return ExitUsage;
     } else {
       Positional.push_back(A);
     }
@@ -218,127 +212,89 @@ int main(int argc, char **argv) {
   if (Positional.size() > 1)
     Test = Positional[1];
 
-  if (auto K = memmodel::modelFromName(Model)) {
-    Opts.Check.Model = *K;
-  } else {
-    std::fprintf(stderr, "unknown model '%s'\n", Model.c_str());
-    return 2;
+  // A typo'd model name is a usage error (64), not an engine ERROR (4);
+  // reject it before dispatching. "all"/"lattice" are matrix-axis
+  // keywords, not model names.
+  if (!Req.ModelName.empty() && !validModelName(Req.ModelName)) {
+    std::fprintf(stderr, "unknown model '%s'\n", Req.ModelName.c_str());
+    return ExitUsage;
   }
+  for (const std::string &M : MatrixModels)
+    if (M != "all" && M != "lattice" && !validModelName(M)) {
+      std::fprintf(stderr, "unknown model '%s'\n", M.c_str());
+      return ExitUsage;
+    }
+
+  VerifierConfig Config;
+  Config.Jobs = 1;
+  Config.CachePath = CachePath;
+  Verifier V(Config);
 
   // Matrix mode: expand the (impl x test x model) grid, run it on the
   // worker pool, and report.
   if (Matrix) {
-    std::vector<memmodel::ModelParams> Models;
-    for (const std::string &M : MatrixModels) {
-      if (M == "all") {
-        for (const memmodel::NamedModel &N : memmodel::namedModels())
-          Models.push_back(N.Params);
-        continue;
-      }
-      if (M == "lattice") {
-        for (const memmodel::ModelParams &P : memmodel::latticeModels())
-          Models.push_back(P);
-        continue;
-      }
-      auto K = memmodel::modelFromName(M);
-      if (!K) {
-        std::fprintf(stderr, "unknown model '%s'\n", M.c_str());
-        return 2;
-      }
-      Models.push_back(*K);
+    Req.RequestKind = Request::Kind::Matrix;
+    Req.impls(MatrixImpls).tests(MatrixTests).models(MatrixModels);
+    Report R = V.matrix(Req);
+    if (!R.ok()) {
+      std::fprintf(stderr, "%s\n", R.error().c_str());
+      return ExitUsage;
     }
-    if (Models.empty())
-      Models.push_back(Opts.Check.Model);
-    std::vector<engine::MatrixCell> Cells =
-        expandMatrix(MatrixImpls, MatrixTests, Models);
-    if (Cells.empty()) {
-      std::fprintf(stderr, "matrix is empty (check --impls/--tests)\n");
-      return 2;
-    }
-    engine::MatrixRunner Runner(Jobs);
-    engine::MatrixReport Report = Runner.run(Cells, catalogCellRunner(Opts));
     if (!Quiet)
-      std::printf("%s", Report.table().c_str());
-    if (!JsonPath.empty() && !writeReport(JsonPath, Report.json(!NoTimings)))
-      return 2;
-    return Report.allCompleted() ? 0 : 1;
+      std::printf("%s", R.table().c_str());
+    if (!JsonPath.empty() && !writeReport(JsonPath, R.json(!NoTimings)))
+      return ExitUsage;
+    if (R.allCompleted())
+      return 0;
+    // Cancelled-only incompleteness (a --deadline expiry) reports as
+    // CANCELLED; any errored cell dominates.
+    return exitCodeFor(R.count(Status::Error) > 0 ? Status::Error
+                                                  : Status::Cancelled);
   }
 
-  // Resolve the implementation source.
-  std::string Source;
+  // Resolve what to run: a built-in impl, a file, or nothing (usage).
   if (!File.empty()) {
     std::ifstream In(File);
     if (!In) {
       std::fprintf(stderr, "cannot open %s\n", File.c_str());
-      return 2;
+      return ExitUsage;
     }
     std::ostringstream SS;
     SS << In.rdbuf();
-    Source = impls::preludeSource() + SS.str();
+    Req.source(SS.str()).label(File).dataType(Kind);
   } else if (!Impl.empty()) {
-    Source = impls::sourceFor(Impl);
-    for (const impls::ImplInfo &I : impls::allImpls())
-      if (I.Name == Impl)
-        Kind = I.Kind;
+    Req.impl(Impl);
+    if (!Kind.empty())
+      Req.dataType(Kind);
   } else {
     usage();
-    return 2;
+    return ExitUsage;
   }
 
-  // Resolve the test.
-  TestSpec Spec;
   if (!Notation.empty()) {
-    if (Kind.empty()) {
+    if (Kind.empty() && Impl.empty()) {
       std::fprintf(stderr, "--notation requires --kind\n");
-      return 2;
+      return ExitUsage;
     }
-    std::string Err;
-    if (!parseTestNotation(Notation, alphabetFor(Kind), Spec, Err)) {
-      std::fprintf(stderr, "bad test notation: %s\n", Err.c_str());
-      return 2;
-    }
-    Spec.Name = "custom";
+    Req.notation(Notation);
   } else if (!Test.empty()) {
-    Spec = testByName(Test);
+    Req.test(Test);
   } else {
     usage();
-    return 2;
-  }
-
-  if (RefSpec) {
-    if (Kind.empty()) {
-      std::fprintf(stderr, "--refspec requires a known --kind\n");
-      return 2;
-    }
-    Opts.SpecSource = impls::referenceFor(Kind);
+    return ExitUsage;
   }
 
   if (Synth) {
-    SynthOptions SO;
-    SO.Check = Opts.Check;
-    SO.Defines = Opts.Defines;
-    SO.Jobs = Jobs;
-    SO.MinLine = 1;
-    for (char C : impls::preludeSource())
-      SO.MinLine += C == '\n';
-    SynthResult S = synthesizeFences(Source, {Spec}, SO);
+    Req.RequestKind = Request::Kind::Synthesis;
+    SynthOutcome S = V.synthesize(Req);
     if (!Quiet)
       for (const std::string &Step : S.Log)
         std::printf("%s\n", Step.c_str());
-    if (!JsonPath.empty()) {
-      std::string Json = formatString(
-          "{\"success\": %s, \"message\": \"%s\", "
-          "\"checks\": %d, \"seconds\": %.3f, \"fences\": [",
-          S.Success ? "true" : "false",
-          engine::jsonEscape(S.Message).c_str(), S.ChecksRun,
-          S.TotalSeconds);
-      for (size_t I = 0; I < S.Fences.size(); ++I)
-        Json += formatString("%s{\"line\": %d, \"kind\": \"%s\"}",
-                             I ? ", " : "", S.Fences[I].Line,
-                             lsl::fenceKindName(S.Fences[I].Kind));
-      Json += "]}\n";
-      if (!writeReport(JsonPath, Json))
-        return 2;
+    if (!JsonPath.empty() && !writeReport(JsonPath, S.json()))
+      return ExitUsage;
+    if (S.Cancelled) {
+      std::printf("SYNTHESIS CANCELLED: %s\n", S.Message.c_str());
+      return exitCodeFor(Status::Cancelled);
     }
     if (!S.Success) {
       std::printf("SYNTHESIS FAILED: %s\n", S.Message.c_str());
@@ -346,45 +302,35 @@ int main(int argc, char **argv) {
     }
     std::printf("%s (%d checks, %.1fs)\n", S.Message.c_str(), S.ChecksRun,
                 S.TotalSeconds);
-    for (const FencePlacement &P : S.Fences)
-      std::printf("  insert %s\n", placementStr(P).c_str());
+    for (const SynthFence &F : S.Fences)
+      std::printf("  insert %s fence at line %d\n", F.Kind.c_str(),
+                  F.Line);
     return 0;
   }
 
-  checker::CheckResult R = runTest(Source, Spec, Opts);
+  Result R = V.check(Req);
 
-  if (!JsonPath.empty()) {
-    // Reuse the matrix report shape for a single cell.
-    engine::MatrixReport Report;
-    Report.Cells.resize(1);
-    Report.Cells[0].Cell.Impl = Impl.empty() ? File : Impl;
-    Report.Cells[0].Cell.Test = Spec.Name;
-    Report.Cells[0].Cell.Model = Opts.Check.Model;
-    Report.Cells[0].Result = R;
-    Report.Cells[0].Seconds = R.Stats.TotalSeconds;
-    Report.WallSeconds = R.Stats.TotalSeconds;
-    if (!writeReport(JsonPath, Report.json(!NoTimings)))
-      return 2;
-  }
+  if (!JsonPath.empty() && !writeReport(JsonPath, R.json(!NoTimings)))
+    return ExitUsage;
 
-  std::printf("%s\n", checker::checkStatusName(R.Status));
+  std::printf("%s\n", statusName(R.Verdict));
   if (Quiet)
-    return R.passed() ? 0 : 1;
+    return exitCodeFor(R.Verdict);
 
   std::printf("%s\n", R.Message.c_str());
   std::printf("stats: %d instrs, %d loads, %d stores | spec %d obs "
               "(%.2fs) | CNF %d vars %llu clauses | encode %.2fs solve "
-              "%.2fs | total %.2fs, %d bound rounds\n",
-              R.Stats.Inclusion.UnrolledInstrs, R.Stats.Inclusion.Loads, R.Stats.Inclusion.Stores,
+              "%.2fs | total %.2fs, %d bound rounds%s\n",
+              R.Stats.UnrolledInstrs, R.Stats.Loads, R.Stats.Stores,
               R.Stats.ObservationCount, R.Stats.MiningSeconds,
-              R.Stats.Inclusion.SatVars,
-              static_cast<unsigned long long>(R.Stats.Inclusion.SatClauses),
-              R.Stats.Inclusion.EncodeSeconds, R.Stats.Inclusion.SolveSeconds,
-              R.Stats.TotalSeconds, R.Stats.BoundIterations);
+              R.Stats.SatVars, R.Stats.SatClauses,
+              R.Stats.EncodeSeconds, R.Stats.SolveSeconds,
+              R.Stats.TotalSeconds, R.Stats.BoundIterations,
+              R.FromCache ? " (cached)" : "");
   if (PrintSpec)
-    for (const checker::Observation &O : R.Spec)
-      std::printf("  %s\n", O.str().c_str());
-  if (R.Counterexample)
-    std::printf("\n%s", R.Counterexample->columns().c_str());
-  return R.passed() ? 0 : 1;
+    for (const std::string &O : R.Observations)
+      std::printf("  %s\n", O.c_str());
+  if (R.HasCounterexample)
+    std::printf("\n%s", R.CounterexampleColumns.c_str());
+  return exitCodeFor(R.Verdict);
 }
