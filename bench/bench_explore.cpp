@@ -1,0 +1,76 @@
+//===--- bench_explore.cpp - exploration throughput --------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// Measures the explore subsystem's scenario throughput through the
+// public Verifier API: one fixed-seed budget at one worker and at N
+// workers, reported as scenarios/sec plus the parallel speedup, and a
+// determinism cross-check (the timing-free reports must be
+// byte-identical). CF_BENCH_FULL=1 widens the budget; CF_BENCH_JOBS
+// overrides the parallel job count (default 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkfence/checkfence.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace checkfence;
+
+namespace {
+
+int envInt(const char *Name, int Default) {
+  const char *E = std::getenv(Name);
+  return E ? std::atoi(E) : Default;
+}
+
+bool fullRun() {
+  const char *E = std::getenv("CF_BENCH_FULL");
+  return E && std::string(E) == "1";
+}
+
+} // namespace
+
+int main() {
+  const int Budget = fullRun() ? 400 : 100;
+  const int Jobs = envInt("CF_BENCH_JOBS", 4);
+
+  Request Base = Request::explore().seed(1).budget(Budget);
+
+  Verifier V1;
+  ExploreOutcome Serial = V1.explore(Request(Base).jobs(1));
+  Verifier VN;
+  ExploreOutcome Parallel = VN.explore(Request(Base).jobs(Jobs));
+
+  if (!Serial.ok() || !Parallel.ok()) {
+    std::fprintf(stderr, "explore failed: %s\n",
+                 (!Serial.ok() ? Serial : Parallel).error().c_str());
+    return 1;
+  }
+
+  const bool Identical =
+      Serial.json(/*IncludeTimings=*/false) ==
+      Parallel.json(/*IncludeTimings=*/false);
+  const double S1 = Serial.wallSeconds();
+  const double SN = Parallel.wallSeconds();
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"explore\",\n");
+  std::printf("  \"budget\": %d,\n", Budget);
+  std::printf("  \"scenarios_run\": %d,\n", Serial.run());
+  std::printf("  \"divergences\": %d,\n",
+              static_cast<int>(Serial.divergences().size()));
+  std::printf("  \"jobs\": %d,\n", Jobs);
+  std::printf("  \"serial_seconds\": %.3f,\n", S1);
+  std::printf("  \"parallel_seconds\": %.3f,\n", SN);
+  std::printf("  \"serial_scenarios_per_sec\": %.2f,\n",
+              S1 > 0 ? Serial.run() / S1 : 0);
+  std::printf("  \"parallel_scenarios_per_sec\": %.2f,\n",
+              SN > 0 ? Parallel.run() / SN : 0);
+  std::printf("  \"speedup\": %.3f,\n", SN > 0 ? S1 / SN : 0);
+  std::printf("  \"reports_identical\": %s\n", Identical ? "true" : "false");
+  std::printf("}\n");
+  return Identical ? 0 : 1;
+}

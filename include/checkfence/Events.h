@@ -70,9 +70,28 @@ struct VerdictEvent {
   bool FromCache = false;
 };
 
+/// One explore scenario finished its differential run (explore requests
+/// only).
+struct ScenarioCheckedEvent {
+  std::string Label;   ///< scenario label ("litmus-17", "sym-3:msn:...")
+  size_t Finished = 0; ///< scenarios finished so far, this one included
+  size_t Total = 0;    ///< scenarios selected for this run
+  bool Diverged = false;
+  std::string Summary; ///< per-model observation counts / verdicts
+};
+
+/// An explore scenario disagreed with an oracle (fired per divergence,
+/// before shrinking).
+struct DivergenceFoundEvent {
+  std::string Label;
+  std::string Kind;  ///< "sat-vs-axiomatic", "lattice-monotonicity", ...
+  std::string Model; ///< diverging model; empty for cross-model kinds
+  std::string Detail;
+};
+
 /// Callback interface for streaming progress. Default implementations do
-/// nothing; override what you need. Matrix runs invoke callbacks from
-/// worker threads concurrently.
+/// nothing; override what you need. Matrix and explore runs invoke
+/// callbacks from worker threads concurrently.
 class EventSink {
 public:
   virtual ~EventSink() = default;
@@ -81,6 +100,8 @@ public:
   virtual void onObservationsMined(const ObservationsMinedEvent &) {}
   virtual void onCellFinished(const CellFinishedEvent &) {}
   virtual void onVerdict(const VerdictEvent &) {}
+  virtual void onScenarioChecked(const ScenarioCheckedEvent &) {}
+  virtual void onDivergenceFound(const DivergenceFoundEvent &) {}
 };
 
 /// Copyable handle to a shared cancellation flag. All copies observe the

@@ -38,6 +38,7 @@ public:
     WeakestModel, ///< active weakest-passing-model search
     Synthesis,    ///< counterexample-guided fence synthesis
     Litmus,       ///< reachability of one observation (litmus test)
+    Explore,      ///< randomized differential scenario exploration
   };
 
   //===--------------------------------------------------------------===//
@@ -95,6 +96,15 @@ public:
     Request R;
     R.RequestKind = Kind::Litmus;
     R.SourceText = std::move(Source);
+    return R;
+  }
+  /// Randomized differential exploration: generate seeded scenarios,
+  /// fan each across the model axis (models(); default sc/tso/relaxed),
+  /// cross-check the engine against the independent oracles, and shrink
+  /// any divergence to a persisted minimal repro. See docs/EXPLORE.md.
+  static Request explore() {
+    Request R;
+    R.RequestKind = Kind::Explore;
     return R;
   }
 
@@ -237,6 +247,34 @@ public:
   }
 
   //===--------------------------------------------------------------===//
+  // Explore options
+  //===--------------------------------------------------------------===//
+
+  /// Deterministic generation seed: the same (seed, budget, models)
+  /// produce byte-identical timing-free reports at any job count.
+  Request &seed(unsigned long long Value) {
+    ExploreSeed = Value;
+    return *this;
+  }
+  /// Number of distinct scenarios to run (corpus-deduplicated
+  /// duplicates do not consume budget).
+  Request &budget(int Scenarios) {
+    ExploreBudget = Scenarios;
+    return *this;
+  }
+  /// Delta-debug divergent scenarios to minimal repros (default on).
+  Request &shrink(bool Enable = true) {
+    ExploreShrink = Enable;
+    return *this;
+  }
+  /// Corpus directory: seen-scenario fingerprints and shrunk repros
+  /// persist here across runs. Empty = in-memory only.
+  Request &corpus(std::string Dir) {
+    CorpusDir = std::move(Dir);
+    return *this;
+  }
+
+  //===--------------------------------------------------------------===//
   // Control
   //===--------------------------------------------------------------===//
 
@@ -317,6 +355,11 @@ public:
   std::optional<int> SynthMinLine;
   std::optional<int> SynthMaxFences;
   bool SynthMinimize = true;
+
+  unsigned long long ExploreSeed = 1;
+  int ExploreBudget = 100;
+  bool ExploreShrink = true;
+  std::string CorpusDir;
 };
 
 } // namespace checkfence

@@ -30,6 +30,9 @@ namespace checkfence {
 namespace engine {
 struct MatrixReport; // internal representation behind Report
 }
+namespace explore {
+struct ExploreReport; // internal representation behind ExploreOutcome
+}
 
 /// The version of the JSON report schema emitted by Result::json,
 /// Report::json, and the CLI's --json flag.
@@ -207,6 +210,61 @@ struct LitmusOutcome {
   bool Ok = false;       ///< the query itself ran (compile + encode)
   bool Reachable = false;///< the expected observation has an execution
   std::string Error;     ///< set when Ok is false
+};
+
+/// One checker-vs-oracle disagreement found by an explore run, shrunk to
+/// a minimal reproducer.
+struct ExploreDivergence {
+  std::string Label;  ///< originating scenario ("litmus-17", "sym-3:...")
+  std::string Kind;   ///< "sat-vs-axiomatic", "lattice-monotonicity", ...
+  std::string Model;  ///< diverging model; empty for cross-model kinds
+  std::string Detail; ///< both sides' observation sets / verdicts
+  bool Shrunk = false;
+  int Threads = 0;    ///< repro size after shrinking
+  int Ops = 0;
+  std::string Notation;  ///< symbolic repro (TestSpec string)
+  std::string Source;    ///< litmus repro (re-checkable CheckFence-C)
+  std::string ReproPath; ///< persisted file; empty without a corpus dir
+};
+
+/// Outcome of a randomized differential exploration (Request::explore).
+/// Cheap to copy (shared immutable state).
+class ExploreOutcome {
+public:
+  ExploreOutcome() = default;
+
+  /// False when the request itself was invalid (bad model axis, zero
+  /// budget); error() then explains why.
+  bool ok() const;
+  const std::string &error() const;
+  bool cancelled() const;
+
+  unsigned long long seed() const;
+  int generated() const;    ///< scenarios drawn from the generator
+  int deduplicated() const; ///< dropped as already-seen fingerprints
+  int run() const;          ///< scenarios that produced a comparison
+  int skips() const;        ///< per-model fragment/budget skips
+  int shrunk() const;       ///< divergences reduced by the shrinker
+  double wallSeconds() const;
+
+  /// Non-fatal problems (corpus/repro write failures): verdicts stand,
+  /// but persistence did not happen as configured.
+  std::vector<std::string> warnings() const;
+
+  /// The divergences found (empty on a clean run), shrunk and persisted.
+  std::vector<ExploreDivergence> divergences() const;
+  bool clean() const { return ok() && divergences().empty(); }
+
+  /// Versioned JSON report. Timing-free output is byte-identical across
+  /// runs, machines, and job counts.
+  std::string json(bool IncludeTimings = true) const;
+
+  /// \internal Constructed by the Verifier.
+  explicit ExploreOutcome(std::shared_ptr<const explore::ExploreReport> Rep)
+      : Rep(std::move(Rep)) {}
+
+private:
+  std::shared_ptr<const explore::ExploreReport> Rep;
 };
 
 } // namespace checkfence

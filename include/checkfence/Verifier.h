@@ -91,6 +91,13 @@ public:
   /// with Request::conflictBudget instead.
   LitmusOutcome observable(const Request &Req);
 
+  /// Runs a randomized differential exploration (Request::explore):
+  /// seeded scenario generation, per-model oracle cross-checks on this
+  /// Verifier's session pool, divergence shrinking, and corpus
+  /// persistence. See docs/EXPLORE.md.
+  ExploreOutcome explore(const Request &Req, EventSink *Sink = nullptr,
+                         CancelToken Token = CancelToken());
+
   CacheStats cacheStats() const;
   void clearCache();
   /// Persists the cache now (to \p Path, or the configured CachePath).

@@ -10,7 +10,7 @@
 #include "frontend/Lowering.h"
 #include "harness/Catalog.h"
 #include "impls/Impls.h"
-#include "lsl/Printer.h"
+#include "support/Fingerprint.h"
 #include "support/Format.h"
 #include "support/Json.h"
 
@@ -18,15 +18,6 @@
 
 using namespace checkfence;
 using namespace checkfence::api;
-
-uint64_t checkfence::api::fnv1a(const std::string &Data) {
-  uint64_t H = 1469598103934665603ull;
-  for (char C : Data) {
-    H ^= static_cast<unsigned char>(C);
-    H *= 1099511628211ull;
-  }
-  return H;
-}
 
 Status checkfence::api::toStatus(checker::CheckStatus S) {
   switch (S) {
@@ -144,15 +135,8 @@ CompiledCase checkfence::api::buildCase(const Request &Req) {
 
   // Fingerprint the lowered programs (not the source text): stripping a
   // fence, flipping a define, or changing the test all land here.
-  std::string Blob = lsl::printProgram(Case.Impl);
-  Blob += '\x1f';
-  Blob += joinStrings(Case.Threads, ",");
-  Blob += '\x1f';
-  if (Case.HasSpec)
-    Blob += lsl::printProgram(Case.Spec);
-  Case.ProgramFp = formatString("%016llx",
-                                static_cast<unsigned long long>(
-                                    fnv1a(Blob)));
+  Case.ProgramFp = support::loweredProgramFingerprint(
+      Case.Impl, Case.Threads, Case.HasSpec ? &Case.Spec : nullptr);
   Case.Ok = true;
   return Case;
 }

@@ -28,9 +28,6 @@
 namespace checkfence {
 namespace api {
 
-/// FNV-1a 64-bit over \p Data.
-uint64_t fnv1a(const std::string &Data);
-
 /// Public Status for an internal CheckStatus.
 Status toStatus(checker::CheckStatus S);
 

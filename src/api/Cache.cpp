@@ -26,50 +26,6 @@ std::string fileHeader() {
   return std::string("checkfence-result-cache 1 ") + versionString();
 }
 
-/// One-line escaping for free-text fields (\n, \t, \\).
-std::string escapeLine(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    switch (C) {
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      Out += C;
-    }
-  }
-  return Out;
-}
-
-std::string unescapeLine(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (size_t I = 0; I < S.size(); ++I) {
-    if (S[I] != '\\' || I + 1 == S.size()) {
-      Out += S[I];
-      continue;
-    }
-    switch (S[++I]) {
-    case 'n':
-      Out += '\n';
-      break;
-    case 't':
-      Out += '\t';
-      break;
-    default:
-      Out += S[I];
-    }
-  }
-  return Out;
-}
-
 std::optional<Status> statusFromName(const std::string &Name) {
   for (Status S : {Status::Pass, Status::Fail, Status::SequentialBug,
                    Status::BoundsExhausted, Status::Error,

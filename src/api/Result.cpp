@@ -8,6 +8,7 @@
 
 #include "api/ApiInternal.h"
 #include "engine/MatrixRunner.h"
+#include "explore/Explore.h"
 #include "support/Format.h"
 #include "support/Json.h"
 
@@ -152,4 +153,68 @@ std::string SynthOutcome::json() const {
   }
   Obj.raw("fences", Arr.str());
   return Obj.str() + "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// ExploreOutcome - thin view over explore::ExploreReport
+//===----------------------------------------------------------------------===//
+
+bool ExploreOutcome::ok() const { return Rep && Rep->Ok; }
+
+const std::string &ExploreOutcome::error() const {
+  static const std::string NoReport = "no explore report";
+  return Rep ? Rep->Error : NoReport;
+}
+
+bool ExploreOutcome::cancelled() const { return Rep && Rep->Cancelled; }
+
+unsigned long long ExploreOutcome::seed() const {
+  return Rep ? Rep->Seed : 0;
+}
+
+int ExploreOutcome::generated() const { return Rep ? Rep->Generated : 0; }
+
+int ExploreOutcome::deduplicated() const {
+  return Rep ? Rep->Deduplicated : 0;
+}
+
+int ExploreOutcome::run() const { return Rep ? Rep->Run : 0; }
+
+int ExploreOutcome::skips() const { return Rep ? Rep->SkipEntries : 0; }
+
+int ExploreOutcome::shrunk() const { return Rep ? Rep->Shrunk : 0; }
+
+double ExploreOutcome::wallSeconds() const {
+  return Rep ? Rep->WallSeconds : 0;
+}
+
+std::vector<std::string> ExploreOutcome::warnings() const {
+  return Rep ? Rep->Warnings : std::vector<std::string>();
+}
+
+std::vector<ExploreDivergence> ExploreOutcome::divergences() const {
+  std::vector<ExploreDivergence> Out;
+  if (!Rep)
+    return Out;
+  for (const explore::DivergenceRecord &D : Rep->Divergences) {
+    ExploreDivergence E;
+    E.Label = D.Label;
+    E.Kind = D.Kind;
+    E.Model = D.Model;
+    E.Detail = D.Detail;
+    E.Shrunk = D.Shrunk;
+    E.Threads = D.Threads;
+    E.Ops = D.Ops;
+    E.Notation = D.Notation;
+    E.Source = D.Source;
+    E.ReproPath = D.ReproPath;
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+std::string ExploreOutcome::json(bool IncludeTimings) const {
+  if (!Rep)
+    return "{}\n";
+  return Rep->json(IncludeTimings);
 }

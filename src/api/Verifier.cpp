@@ -12,6 +12,7 @@
 #include "engine/CheckSession.h"
 #include "engine/MatrixRunner.h"
 #include "engine/WeakestModelSearch.h"
+#include "explore/Explore.h"
 #include "frontend/Lowering.h"
 #include "harness/Catalog.h"
 #include "harness/FenceSynth.h"
@@ -178,11 +179,17 @@ struct Verifier::Impl {
   std::mutex PoolMu;
   /// Idle sessions keyed by options fingerprint. A leased session is
   /// removed from the pool and returned after the check, so concurrent
-  /// requests never share a session. The pool is bounded: persistent
-  /// solvers only ever grow, and a long-lived service sees many distinct
-  /// option/bounds keys - sessions beyond the caps are simply freed.
+  /// requests never share a session. The pool is bounded two ways:
+  /// persistent solvers only ever grow, and a long-lived service sees
+  /// many distinct option/bounds keys - sessions beyond the count caps
+  /// are simply freed, and a session whose solvers grew past
+  /// MaxSessionClauses is retired instead of re-pooled (re-leasing it
+  /// onto yet another program would keep re-solving an ever-larger
+  /// formula; explore runs hit this with hundreds of distinct
+  /// programs).
   static constexpr size_t MaxIdlePerKey = 4;
   static constexpr size_t MaxIdleTotal = 64;
+  static constexpr size_t MaxSessionClauses = 1u << 21; // ~2M
   std::map<std::string, std::vector<std::unique_ptr<engine::CheckSession>>>
       Pool;
   size_t IdleSessions = 0; // total across Pool, under PoolMu
@@ -205,6 +212,8 @@ struct Verifier::Impl {
 
   void returnSession(const std::string &Key,
                      std::unique_ptr<engine::CheckSession> S) {
+    if (S->totalClauses() > MaxSessionClauses)
+      return; // retired: grown past useful reuse size
     S->setHooks(checker::CheckHooks{}); // drop request-scoped callbacks
     std::lock_guard<std::mutex> Lock(PoolMu);
     auto &Idle = Pool[Key];
@@ -293,11 +302,16 @@ Result Verifier::check(const Request &Req, EventSink *Sink,
     R = checker::runCheckFresh(Case.Impl, Case.Threads, Opts,
                                Case.HasSpec ? &Case.Spec : nullptr);
   } else {
-    // Sessions are pooled by options (and any seeded bounds, which are
-    // construction state): a leased session may have served a different
-    // program - appending re-unrollings to a persistent solver across
-    // program variants is exactly the engine's design.
-    std::string PoolKey = OptsFp;
+    // Sessions are pooled by options AND program (and any seeded
+    // bounds, which are construction state). Reuse across *different*
+    // programs is deliberately excluded: a session warmed by another
+    // program carries its grown loop bounds and solver state, which
+    // perturbs budget-sensitive verdicts (BoundsExhausted vs Pass
+    // could then depend on worker scheduling) and piles unrelated
+    // encodings into one ever-larger solver. Same-program reuse -
+    // cache-miss re-runs, explore shrink candidates, repeated service
+    // requests - keeps the full incremental win.
+    std::string PoolKey = Case.ProgramFp + "|" + OptsFp;
     for (const auto &[Loop, Bound] : Opts.InitialBounds)
       PoolKey += formatString("|%s=%d", Loop.c_str(), Bound);
     std::unique_ptr<engine::CheckSession> Session =
@@ -550,6 +564,57 @@ SynthOutcome Verifier::synthesize(const Request &Req, EventSink *Sink,
                             : (Out.Success ? Status::Pass : Status::Error),
               Out.Message, false);
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized differential exploration
+//===----------------------------------------------------------------------===//
+
+ExploreOutcome Verifier::explore(const Request &Req, EventSink *Sink,
+                                 CancelToken Token) {
+  explore::ExploreOptions EO;
+  EO.Seed = Req.ExploreSeed;
+  EO.Budget = Req.ExploreBudget;
+  EO.Jobs = Self->jobsFor(Req);
+  EO.Shrink = Req.ExploreShrink;
+  EO.CorpusDir = Req.CorpusDir;
+  EO.Sink = Sink;
+  EO.Token = Token;
+
+  // Empty = the explore default axis (sc/tso/relaxed), not the single
+  // default model the other request kinds fall back to.
+  std::string Error;
+  if (!Req.Models.empty() &&
+      !resolveModelAxis(Req.Models, checker::CheckOptions{}.Model,
+                        EO.Models, Error)) {
+    auto Rep = std::make_shared<explore::ExploreReport>();
+    Rep->Ok = false;
+    Rep->Error = Error;
+    fireVerdict(Sink, "explore", Status::Error, Error, false);
+    return ExploreOutcome(std::move(Rep));
+  }
+
+  RunControl Control = RunControl::make(Token, Req.DeadlineSeconds);
+  EO.Stop = [Control] { return Control.stopRequested(); };
+  if (Control.HasDeadline) {
+    // Also forwarded into each inner engine check, so a slow scenario
+    // stops near the deadline instead of overshooting by its runtime.
+    EO.Diff.HasDeadline = true;
+    EO.Diff.Deadline = Control.Deadline;
+  }
+
+  auto Rep = std::make_shared<explore::ExploreReport>(
+      explore::runExplore(*this, EO));
+  Status Overall = !Rep->Ok ? Status::Error
+                   : Rep->Cancelled
+                       ? Status::Cancelled
+                       : (Rep->Divergences.empty() ? Status::Pass
+                                                   : Status::Fail);
+  fireVerdict(Sink, "explore", Overall,
+              formatString("%d scenarios, %d divergences", Rep->Run,
+                           Rep->divergenceCount()),
+              false);
+  return ExploreOutcome(std::move(Rep));
 }
 
 //===----------------------------------------------------------------------===//

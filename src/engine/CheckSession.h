@@ -72,6 +72,14 @@ public:
   const checker::SolveContext &mineContext() const { return MineCtx; }
   const checker::SolveContext &checkContext() const { return CheckCtx; }
 
+  /// Total problem clauses across both persistent solvers. Grows
+  /// monotonically over the session's lifetime; pools use it to retire
+  /// sessions instead of reusing them into pathological sizes.
+  size_t totalClauses() const {
+    return MineCtx.solver().numClauses() +
+           CheckCtx.solver().numClauses();
+  }
+
 private:
   void snapshot(int Round);
 

@@ -1,0 +1,145 @@
+//===--- Differential.h - oracle-checked scenario execution -----*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one explore scenario across a configurable set of relaxation-
+/// lattice points and cross-checks independent implementations of the
+/// semantics against each other:
+///
+///  * \b Litmus scenarios: the SAT-mined observation set of every model
+///    point must equal the AxiomaticEnumerator's brute-force enumeration
+///    (two implementations of the Sec. 2.3.2 axioms that share no code
+///    beyond FlatProgram), and under sc additionally the
+///    ReferenceExecutor's interleaving enumeration. Observation sets
+///    must also nest along the lattice order (stronger subset-of
+///    weaker).
+///  * \b Symbolic scenarios: the full checker verdict per model point,
+///    run on the Verifier's session pool; verdicts must be monotone
+///    along the lattice (pass under a weaker model implies pass under
+///    every stronger one) and sequential-bug verdicts must agree across
+///    models. The serial mined specification is additionally compared
+///    against the ReferenceExecutor at invocation granularity.
+///
+/// Any disagreement, unexpected engine error, or broken invariant is
+/// reported as a Divergence; fragment/budget limits are reported as
+/// skips (never silently dropped).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_EXPLORE_DIFFERENTIAL_H
+#define CHECKFENCE_EXPLORE_DIFFERENTIAL_H
+
+#include "checkfence/Events.h"
+#include "checkfence/Verifier.h"
+#include "explore/Generator.h"
+#include "memmodel/MemoryModel.h"
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace lsl {
+class Program;
+}
+namespace explore {
+
+struct DiffOptions {
+  /// Lattice points every scenario fans out across. Must be non-empty
+  /// and multi-copy atomic (the encoder's supported half-lattice).
+  std::vector<memmodel::ModelParams> Models;
+  /// Brute-force budgets; scenarios over budget are skipped, not failed.
+  uint64_t OracleMaxOrders = 20'000'000;
+  uint64_t RefMaxSteps = 20'000'000;
+  /// Engine budgets for symbolic checks (small: generated tests either
+  /// converge quickly or are reported as bounds-exhausted skips - the
+  /// bounds of converging tests stabilize within the first two
+  /// mine/include/probe rounds).
+  int MaxBoundIterations = 2;
+  /// Also caps how far lazy unrolling can grow a generated test: every
+  /// probe appends a re-unrolling, and unprimed retry loops that never
+  /// converge would otherwise inflate the encoding by orders of
+  /// magnitude before any budget fires.
+  int MaxProbes = 8;
+  /// Conflict budget per engine solve: random unprimed tests can hit
+  /// pathologically hard SAT instances (minutes on one scenario);
+  /// exhaustion is recorded as a deterministic skip, never a
+  /// divergence. Conflict counts are solver-deterministic, so the
+  /// skip set is identical at any job count.
+  long long EngineConflictBudget = 200'000;
+  /// Cooperative cancellation, polled between models. Token cancels the
+  /// inner engine runs too; Stop (optional) is polled alongside it -
+  /// the facade routes deadline expiry through it.
+  CancelToken Token;
+  std::function<bool()> Stop;
+  /// Absolute soft deadline (facade-set). Beyond the coarse Stop polls,
+  /// the remaining time is forwarded into each inner engine check so a
+  /// single slow generated check cannot overshoot by its full runtime.
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
+
+  bool stopRequested() const {
+    return Token.cancelled() || (Stop && Stop()) ||
+           (HasDeadline && std::chrono::steady_clock::now() >= Deadline);
+  }
+  /// Seconds until the deadline (0 = no deadline configured). Never
+  /// returns a negative value; expiry shows up via stopRequested().
+  double remainingSeconds() const {
+    if (!HasDeadline)
+      return 0;
+    double S = std::chrono::duration<double>(
+                   Deadline - std::chrono::steady_clock::now())
+                   .count();
+    return S > 0.001 ? S : 0.001;
+  }
+  /// Test seam: when set, a non-empty return is reported as an
+  /// "injected" divergence for the scenario (litmus scenarios only; the
+  /// argument is the compiled program before thread building). Lets the
+  /// shrinker and repro persistence be exercised without a real
+  /// checker bug.
+  std::function<std::string(const lsl::Program &)> Inject;
+};
+
+/// One checker-vs-oracle disagreement (or broken cross-model invariant).
+struct Divergence {
+  std::string Kind;  ///< "sat-vs-axiomatic", "sat-vs-reference",
+                     ///< "serial-vs-reference", "lattice-monotonicity",
+                     ///< "seqbug-inconsistency", "engine-error",
+                     ///< "frontend-error", "injected"
+  std::string Model; ///< display name; empty for cross-model kinds
+  std::string Detail;
+};
+
+struct ScenarioOutcome {
+  bool Ran = false;       ///< compiled and at least one model compared
+  bool Cancelled = false; ///< stopped by the token before finishing
+  std::vector<Divergence> Divergences;
+  /// "model: reason" fragment/budget skips (deterministic order).
+  std::vector<std::string> Skips;
+  /// Deterministic one-line summary for the report ("sc=4 tso=5 ..."
+  /// observation counts, or "sc=PASS tso=FAIL ..." verdicts).
+  std::string Summary;
+};
+
+class DifferentialRunner {
+public:
+  DifferentialRunner(Verifier &V, DiffOptions Opts);
+
+  ScenarioOutcome run(const Scenario &S) const;
+
+private:
+  ScenarioOutcome runLitmus(const Scenario &S) const;
+  ScenarioOutcome runSymbolic(const Scenario &S) const;
+
+  Verifier &V;
+  DiffOptions Opts;
+};
+
+} // namespace explore
+} // namespace checkfence
+
+#endif // CHECKFENCE_EXPLORE_DIFFERENTIAL_H

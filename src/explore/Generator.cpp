@@ -1,0 +1,294 @@
+//===--- Generator.cpp - seeded random scenario generation -------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Generator.h"
+
+#include "harness/Catalog.h"
+#include "impls/Impls.h"
+#include "support/Format.h"
+
+using namespace checkfence;
+using namespace checkfence::explore;
+
+uint64_t Rand::mix(uint64_t Seed, uint64_t Index) {
+  // One SplitMix64 round over the combined words; good enough to make
+  // per-index streams statistically independent.
+  uint64_t Z = Seed ^ (Index * 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+bool LitmusThread::usesArg() const {
+  for (const LitmusStmt &S : Stmts)
+    if (S.K == LitmusStmt::Kind::StoreArg)
+      return true;
+  return false;
+}
+
+namespace {
+
+const char *varName(int V) {
+  static const char *Names[] = {"x", "y", "z", "w"};
+  return Names[V & 3];
+}
+
+} // namespace
+
+std::string LitmusProgram::render() const {
+  std::string Src;
+  Src += "extern void observe(int v);\n";
+  Src += "extern void fence(char *type);\n";
+  for (int V = 0; V < NumVars; ++V)
+    Src += formatString("int %s;\n", varName(V));
+  Src += "void init_op(void) {\n";
+  for (int V = 0; V < NumVars; ++V)
+    Src += formatString("  %s = 0;\n", varName(V));
+  Src += "}\n";
+
+  int Tmp = 0;
+  for (size_t T = 0; T < Threads.size(); ++T) {
+    const LitmusThread &Th = Threads[T];
+    Src += formatString("void t%zu_op(%s) {\n", T,
+                        Th.usesArg() ? "int v" : "void");
+    for (const LitmusStmt &S : Th.Stmts) {
+      switch (S.K) {
+      case LitmusStmt::Kind::StoreConst:
+        Src += formatString("  %s = %lld;\n", varName(S.Var), S.Value);
+        break;
+      case LitmusStmt::Kind::StoreArg:
+        Src += formatString("  %s = v;\n", varName(S.Var));
+        break;
+      case LitmusStmt::Kind::LoadObserve:
+        Src += formatString("  int r%d = %s;\n  observe(r%d);\n", Tmp,
+                            varName(S.Var), Tmp);
+        ++Tmp;
+        break;
+      case LitmusStmt::Kind::LoadStore:
+        Src += formatString("  int r%d = %s;\n  %s = r%d;\n", Tmp,
+                            varName(S.Var), varName(S.Var2), Tmp);
+        ++Tmp;
+        break;
+      case LitmusStmt::Kind::Fence:
+        Src += formatString("  fence(\"%s\");\n",
+                            lsl::fenceKindName(S.Fence));
+        break;
+      case LitmusStmt::Kind::AtomicIncr:
+        Src += formatString("  atomic {\n    int r%d = %s;\n"
+                            "    %s = r%d + 1;\n  }\n  observe(r%d);\n",
+                            Tmp, varName(S.Var), varName(S.Var), Tmp,
+                            Tmp);
+        ++Tmp;
+        break;
+      }
+    }
+    Src += "}\n";
+  }
+  return Src;
+}
+
+int LitmusProgram::opCount() const {
+  int N = 0;
+  for (const LitmusThread &T : Threads)
+    N += static_cast<int>(T.Stmts.size());
+  return N;
+}
+
+std::string Scenario::label() const {
+  if (K == Kind::Litmus)
+    return formatString("litmus-%d", Index);
+  return formatString("sym-%d:%s:%s", Index, Impl.c_str(),
+                      Notation.c_str());
+}
+
+int Scenario::threadCount() const {
+  if (K == Kind::Litmus) {
+    if (HasStructure)
+      return static_cast<int>(Litmus.Threads.size());
+    return static_cast<int>(ThreadArgs.size());
+  }
+  // Thread count of the notation: 1 + the number of '|' separators.
+  int N = 1;
+  for (char C : Notation)
+    N += C == '|';
+  return N;
+}
+
+int Scenario::opCount() const {
+  if (K == Kind::Litmus) {
+    if (HasStructure)
+      return Litmus.opCount();
+    // Reloaded repro: count statement lines (approximate but only used
+    // for reporting).
+    int N = 0;
+    for (size_t I = 0; I + 1 < Source.size(); ++I)
+      N += Source[I] == ';' ? 1 : 0;
+    return N;
+  }
+  int N = 0;
+  for (char C : Notation)
+    N += (C != ' ' && C != '(' && C != ')' && C != '|' && C != '\'') ? 1
+                                                                    : 0;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+int clampInt(int V, int Lo, int Hi) {
+  return V < Lo ? Lo : (V > Hi ? Hi : V);
+}
+} // namespace
+
+Generator::Generator(uint64_t Seed, GeneratorLimits Limits)
+    : Seed(Seed), Limits(std::move(Limits)) {
+  GeneratorLimits &L = this->Limits;
+  if (L.Impls.empty())
+    L.Impls = {"ms2", "msn", "treiber", "lazylist"};
+  // Keep every downstream `below(X - k)` well-defined and the litmus
+  // variable names unique (varName covers four globals).
+  L.MaxThreads = clampInt(L.MaxThreads, 2, 8);
+  L.MaxVars = clampInt(L.MaxVars, 2, 4);
+  L.AccessBudget = clampInt(L.AccessBudget, 1, 64);
+  L.MaxOpsPerThread = clampInt(L.MaxOpsPerThread, 1, 8);
+  L.MaxInitOps = clampInt(L.MaxInitOps, 0, 8);
+  L.SymbolicPerMille = clampInt(L.SymbolicPerMille, 0, 1000);
+}
+
+Scenario Generator::at(int Index) const {
+  Rand Rng(Rand::mix(Seed, static_cast<uint64_t>(Index) + 1));
+  if (Rng.below(1000) < Limits.SymbolicPerMille)
+    return symbolicAt(Rng, Index);
+  return litmusAt(Rng, Index);
+}
+
+Scenario Generator::litmusAt(Rand &Rng, int Index) const {
+  Scenario S;
+  S.K = Scenario::Kind::Litmus;
+  S.Index = Index;
+  S.Seed = Rng.State;
+
+  LitmusProgram P;
+  P.NumVars = 2 + Rng.below(Limits.MaxVars - 1);
+  int NumThreads = 2 + Rng.below(Limits.MaxThreads - 1);
+  int Budget = Limits.AccessBudget;
+  bool HasObserve = false;
+
+  static const lsl::FenceKind Fences[] = {
+      lsl::FenceKind::LoadLoad, lsl::FenceKind::LoadStore,
+      lsl::FenceKind::StoreLoad, lsl::FenceKind::StoreStore};
+
+  for (int T = 0; T < NumThreads; ++T) {
+    LitmusThread Th;
+    int Len = 1 + Rng.below(3);
+    for (int I = 0; I < Len && Budget > 0; ++I) {
+      LitmusStmt St;
+      switch (Rng.below(6)) {
+      case 0:
+        St.K = LitmusStmt::Kind::StoreConst;
+        St.Var = Rng.below(P.NumVars);
+        St.Value = 1 + Rng.below(2);
+        Budget -= 1;
+        break;
+      case 1:
+        St.K = LitmusStmt::Kind::StoreArg;
+        St.Var = Rng.below(P.NumVars);
+        Budget -= 1;
+        break;
+      case 2:
+        St.K = LitmusStmt::Kind::LoadObserve;
+        St.Var = Rng.below(P.NumVars);
+        Budget -= 1;
+        HasObserve = true;
+        break;
+      case 3:
+        St.K = LitmusStmt::Kind::LoadStore;
+        St.Var = Rng.below(P.NumVars);
+        St.Var2 = Rng.below(P.NumVars);
+        Budget -= 2;
+        break;
+      case 4:
+        St.K = LitmusStmt::Kind::Fence;
+        St.Fence = Fences[Rng.below(4)];
+        break;
+      case 5:
+        St.K = LitmusStmt::Kind::AtomicIncr;
+        St.Var = Rng.below(P.NumVars);
+        Budget -= 2;
+        HasObserve = true;
+        break;
+      }
+      Th.Stmts.push_back(St);
+    }
+    P.Threads.push_back(std::move(Th));
+  }
+  if (!HasObserve) {
+    // Observation-free programs compare only the error flag; keep the
+    // differential signal by always observing at least one variable.
+    LitmusStmt St;
+    St.K = LitmusStmt::Kind::LoadObserve;
+    St.Var = Rng.below(P.NumVars);
+    P.Threads.back().Stmts.push_back(St);
+  }
+
+  S.Litmus = P;
+  S.HasStructure = true;
+  S.Source = P.render();
+  for (const LitmusThread &Th : P.Threads)
+    S.ThreadArgs.push_back(Th.usesArg() ? 1 : 0);
+  return S;
+}
+
+Scenario Generator::symbolicAt(Rand &Rng, int Index) const {
+  Scenario S;
+  S.K = Scenario::Kind::Symbolic;
+  S.Index = Index;
+  S.Seed = Rng.State;
+
+  S.Impl = Limits.Impls[Rng.below(static_cast<int>(Limits.Impls.size()))];
+  const impls::ImplInfo *Info = impls::findImpl(S.Impl);
+  harness::OpAlphabet Alphabet =
+      harness::alphabetFor(Info ? Info->Kind : "queue");
+
+  // Primes bound retry loops to one iteration. An unprimed op whose
+  // unrolling does not converge makes every probe append a larger
+  // re-encoding, so at most ONE op per scenario stays unprimed (the
+  // paper's own device for the larger Fig. 8 tests), and never on the
+  // set implementations, whose list-traversal loops are the most
+  // expensive to unroll on the weak models.
+  const bool AlwaysPrime = Info && Info->Kind == "set";
+  bool UnprimedSpent = false;
+
+  auto RandomOp = [&](bool ForcePrime) {
+    const harness::OpBinding &B =
+        Alphabet[Rng.below(static_cast<int>(Alphabet.size()))];
+    harness::OpSpec Op;
+    Op.Proc = B.Proc;
+    Op.NumArgs = B.NumArgs;
+    Op.HasRet = B.HasRet;
+    Op.Primed = ForcePrime || AlwaysPrime || UnprimedSpent ||
+                Rng.chance(3, 4);
+    UnprimedSpent |= !Op.Primed;
+    return Op;
+  };
+
+  harness::TestSpec Spec;
+  int InitOps = Rng.below(Limits.MaxInitOps + 1);
+  for (int I = 0; I < InitOps; ++I)
+    Spec.Init.push_back(RandomOp(/*ForcePrime=*/true));
+  int Threads = 1 + Rng.below(Limits.MaxThreads);
+  for (int T = 0; T < Threads; ++T) {
+    std::vector<harness::OpSpec> Ops;
+    int Len = 1 + Rng.below(Limits.MaxOpsPerThread);
+    for (int I = 0; I < Len; ++I)
+      Ops.push_back(RandomOp(/*ForcePrime=*/false));
+    Spec.Threads.push_back(std::move(Ops));
+  }
+  S.Notation = harness::renderTestNotation(Spec, Alphabet);
+  return S;
+}

@@ -1,0 +1,159 @@
+//===--- Generator.h - seeded random scenario generation --------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explore subsystem's scenario source: a seeded, deterministic
+/// generator of check workloads. Two scenario kinds are produced:
+///
+///  * \b Litmus - branch-free programs over a few scalar globals (stores
+///    of constants/arguments/loaded values, fences, atomic increments,
+///    observations), inside both the frontend's explore fragment
+///    (lsl::printCSource) and the AxiomaticEnumerator's supported input
+///    shape, so every memory-model point can be differentially checked
+///    against the brute-force oracle.
+///  * \b Symbolic - random Fig. 8-style operation sequences (TestSpec)
+///    over the built-in catalog implementations, bounded in threads,
+///    operations, and primes, checked end-to-end through the Verifier.
+///
+/// Determinism contract: scenario #I under seed S is a pure function of
+/// (S, I) - generation order, thread count, and previously generated
+/// scenarios do not influence it. Reports built from the scenarios are
+/// therefore byte-identical across runs and job counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_EXPLORE_GENERATOR_H
+#define CHECKFENCE_EXPLORE_GENERATOR_H
+
+#include "lsl/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace explore {
+
+/// Deterministic 64-bit mixer (SplitMix64). Used instead of <random> so
+/// scenario streams are identical across standard libraries.
+struct Rand {
+  uint64_t State = 0;
+
+  explicit Rand(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  /// Uniform in [0, N); N < 1 yields 0 (never a modulo-by-zero).
+  int below(int N) {
+    if (N < 1)
+      return 0;
+    return static_cast<int>(next() % static_cast<uint64_t>(N));
+  }
+  bool chance(int Num, int Den) { return below(Den) < Num; }
+
+  /// Stateless combination of a seed and an index into a sub-seed.
+  static uint64_t mix(uint64_t Seed, uint64_t Index);
+};
+
+/// One statement of a litmus thread.
+struct LitmusStmt {
+  enum class Kind {
+    StoreConst, ///< Var = Value
+    StoreArg,   ///< Var = v (the symbolic {0,1} operation argument)
+    LoadObserve,///< int r = Var; observe(r)
+    LoadStore,  ///< int r = Var; Var2 = r (dependent store data)
+    Fence,      ///< fence(Fence)
+    AtomicIncr, ///< atomic { int r = Var; Var = r + 1; } observe(r)
+  };
+  Kind K = Kind::StoreConst;
+  int Var = 0;
+  int Var2 = 0;
+  long long Value = 1;
+  lsl::FenceKind Fence = lsl::FenceKind::LoadLoad;
+};
+
+struct LitmusThread {
+  std::vector<LitmusStmt> Stmts;
+  bool usesArg() const;
+};
+
+/// A structured litmus program; the shrinker edits this representation
+/// and re-renders, so every reduction stays inside the fragment.
+struct LitmusProgram {
+  int NumVars = 2;
+  std::vector<LitmusThread> Threads;
+
+  /// Canonical CheckFence-C source of the program (the explore
+  /// fragment): globals, init_op zeroing them, one tN_op per thread.
+  std::string render() const;
+  /// Total statements across threads (the shrinker's size metric).
+  int opCount() const;
+};
+
+/// One generated (or reloaded) check workload.
+struct Scenario {
+  enum class Kind { Litmus, Symbolic };
+  Kind K = Kind::Litmus;
+  int Index = 0;    ///< position in the generation stream
+  uint64_t Seed = 0;///< sub-seed the scenario was generated from
+
+  // Litmus scenarios. Source is always set; Litmus may be empty for
+  // scenarios reloaded from a persisted repro (then unshrinkable).
+  LitmusProgram Litmus;
+  bool HasStructure = false;
+  std::string Source;
+  std::vector<int> ThreadArgs; ///< NumArgs per op thread (0 or 1)
+
+  // Symbolic scenarios.
+  std::string Impl;     ///< catalog implementation name
+  std::string Notation; ///< Fig. 8 notation (TestSpec string)
+
+  std::string label() const;
+  int threadCount() const;
+  int opCount() const;
+};
+
+/// Bounds on generated scenarios. Out-of-range values are clamped by
+/// the Generator (threads/vars to [2, ...], vars to at most 4 - the
+/// litmus namespace has four global names).
+struct GeneratorLimits {
+  int MaxThreads = 3;      ///< litmus threads / symbolic test threads
+  int MaxVars = 3;         ///< litmus shared variables (2..4)
+  int AccessBudget = 7;    ///< litmus shared-memory accesses per program
+  int MaxOpsPerThread = 2; ///< symbolic operations per thread
+  int MaxInitOps = 1;      ///< symbolic init-sequence operations
+  /// Out of 1000 scenarios, how many are symbolic catalog tests (the
+  /// rest are litmus programs).
+  int SymbolicPerMille = 300;
+  /// Implementations symbolic scenarios draw from. Empty = the fast
+  /// default subset (ms2, msn, treiber, lazylist).
+  std::vector<std::string> Impls;
+};
+
+class Generator {
+public:
+  Generator(uint64_t Seed, GeneratorLimits Limits);
+
+  /// Scenario #Index - a pure function of the seed and the index.
+  Scenario at(int Index) const;
+
+private:
+  Scenario litmusAt(Rand &Rng, int Index) const;
+  Scenario symbolicAt(Rand &Rng, int Index) const;
+
+  uint64_t Seed;
+  GeneratorLimits Limits;
+};
+
+} // namespace explore
+} // namespace checkfence
+
+#endif // CHECKFENCE_EXPLORE_GENERATOR_H

@@ -31,16 +31,8 @@ bool checkfence::harness::parseTestNotation(const std::string &Text,
 
   size_t Pos = 0;
   bool InThreads = false;
+  bool SawThreads = false;
   std::vector<OpSpec> Current;
-
-  auto Flush = [&](bool NewThread) {
-    if (!InThreads) {
-      Out.Init = Current;
-    } else if (NewThread || !Current.empty()) {
-      Out.Threads.push_back(Current);
-    }
-    Current.clear();
-  };
 
   while (Pos < Text.size()) {
     char C = Text[Pos];
@@ -53,7 +45,12 @@ bool checkfence::harness::parseTestNotation(const std::string &Text,
         Error = "nested '(' in test notation";
         return false;
       }
-      Flush(false); // init sequence done
+      if (SawThreads) {
+        Error = "second thread section in test notation";
+        return false;
+      }
+      Out.Init = Current; // init sequence done
+      Current.clear();
       InThreads = true;
       ++Pos;
       continue;
@@ -76,8 +73,13 @@ bool checkfence::harness::parseTestNotation(const std::string &Text,
       Out.Threads.push_back(Current);
       Current.clear();
       InThreads = false;
+      SawThreads = true;
       ++Pos;
       continue;
+    }
+    if (SawThreads) {
+      Error = "operation after the closing ')'";
+      return false;
     }
     // An operation token. The paper typesets primes both after the base
     // letter (a'l) and after the whole token (al'); accept either.
@@ -117,12 +119,36 @@ bool checkfence::harness::parseTestNotation(const std::string &Text,
     Error = "missing ')' in test notation";
     return false;
   }
-  Flush(false);
-  if (Out.Threads.empty()) {
+  if (!SawThreads) {
     Error = "test has no threads";
     return false;
   }
   return true;
+}
+
+std::string
+checkfence::harness::renderTestNotation(const TestSpec &Spec,
+                                        const OpAlphabet &Alphabet) {
+  auto TokenFor = [&](const OpSpec &Op) -> std::string {
+    for (const OpBinding &B : Alphabet)
+      if (B.Proc == Op.Proc)
+        return Op.Primed ? B.Token + "'" : B.Token;
+    return "?";
+  };
+  // Tokens are space-separated so primes stay attached to their own
+  // token; the parser skips the whitespace.
+  std::vector<std::string> Parts;
+  for (const OpSpec &Op : Spec.Init)
+    Parts.push_back(TokenFor(Op));
+  Parts.push_back("(");
+  for (size_t T = 0; T < Spec.Threads.size(); ++T) {
+    if (T)
+      Parts.push_back("|");
+    for (const OpSpec &Op : Spec.Threads[T])
+      Parts.push_back(TokenFor(Op));
+  }
+  Parts.push_back(")");
+  return joinStrings(Parts, " ");
 }
 
 namespace {

@@ -34,6 +34,14 @@ struct OpSpec {
   int NumArgs = 0;    ///< symbolic {0,1} arguments
   bool HasRet = false;
   bool Primed = false; ///< retry loops restricted to one iteration
+
+  friend bool operator==(const OpSpec &A, const OpSpec &B) {
+    return A.Proc == B.Proc && A.NumArgs == B.NumArgs &&
+           A.HasRet == B.HasRet && A.Primed == B.Primed;
+  }
+  friend bool operator!=(const OpSpec &A, const OpSpec &B) {
+    return !(A == B);
+  }
 };
 
 struct TestSpec {
@@ -46,6 +54,16 @@ struct TestSpec {
     for (const auto &T : Threads)
       N += static_cast<int>(T.size());
     return N;
+  }
+
+  /// Structural equality: the operation sequences only. Name is display
+  /// metadata (the notation does not carry it), so parse(render(spec))
+  /// compares equal to spec regardless of naming.
+  friend bool operator==(const TestSpec &A, const TestSpec &B) {
+    return A.Init == B.Init && A.Threads == B.Threads;
+  }
+  friend bool operator!=(const TestSpec &A, const TestSpec &B) {
+    return !(A == B);
   }
 };
 
@@ -63,6 +81,15 @@ using OpAlphabet = std::vector<OpBinding>;
 /// Format: [init-ops] '(' thread { '|' thread } ')'.
 bool parseTestNotation(const std::string &Text, const OpAlphabet &Alphabet,
                        TestSpec &Out, std::string &Error);
+
+/// Renders \p Spec back into the paper's notation over \p Alphabet, e.g.
+/// "e ( e d | d e' )". The inverse of parseTestNotation up to whitespace:
+/// parse(render(S)) == S for every spec whose operations are all bound in
+/// the alphabet. Operations without a token render as "?" (and then do
+/// not re-parse) - callers generating specs from an alphabet never hit
+/// this.
+std::string renderTestNotation(const TestSpec &Spec,
+                               const OpAlphabet &Alphabet);
 
 /// Builds the test's thread procedures into \p Prog and returns their
 /// names; index 0 is the initialization thread (calls "__global_init" and

@@ -25,6 +25,21 @@ std::string printProc(const Proc &P);
 /// Renders all procedures of a program.
 std::string printProgram(const Program &Prog);
 
+/// Renders \p Prog back as CheckFence-C source. Supported is the
+/// *explore fragment*: scalar int globals and straight-line procedures
+/// built from global stores (constant / register / register + constant),
+/// loads into named locals, fences, observes, and atomic blocks of the
+/// same forms - the shapes the explore generator emits and the shrinker
+/// preserves.
+///
+/// The output round-trips through the frontend: compiling it again
+/// (preprocess -> parse -> lower) yields a program whose printProgram
+/// text is byte-identical to \p Prog's, so persisted repros re-check
+/// with the same lowered-program fingerprint. Programs outside the
+/// fragment return false with \p Error set (never wrong output).
+bool printCSource(const Program &Prog, std::string &Out,
+                  std::string &Error);
+
 } // namespace lsl
 } // namespace checkfence
 

@@ -1,0 +1,46 @@
+//===--- Fingerprint.h - content hashing for caches/corpora -----*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one content-hashing path shared by every subsystem that keys work
+/// by "what program is this": the Verifier's result cache, the session
+/// pool, and the explore corpus. FNV-1a over the *lowered* program text
+/// (lsl::printProgram), so any semantic change - a removed fence, a
+/// flipped define, a different test - changes the fingerprint while
+/// whitespace-only source differences do not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_SUPPORT_FINGERPRINT_H
+#define CHECKFENCE_SUPPORT_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace checkfence {
+namespace lsl {
+class Program;
+}
+namespace support {
+
+/// FNV-1a 64-bit over \p Data.
+uint64_t fnv1a(const std::string &Data);
+
+/// fnv1a rendered as the canonical 16-digit lowercase hex string used in
+/// cache keys and corpus filenames.
+std::string fnv1aHex(const std::string &Data);
+
+/// Fingerprint of one or more lowered programs plus the test-thread
+/// procedure names. \p Spec may be null (no reference program).
+std::string loweredProgramFingerprint(const lsl::Program &Impl,
+                                      const std::vector<std::string> &Threads,
+                                      const lsl::Program *Spec = nullptr);
+
+} // namespace support
+} // namespace checkfence
+
+#endif // CHECKFENCE_SUPPORT_FINGERPRINT_H

@@ -36,6 +36,11 @@ std::string joinStrings(const std::vector<std::string> &Parts,
 std::string replaceAll(std::string S, const std::string &From,
                        const std::string &To);
 
+/// One-line escaping for free-text fields in the line-oriented
+/// persistence formats (result cache, explore corpus): \n, \t, \\.
+std::string escapeLine(const std::string &S);
+std::string unescapeLine(const std::string &S);
+
 } // namespace checkfence
 
 #endif // CHECKFENCE_SUPPORT_FORMAT_H

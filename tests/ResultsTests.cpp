@@ -84,9 +84,15 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         // snark misbehaves even under SC: the first known bug, on D0.
         GridCase{"snark", "D0", SC, false, CheckStatus::Fail},
-        // Da (two pops per side after two pushes) behaves.
+        // Da (two pops per side after two pushes) behaves under SC and
+        // TSO/PSO, but snark carries no fences (the published algorithm
+        // assumed SC), so Relaxed's unordered dependent loads produce a
+        // counterexample - the same unfenced-failure pattern as the
+        // stripped queue/set implementations. (An earlier notation-
+        // parser bug dropped Da's init pushes, making the test run on
+        // an empty deque where Relaxed trivially passed.)
         GridCase{"snark", "Da", SC, false, CheckStatus::Pass},
-        GridCase{"snark", "Da", RLX, false, CheckStatus::Pass}));
+        GridCase{"snark", "Da", RLX, false, CheckStatus::Fail}));
 
 // Sec. 4.2: "An interesting observation is that the implementations we
 // studied required only load-load and store-store fences. On some

@@ -1,0 +1,170 @@
+//===--- TestSpecTests.cpp - test-notation grammar properties ----------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// The Fig. 8 notation grammar is the explore generator's output language:
+// every randomly generated spec is rendered to notation, persisted, and
+// parsed back. These tests pin the round-trip property parse(render(S))
+// == S over a generated sweep of specs for every alphabet, the exact
+// catalog notations, and the parser's rejection of malformed input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Catalog.h"
+#include "harness/TestSpec.h"
+
+#include "gtest/gtest.h"
+
+using namespace checkfence;
+using namespace checkfence::harness;
+
+namespace {
+
+/// Deterministic 64-bit mixer (SplitMix64) - keeps the sweep independent
+/// of library RNG implementations.
+struct Mix {
+  uint64_t State;
+  explicit Mix(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  int below(int N) { return static_cast<int>(next() % N); }
+};
+
+TestSpec generateSpec(Mix &Rng, const OpAlphabet &Alphabet) {
+  auto RandomOp = [&] {
+    const OpBinding &B = Alphabet[Rng.below(static_cast<int>(
+        Alphabet.size()))];
+    OpSpec Op;
+    Op.Proc = B.Proc;
+    Op.NumArgs = B.NumArgs;
+    Op.HasRet = B.HasRet;
+    Op.Primed = Rng.below(2) == 0;
+    return Op;
+  };
+  TestSpec Spec;
+  int InitOps = Rng.below(3);
+  for (int I = 0; I < InitOps; ++I)
+    Spec.Init.push_back(RandomOp());
+  int Threads = 1 + Rng.below(4);
+  for (int T = 0; T < Threads; ++T) {
+    std::vector<OpSpec> Ops;
+    // Empty threads are legal notation ("( e | )"), keep them in the
+    // sweep.
+    int Len = Rng.below(4);
+    for (int I = 0; I < Len; ++I)
+      Ops.push_back(RandomOp());
+    Spec.Threads.push_back(std::move(Ops));
+  }
+  return Spec;
+}
+
+const std::vector<OpAlphabet> &allAlphabets() {
+  static const std::vector<OpAlphabet> Alphabets = {
+      queueAlphabet(), setAlphabet(), dequeAlphabet(), stackAlphabet()};
+  return Alphabets;
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip property: parse(render(S)) == S.
+//===----------------------------------------------------------------------===//
+
+TEST(TestSpecGrammar, RenderParseRoundTripSweep) {
+  Mix Rng(20260729);
+  int Checked = 0;
+  for (const OpAlphabet &Alphabet : allAlphabets()) {
+    for (int I = 0; I < 50; ++I) {
+      TestSpec Spec = generateSpec(Rng, Alphabet);
+      std::string Text = renderTestNotation(Spec, Alphabet);
+      TestSpec Back;
+      std::string Err;
+      ASSERT_TRUE(parseTestNotation(Text, Alphabet, Back, Err))
+          << Text << ": " << Err;
+      EXPECT_EQ(Back, Spec) << Text;
+      ++Checked;
+    }
+  }
+  EXPECT_EQ(Checked, 200);
+}
+
+TEST(TestSpecGrammar, CatalogNotationsRoundTrip) {
+  for (const std::vector<CatalogEntry> *List :
+       {&paperTests(), &extensionTests()}) {
+    for (const CatalogEntry &E : *List) {
+      OpAlphabet Alphabet = alphabetFor(E.Kind);
+      TestSpec Spec;
+      std::string Err;
+      ASSERT_TRUE(parseTestNotation(E.Notation, Alphabet, Spec, Err))
+          << E.Name << ": " << Err;
+      // render is not expected to reproduce the catalog's exact spacing,
+      // only an equivalent spec.
+      TestSpec Back;
+      ASSERT_TRUE(parseTestNotation(renderTestNotation(Spec, Alphabet),
+                                    Alphabet, Back, Err))
+          << E.Name << ": " << Err;
+      EXPECT_EQ(Back, Spec) << E.Name;
+    }
+  }
+}
+
+TEST(TestSpecGrammar, MidTokenPrimesParse) {
+  // The paper typesets primes both mid-token (a'l) and trailing (al');
+  // both must parse to the same primed op.
+  OpAlphabet Alphabet = dequeAlphabet();
+  TestSpec Trailing, Mid;
+  std::string Err;
+  ASSERT_TRUE(parseTestNotation("( al' rr )", Alphabet, Trailing, Err))
+      << Err;
+  ASSERT_TRUE(parseTestNotation("( a'l rr )", Alphabet, Mid, Err)) << Err;
+  EXPECT_EQ(Trailing, Mid);
+  ASSERT_EQ(Trailing.Threads.size(), 1u);
+  ASSERT_EQ(Trailing.Threads[0].size(), 2u);
+  EXPECT_TRUE(Trailing.Threads[0][0].Primed);
+  EXPECT_FALSE(Trailing.Threads[0][1].Primed);
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed input is rejected with a diagnostic, never misparsed.
+//===----------------------------------------------------------------------===//
+
+TEST(TestSpecGrammar, MalformedInputsRejected) {
+  struct Case {
+    const char *Text;
+    const char *Why;
+  };
+  const Case Cases[] = {
+      {"", "no threads at all"},
+      {"e d", "init ops but no thread section"},
+      {"( e | d", "missing closing paren"},
+      {"e | d )", "pipe outside threads"},
+      {") e (", "unmatched close"},
+      {"( e ( d ) )", "nested parens"},
+      {"( e x d )", "unknown token"},
+      {"( q )", "token from another alphabet"},
+      {"'( e )", "leading prime binds to nothing"},
+  };
+  OpAlphabet Alphabet = queueAlphabet();
+  for (const Case &C : Cases) {
+    TestSpec Spec;
+    std::string Err;
+    EXPECT_FALSE(parseTestNotation(C.Text, Alphabet, Spec, Err))
+        << C.Why << ": '" << C.Text << "' parsed unexpectedly";
+    EXPECT_FALSE(Err.empty()) << C.Why;
+  }
+}
+
+TEST(TestSpecGrammar, EmptyThreadsAreLegal) {
+  OpAlphabet Alphabet = queueAlphabet();
+  TestSpec Spec;
+  std::string Err;
+  ASSERT_TRUE(parseTestNotation("( e | )", Alphabet, Spec, Err)) << Err;
+  ASSERT_EQ(Spec.Threads.size(), 2u);
+  EXPECT_EQ(Spec.Threads[0].size(), 1u);
+  EXPECT_TRUE(Spec.Threads[1].empty());
+}
+
+} // namespace

@@ -56,10 +56,20 @@ void usage() {
       "  --matrix             run an (impl x test x model) matrix\n"
       "  --impls a,b          matrix implementations (default: all)\n"
       "  --tests x,y          matrix tests (default: kind-matching)\n"
-      "  --models m,n         matrix models (default: --model); 'all' =\n"
-      "                       every named model, 'lattice' = the full\n"
+      "  --models m,n         matrix/explore models (default: --model,\n"
+      "                       explore: sc,tso,relaxed); 'all' = every\n"
+      "                       named model, 'lattice' = the full\n"
       "                       relaxation-lattice sweep\n"
-      "  --jobs N             worker threads for --matrix / --synth\n"
+      "  --explore            randomized differential exploration:\n"
+      "                       generated scenarios cross-checked against\n"
+      "                       the axiomatic/reference oracles\n"
+      "  --seed N             explore generation seed (default 1)\n"
+      "  --budget N           explore scenarios to run (default 100)\n"
+      "  --no-shrink          keep divergent scenarios unshrunk\n"
+      "  --corpus DIR         persist seen-scenario fingerprints and\n"
+      "                       shrunk repros in DIR across runs\n"
+      "  --jobs N             worker threads for --matrix / --synth /\n"
+      "                       --explore\n"
       "  --deadline S         cancel cooperatively after S seconds\n"
       "  --cache PATH         persist the cross-run result cache at PATH\n"
       "  --no-cache           bypass the result cache\n"
@@ -127,7 +137,7 @@ int main(int argc, char **argv) {
   std::string Impl, Test, File, Kind, Notation;
   Request Req = Request::check();
   bool PrintSpec = false, Quiet = false, Synth = false, Matrix = false;
-  bool NoTimings = false;
+  bool Explore = false, NoTimings = false;
   std::string JsonPath, CachePath;
   std::vector<std::string> MatrixImpls, MatrixTests, MatrixModels;
 
@@ -179,6 +189,16 @@ int main(int argc, char **argv) {
       Synth = true;
     } else if (A == "--matrix") {
       Matrix = true;
+    } else if (A == "--explore") {
+      Explore = true;
+    } else if (A == "--seed") {
+      Req.seed(std::strtoull(Next().c_str(), nullptr, 10));
+    } else if (A == "--budget") {
+      Req.budget(std::atoi(Next().c_str()));
+    } else if (A == "--no-shrink") {
+      Req.shrink(false);
+    } else if (A == "--corpus") {
+      Req.corpus(Next());
     } else if (A == "--impls") {
       MatrixImpls = splitList(Next());
     } else if (A == "--tests") {
@@ -229,6 +249,44 @@ int main(int argc, char **argv) {
   Config.Jobs = 1;
   Config.CachePath = CachePath;
   Verifier V(Config);
+
+  // Explore mode: seeded scenario generation, differential oracle
+  // cross-checks, shrinking, corpus persistence.
+  if (Explore) {
+    Req.RequestKind = Request::Kind::Explore;
+    Req.models(MatrixModels);
+    ExploreOutcome E = V.explore(Req);
+    if (!E.ok()) {
+      std::fprintf(stderr, "%s\n", E.error().c_str());
+      return ExitUsage;
+    }
+    if (!JsonPath.empty() && !writeReport(JsonPath, E.json(!NoTimings)))
+      return ExitUsage;
+    for (const std::string &W : E.warnings())
+      std::fprintf(stderr, "warning: %s\n", W.c_str());
+    std::vector<ExploreDivergence> Found = E.divergences();
+    if (!Quiet) {
+      std::printf("explore: seed %llu, %d generated, %d deduplicated, "
+                  "%d run, %d skips, %d divergences (%.1fs)\n",
+                  E.seed(), E.generated(), E.deduplicated(), E.run(),
+                  E.skips(), static_cast<int>(Found.size()),
+                  E.wallSeconds());
+      for (const ExploreDivergence &D : Found) {
+        std::string Where =
+            D.ReproPath.empty() ? std::string() : " -> " + D.ReproPath;
+        std::printf("DIVERGENCE %s [%s%s%s] %d threads, %d ops%s\n",
+                    D.Label.c_str(), D.Kind.c_str(),
+                    D.Model.empty() ? "" : " @ ",
+                    D.Model.c_str(), D.Threads, D.Ops, Where.c_str());
+        if (!D.Notation.empty())
+          std::printf("  notation: %s\n", D.Notation.c_str());
+        std::printf("  %s\n", D.Detail.c_str());
+      }
+    }
+    if (E.cancelled())
+      return exitCodeFor(Status::Cancelled);
+    return Found.empty() ? 0 : 1;
+  }
 
   // Matrix mode: expand the (impl x test x model) grid, run it on the
   // worker pool, and report.
