@@ -5,6 +5,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "harness/Catalog.h"
 #include "impls/Impls.h"
 
@@ -13,7 +15,11 @@
 using namespace checkfence;
 using namespace checkfence::harness;
 
-int main() {
+int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
+  int PaperOps = 0;
   std::printf("=== Table 1: the studied implementations ===\n");
   for (const impls::ImplInfo &I : impls::allImpls())
     std::printf("  %-9s %-6s %s\n", I.Name.c_str(), I.Kind.c_str(),
@@ -27,6 +33,7 @@ int main() {
     std::printf("  %-8s %-6s %-36s %8zu %8d\n", E.Name.c_str(),
                 E.Kind.c_str(), E.Notation.c_str(), T.Threads.size(),
                 T.numOperations());
+    PaperOps += T.numOperations();
   }
 
   std::printf("\n=== extension tests (Treiber stack, beyond the paper) "
@@ -37,5 +44,17 @@ int main() {
                 E.Kind.c_str(), E.Notation.c_str(), T.Threads.size(),
                 T.numOperations());
   }
-  return 0;
+  // The inventory is pure metadata; everything gates on exact equality.
+  benchutil::BenchReport R("catalog", BO);
+  R.metric("implementations",
+           static_cast<double>(impls::allImpls().size()), "impls",
+           /*Gate=*/true, "equal")
+      .metric("paper_tests", static_cast<double>(paperTests().size()),
+              "tests", /*Gate=*/true, "equal")
+      .metric("extension_tests",
+              static_cast<double>(extensionTests().size()), "tests",
+              /*Gate=*/true, "equal")
+      .metric("paper_test_operations", PaperOps, "ops", /*Gate=*/true,
+              "equal");
+  return R.write(BO) ? 0 : 64;
 }

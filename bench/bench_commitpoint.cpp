@@ -9,13 +9,16 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchGrid.h"
 #include "baseline/CommitPointChecker.h"
 
 using namespace checkfence;
 using namespace checkfence::harness;
 
-int main() {
+int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
   std::printf("=== Fig. 12: observation-set method vs commit-point method "
               "===\n");
   std::printf("%-9s %-6s | %12s %12s | %9s | %s\n", "impl", "test",
@@ -70,5 +73,13 @@ int main() {
   std::printf("\nNote: the lazy list has no known commit points (paper "
               "Sec. 5) - the\nobservation-set method needs no such "
               "annotations, which is its main\nqualitative advantage.\n");
-  return 0;
+
+  benchutil::BenchReport R("commitpoint", BO);
+  R.metric("grid_cells", static_cast<double>(Grid.size()), "cells",
+           /*Gate=*/true, "equal")
+      .metric("obsset_seconds", SumObs, "seconds")
+      .metric("commitpoint_seconds", SumCommit, "seconds")
+      .metric("commit_over_obs_ratio", SumObs > 0 ? SumCommit / SumObs : 0,
+              "ratio", /*Gate=*/false, "higher");
+  return R.write(BO) ? 0 : 64;
 }

@@ -7,12 +7,15 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchGrid.h"
 
 using namespace checkfence;
 using namespace checkfence::harness;
 
-int main() {
+int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
   std::printf("=== order-encoding ablation: pairwise vs rank ===\n");
   std::printf("%-9s %-6s | %10s %12s %10s | %10s %12s %10s\n", "impl",
               "test", "pw-vars", "pw-clauses", "pw[s]", "rk-vars",
@@ -30,6 +33,7 @@ int main() {
     Grid.push_back({"msn", "Tpc2"});
   }
   double SumPw = 0, SumRk = 0;
+  int Mismatches = 0;
   for (const auto &[Impl, Test] : Grid) {
     RunOptions Warm;
     Warm.Check.Model = memmodel::ModelParams::relaxed();
@@ -50,10 +54,12 @@ int main() {
                 RPw.Stats.TotalSeconds, RRk.Stats.Inclusion.SatVars,
                 static_cast<unsigned long long>(RRk.Stats.Inclusion.SatClauses),
                 RRk.Stats.TotalSeconds);
-    if (RPw.Status != RRk.Status)
+    if (RPw.Status != RRk.Status) {
       std::printf("  !! verdict mismatch: %s vs %s\n",
                   checker::checkStatusName(RPw.Status),
                   checker::checkStatusName(RRk.Status));
+      ++Mismatches;
+    }
     SumPw += RPw.Stats.TotalSeconds;
     SumRk += RRk.Stats.TotalSeconds;
   }
@@ -65,5 +71,15 @@ int main() {
                 "explicit transitivity propagates better - the paper's\n"
                 "encoding choice wins on both axes)\n",
                 SumPw / SumRk);
-  return 0;
+
+  benchutil::BenchReport R("encoding", BO);
+  R.metric("grid_cells", static_cast<double>(Grid.size()), "cells",
+           /*Gate=*/true, "equal")
+      .metric("verdict_mismatches", Mismatches, "cells", /*Gate=*/true,
+              "equal")
+      .metric("pairwise_seconds", SumPw, "seconds")
+      .metric("rank_seconds", SumRk, "seconds")
+      .metric("pairwise_over_rank_ratio", SumRk > 0 ? SumPw / SumRk : 0,
+              "ratio", /*Gate=*/false, "lower");
+  return R.write(BO) ? 0 : 64;
 }

@@ -6,16 +6,21 @@
 // public Verifier API: one fixed-seed budget at one worker and at N
 // workers, reported as scenarios/sec plus the parallel speedup, and a
 // determinism cross-check (the timing-free reports must be
-// byte-identical). CF_BENCH_FULL=1 widens the budget; CF_BENCH_JOBS
+// byte-identical). `--json PATH` writes the shared bench schema (see
+// BenchUtil.h) for scripts/bench_compare.py; `--seed N` seeds the
+// exploration itself. CF_BENCH_FULL=1 widens the budget; CF_BENCH_JOBS
 // overrides the parallel job count (default 4).
 //
 //===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
 
 #include "checkfence/checkfence.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 using namespace checkfence;
 
@@ -26,18 +31,18 @@ int envInt(const char *Name, int Default) {
   return E ? std::atoi(E) : Default;
 }
 
-bool fullRun() {
-  const char *E = std::getenv("CF_BENCH_FULL");
-  return E && std::string(E) == "1";
-}
-
 } // namespace
 
-int main() {
-  const int Budget = fullRun() ? 400 : 100;
+int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
+  const int Budget = benchutil::fullRun() ? 400 : 100;
   const int Jobs = envInt("CF_BENCH_JOBS", 4);
 
-  Request Base = Request::explore().seed(1).budget(Budget);
+  Request Base = Request::explore()
+                     .seed(static_cast<unsigned>(BO.Seed))
+                     .budget(Budget);
 
   Verifier V1;
   ExploreOutcome Serial = V1.explore(Request(Base).jobs(1));
@@ -72,5 +77,29 @@ int main() {
   std::printf("  \"speedup\": %.3f,\n", SN > 0 ? S1 / SN : 0);
   std::printf("  \"reports_identical\": %s\n", Identical ? "true" : "false");
   std::printf("}\n");
+
+  // The trajectory report. Scenario and divergence counts are seeded and
+  // deterministic, so they gate exactly; wall clocks are recorded but not
+  // gated (baselines travel across machines).
+  benchutil::BenchReport R("explore", BO);
+  R.context("budget", std::to_string(Budget))
+      .context("host_cores",
+               std::to_string(std::thread::hardware_concurrency()));
+  R.metric("scenarios_run", Serial.run(), "scenarios", /*Gate=*/true,
+           "equal")
+      .metric("divergences",
+              static_cast<double>(Serial.divergences().size()),
+              "divergences", /*Gate=*/true, "equal")
+      .metric("reports_identical", Identical ? 1 : 0, "bool",
+              /*Gate=*/true, "equal")
+      .metric("serial_seconds", S1, "seconds")
+      .metric("parallel_seconds", SN, "seconds")
+      .metric("serial_scenarios_per_sec", S1 > 0 ? Serial.run() / S1 : 0,
+              "scenarios/s", /*Gate=*/false, "higher")
+      .metric("jobs_speedup", SN > 0 ? S1 / SN : 0, "ratio",
+              /*Gate=*/false, "higher");
+  if (!R.write(BO))
+    return 64;
+
   return Identical ? 0 : 1;
 }

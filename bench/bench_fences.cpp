@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "checkfence/checkfence.h"
 
 #include <cstdio>
@@ -20,16 +22,10 @@
 
 using namespace checkfence;
 
-namespace {
-
-bool fullRun() {
-  const char *E = std::getenv("CF_BENCH_FULL");
-  return E && std::string(E) == "1";
-}
-
-} // namespace
-
-int main() {
+int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
   Verifier V;
 
   std::printf("=== Sec. 4.2: all implementations need fences on Relaxed "
@@ -42,6 +38,7 @@ int main() {
       // where the algorithm behaves.
       {"snark", "Da"},
   };
+  int FencedPass = 0, StrippedFail = 0;
   for (const auto &[Impl, Test] : Grid) {
     Result RF =
         V.check(Request::check(Impl, Test).model("relaxed"));
@@ -49,11 +46,13 @@ int main() {
         Request::check(Impl, Test).model("relaxed").stripFences());
     std::printf("%-9s %-6s | %-18s %-18s\n", Impl.c_str(), Test.c_str(),
                 statusName(RF.Verdict), statusName(RS.Verdict));
+    FencedPass += RF.Verdict == Status::Pass;
+    StrippedFail += RS.Verdict == Status::Fail;
   }
 
   // T0 keeps the default run fast (each stripped-fence check on Ti2 costs
   // over a minute); CF_BENCH_FULL=1 switches to the larger test.
-  const char *Test = fullRun() ? "Ti2" : "T0";
+  const char *Test = benchutil::fullRun() ? "Ti2" : "T0";
   std::printf("\n=== per-fence necessity on msn (test %s) ===\n", Test);
   std::string Source = implementationSource("msn");
   std::istringstream In(Source);
@@ -66,6 +65,7 @@ int main() {
     if (Pos != std::string::npos)
       Fences.push_back({No, Line.substr(Pos, 24)});
   }
+  int Necessary = 0;
   for (const auto &[LineNo, Text] : Fences) {
     Result R = V.check(Request::check("msn", Test)
                            .model("relaxed")
@@ -73,9 +73,23 @@ int main() {
     std::printf("  line %3d %-24s -> %s\n", LineNo, Text.c_str(),
                 R.Verdict == Status::Fail ? "FAIL (necessary)"
                                           : statusName(R.Verdict));
+    Necessary += R.Verdict == Status::Fail;
   }
   std::printf("\nfailure classes observed (Sec. 4.3): incomplete "
               "initialization,\ndependent-load reordering, CAS reordering, "
               "and load-sequence reordering.\n");
-  return 0;
+
+  // Every metric here is a verdict count - fully deterministic, so the
+  // trajectory gates on exact equality.
+  benchutil::BenchReport R("fences", BO);
+  R.metric("grid_cells", static_cast<double>(Grid.size()), "cells",
+           /*Gate=*/true, "equal")
+      .metric("fenced_pass", FencedPass, "cells", /*Gate=*/true, "equal")
+      .metric("stripped_fail", StrippedFail, "cells", /*Gate=*/true,
+              "equal")
+      .metric("fences_in_msn", static_cast<double>(Fences.size()),
+              "fences", /*Gate=*/true, "equal")
+      .metric("necessary_fences", Necessary, "fences", /*Gate=*/true,
+              "equal");
+  return R.write(BO) ? 0 : 64;
 }

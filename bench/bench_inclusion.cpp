@@ -11,14 +11,17 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchGrid.h"
 
 #include <algorithm>
 
 using namespace checkfence;
 using namespace checkfence::harness;
 
-int main() {
+int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
   std::printf("=== Fig. 10(a): inclusion check statistics (Relaxed) ===\n");
   std::printf("%-9s %-6s | %6s %5s %6s | %8s | %8s %9s %7s | %8s %8s | "
               "%s\n",
@@ -32,6 +35,9 @@ int main() {
     std::string Label;
   };
   std::vector<Row> Series;
+  unsigned long long SumVars = 0, SumClauses = 0;
+  double SumSolve = 0, SumTotal = 0;
+  int Cells = 0;
 
   for (const auto &[Impl, Test] : benchutil::benchGrid()) {
     // Warm-up run discovers sufficient loop bounds (not timed separately
@@ -57,6 +63,11 @@ int main() {
     Series.push_back(Row{R.Stats.Inclusion.Loads + R.Stats.Inclusion.Stores,
                          R.Stats.Inclusion.SolveSeconds, R.Stats.Inclusion.SolverMemBytes,
                          Impl + "/" + Test});
+    SumVars += static_cast<unsigned long long>(R.Stats.Inclusion.SatVars);
+    SumClauses += R.Stats.Inclusion.SatClauses;
+    SumSolve += R.Stats.Inclusion.SolveSeconds;
+    SumTotal += R.Stats.TotalSeconds;
+    ++Cells;
   }
 
   std::printf("\n=== Fig. 10(b): scaling with memory accesses ===\n");
@@ -69,5 +80,16 @@ int main() {
                 S.Time, S.MemBytes / 1048576.0);
   std::printf("\n(time and memory rise sharply with the number of memory "
               "accesses,\nmatching the paper's log-scale charts)\n");
-  return 0;
+
+  // The encoder is deterministic, so total CNF size gates on exact
+  // equality - a cheap tripwire for accidental encoding changes.
+  benchutil::BenchReport R("inclusion", BO);
+  R.metric("grid_cells", Cells, "cells", /*Gate=*/true, "equal")
+      .metric("total_sat_vars", static_cast<double>(SumVars), "vars",
+              /*Gate=*/true, "equal")
+      .metric("total_sat_clauses", static_cast<double>(SumClauses),
+              "clauses", /*Gate=*/true, "equal")
+      .metric("refute_seconds", SumSolve, "seconds")
+      .metric("total_seconds", SumTotal, "seconds");
+  return R.write(BO) ? 0 : 64;
 }

@@ -13,14 +13,21 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchGrid.h"
 
 using namespace checkfence;
 using namespace checkfence::harness;
 
 namespace {
 
-void modelSpectrum() {
+struct SpectrumCounts {
+  int Cells = 0;
+  int StrippedPassScTso = 0; ///< pass cells among {sc, tso} columns
+  int StrippedFailPsoRlx = 0; ///< FAIL cells among {pso, relaxed} columns
+  int FencedPassRelaxed = 0;
+};
+
+SpectrumCounts modelSpectrum() {
   std::printf("\n=== model spectrum: verdicts without fences ===\n");
   std::printf("%-9s %-6s |", "impl", "test");
   for (memmodel::ModelParams K : memmodel::allModels())
@@ -35,6 +42,7 @@ void modelSpectrum() {
     Grid.push_back({"treiber", "Ui2"});
   }
 
+  SpectrumCounts C;
   for (const auto &[Impl, Test] : Grid) {
     std::printf("%-9s %-6s |", Impl.c_str(), Test.c_str());
     for (memmodel::ModelParams K : memmodel::allModels()) {
@@ -43,20 +51,32 @@ void modelSpectrum() {
       O.StripFences = true;
       checker::CheckResult R = benchutil::runOne(Impl, Test, O);
       std::printf(" %8s", R.passed() ? "pass" : "FAIL");
+      std::string Name = memmodel::modelName(K);
+      if (Name == "sc" || Name == "tso")
+        C.StrippedPassScTso += R.passed();
+      else
+        C.StrippedFailPsoRlx += !R.passed();
     }
     RunOptions F;
     F.Check.Model = memmodel::ModelParams::relaxed();
     checker::CheckResult R = benchutil::runOne(Impl, Test, F);
     std::printf("   %s\n", R.passed() ? "pass" : "FAIL");
+    C.FencedPassRelaxed += R.passed();
+    ++C.Cells;
   }
   std::printf("\n(expected shape: pass on sc and tso, FAIL on pso and "
               "relaxed; the shipped\nfences restore pass on relaxed - "
               "paper Sec. 4.2)\n");
+  return C;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
+  int Cells = 0;
   std::printf("=== Sec. 4.4: SC vs Relaxed runtime ===\n");
   std::printf("%-9s %-6s | %12s %12s | %8s\n", "impl", "test", "relaxed[s]",
               "sc[s]", "ratio");
@@ -80,12 +100,27 @@ int main() {
                 Test.c_str(), TR, TS, TR > 0 ? TS / TR : 0.0);
     SumRelaxed += TR;
     SumSC += TS;
+    ++Cells;
   }
   if (SumRelaxed > 0)
     std::printf("\naggregate SC/Relaxed time ratio: %.3f "
                 "(paper: ~0.96, i.e. the model choice is insignificant)\n",
                 SumSC / SumRelaxed);
 
-  modelSpectrum();
-  return 0;
+  SpectrumCounts C = modelSpectrum();
+
+  benchutil::BenchReport R("memmodel", BO);
+  R.metric("grid_cells", Cells, "cells", /*Gate=*/true, "equal")
+      .metric("spectrum_cells", C.Cells, "cells", /*Gate=*/true, "equal")
+      .metric("stripped_pass_sc_tso", C.StrippedPassScTso, "cells",
+              /*Gate=*/true, "equal")
+      .metric("stripped_fail_pso_relaxed", C.StrippedFailPsoRlx, "cells",
+              /*Gate=*/true, "equal")
+      .metric("fenced_pass_relaxed", C.FencedPassRelaxed, "cells",
+              /*Gate=*/true, "equal")
+      .metric("relaxed_seconds", SumRelaxed, "seconds")
+      .metric("sc_over_relaxed_ratio",
+              SumRelaxed > 0 ? SumSC / SumRelaxed : 0, "ratio",
+              /*Gate=*/false, "lower");
+  return R.write(BO) ? 0 : 64;
 }

@@ -6,12 +6,16 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchGrid.h"
 
 using namespace checkfence;
 using namespace checkfence::harness;
 
-int main() {
+int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
+  int Cells = 0;
   std::printf("=== Fig. 11(c): impact of the range analysis ===\n");
   std::printf("%-9s %-6s | %12s %12s | %9s | %10s %10s\n", "impl", "test",
               "with[s]", "without[s]", "speedup", "vars w/", "vars w/o");
@@ -38,10 +42,18 @@ int main() {
                 RWith.Stats.Inclusion.SatVars, RWithout.Stats.Inclusion.SatVars);
     SumWith += TW;
     SumWithout += TO;
+    ++Cells;
   }
   if (SumWith > 0)
     std::printf("\noverall speedup from range analysis: %.2fx "
                 "(paper: ~42%% average improvement, up to 3x)\n",
                 SumWithout / SumWith);
-  return 0;
+
+  benchutil::BenchReport R("range", BO);
+  R.metric("grid_cells", Cells, "cells", /*Gate=*/true, "equal")
+      .metric("with_seconds", SumWith, "seconds")
+      .metric("without_seconds", SumWithout, "seconds")
+      .metric("range_speedup", SumWith > 0 ? SumWithout / SumWith : 0,
+              "ratio", /*Gate=*/false, "higher");
+  return R.write(BO) ? 0 : 64;
 }

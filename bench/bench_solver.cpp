@@ -7,6 +7,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "sat/Solver.h"
 
 #include <benchmark/benchmark.h>
@@ -14,6 +16,7 @@
 #include <cstdlib>
 #include <random>
 #include <string>
+#include <utility>
 
 using namespace checkfence::sat;
 
@@ -116,12 +119,34 @@ void BM_AssumptionPhaseSwitching(benchmark::State &State) {
 }
 BENCHMARK(BM_AssumptionPhaseSwitching)->Arg(6)->Arg(8);
 
+/// Console output as usual, but every per-iteration timing is also
+/// captured for the shared bench-schema report (--json).
+class CaptureReporter : public benchmark::ConsoleReporter {
+public:
+  std::vector<std::pair<std::string, double>> SecondsPerIter;
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs)
+      if (R.run_type == Run::RT_Iteration && !R.error_occurred &&
+          R.iterations > 0)
+        SecondsPerIter.emplace_back(
+            R.benchmark_name(),
+            R.real_accumulated_time / static_cast<double>(R.iterations));
+    ConsoleReporter::ReportRuns(Runs);
+  }
+};
+
 } // namespace
 
 // BENCHMARK_MAIN, plus CF_BENCH_JSON=1 forcing the machine-readable
-// reporter (equivalent to --benchmark_format=json) for the perf-trajectory
-// tooling.
+// reporter (equivalent to --benchmark_format=json) and --json PATH
+// writing the shared bench schema (BenchUtil.h) for the perf-trajectory
+// tooling. parseBenchArgs strips its flags before google-benchmark sees
+// the command line.
 int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
   std::vector<char *> Args(argv, argv + argc);
   std::string JsonFlag = "--benchmark_format=json";
   if (const char *E = std::getenv("CF_BENCH_JSON"); E && E == std::string("1"))
@@ -130,7 +155,20 @@ int main(int argc, char **argv) {
   benchmark::Initialize(&Argc, Args.data());
   if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
     return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (BO.JsonPath.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  CaptureReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();
-  return 0;
+
+  benchutil::BenchReport R("solver", BO);
+  R.metric("benchmarks_run",
+           static_cast<double>(Reporter.SecondsPerIter.size()), "cases",
+           /*Gate=*/true, "equal");
+  for (const auto &[Name, Secs] : Reporter.SecondsPerIter)
+    R.metric(Name, Secs, "s/iter");
+  return R.write(BO) ? 0 : 64;
 }

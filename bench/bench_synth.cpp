@@ -14,7 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchGrid.h"
 #include "harness/FenceSynth.h"
 
 #include <sstream>
@@ -46,7 +46,12 @@ int shippedFences(const std::string &Source) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchutil::Options BO;
+  if (!benchutil::parseBenchArgs(argc, argv, BO))
+    return 64;
+  int FinalFences = 0, ChecksRun = 0, Diagnosed = 0;
+  double SynthSeconds = 0;
   std::printf("=== fence synthesis (counterexample-guided, minimized) ===\n");
   std::printf("%-9s %-5s %-8s | %7s %7s %7s | %7s %8s | %s\n", "impl",
               "test", "model", "placed", "final", "shipped", "checks",
@@ -83,6 +88,9 @@ int main() {
       if (R.Success)
         for (const FencePlacement &P : R.Fences)
           std::printf("%38s + %s\n", "", placementStr(P).c_str());
+      FinalFences += static_cast<int>(R.Fences.size());
+      ChecksRun += R.ChecksRun;
+      SynthSeconds += R.TotalSeconds;
     }
   }
 
@@ -96,6 +104,7 @@ int main() {
                                      {testByName("D0")}, Opts);
     std::printf("snark D0 on sc: %s\n",
                 R.Success ? "ok (unexpected!)" : R.Message.c_str());
+    Diagnosed += !R.Success;
   }
   {
     SynthOptions Opts;
@@ -106,10 +115,22 @@ int main() {
                                      {testByName("Sac")}, Opts);
     std::printf("lazylist(+INIT_BUG) Sac: %s\n",
                 R.Success ? "ok (unexpected!)" : R.Message.c_str());
+    Diagnosed += !R.Success;
   }
 
   std::printf("\n(shipped counts cover the whole implementation; "
               "synthesized counts cover\nonly the failure classes the "
               "small test exercises, hence final <= shipped)\n");
-  return 0;
+
+  // The search is deterministic: placements and check counts gate exactly.
+  benchutil::BenchReport R("synth", BO);
+  R.metric("workloads", static_cast<double>(Work.size()), "workloads",
+           /*Gate=*/true, "equal")
+      .metric("final_fences", FinalFences, "fences", /*Gate=*/true,
+              "equal")
+      .metric("checks_run", ChecksRun, "checks", /*Gate=*/true, "equal")
+      .metric("non_repairable_diagnosed", Diagnosed, "cases",
+              /*Gate=*/true, "equal")
+      .metric("synth_seconds", SynthSeconds, "seconds");
+  return R.write(BO) ? 0 : 64;
 }

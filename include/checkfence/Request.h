@@ -240,9 +240,19 @@ public:
     return *this;
   }
   /// Worker threads for matrix cells / synthesis minimization
-  /// (0 = the Verifier's configured default).
+  /// (0 = the Verifier's configured default). One budget: intra-check
+  /// portfolio helpers draw from the same allowance, so N is the total
+  /// thread count however the work is shaped.
   Request &jobs(int N) {
     Jobs = N;
+    return *this;
+  }
+  /// Intra-check solver portfolio width: 1 = strictly serial, N > 1 =
+  /// race up to N diversified solvers per hard query, 0 (default) = auto,
+  /// one racer per jobs() worker the budget can spare. Verdicts,
+  /// observation sets, and timing-free JSON are identical at any width.
+  Request &portfolioWidth(int N) {
+    PortfolioWidth = N;
     return *this;
   }
 
@@ -347,6 +357,7 @@ public:
   std::optional<long long> ConflictBudget;
   bool Fresh = false;
   int Jobs = 0;
+  int PortfolioWidth = 0;
 
   double DeadlineSeconds = 0;
   bool UseCache = true;

@@ -68,7 +68,17 @@ struct ResultStats {
   double EncodeSeconds = 0;
   double SolveSeconds = 0;
   double MiningSeconds = 0;
+  /// Per-phase wall clock of the mine/include/probe loop: the inclusion
+  /// checks end to end and the lazy-unrolling bound probes.
+  double IncludeSeconds = 0;
+  double ProbeSeconds = 0;
   double TotalSeconds = 0;
+  /// Portfolio counters (zero at portfolioWidth 1): learnt clauses
+  /// shared between racing solvers and races a helper won over the
+  /// incremental primary.
+  unsigned long long LearntsExported = 0;
+  unsigned long long LearntsImported = 0;
+  int RacesWon = 0;
 };
 
 /// Outcome of a single check request.
@@ -180,9 +190,14 @@ struct SynthOutcome {
   std::vector<SynthFence> Removed; ///< placed but minimized away
   int ChecksRun = 0;
   double TotalSeconds = 0;
+  /// Per-phase wall clock: the counterexample-guided repair loop and the
+  /// necessity (minimization) pass.
+  double RepairSeconds = 0;
+  double MinimizeSeconds = 0;
   std::vector<std::string> Log; ///< one narrative entry per search step
 
   /// {"schema_version", "success", "message", "checks", "seconds",
+  ///  "repair_seconds", "minimize_seconds",
   ///  "fences": [{"line", "kind"}]}
   std::string json() const;
 };

@@ -34,7 +34,7 @@
 #include <vector>
 
 #define CHECKFENCE_VERSION_MAJOR 0
-#define CHECKFENCE_VERSION_MINOR 4
+#define CHECKFENCE_VERSION_MINOR 5
 #define CHECKFENCE_VERSION_PATCH 0
 
 namespace checkfence {

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Compare fresh bench reports against checked-in baselines.
+
+Both sides use the shared bench schema emitted by ``bench_* --json``
+(see bench/BenchUtil.h, ``bench_schema_version`` 1). Only metrics marked
+``"gate": true`` in the *baseline* participate; everything else is
+trajectory data. Each gated metric's ``better`` field picks the rule:
+
+* ``"equal"``  - the fresh value must match the baseline exactly
+  (verdict counts, observation totals, determinism booleans, CNF sizes);
+* ``"lower"``  - regression when fresh > baseline * (1 + threshold);
+* ``"higher"`` - regression when fresh < baseline * (1 - threshold).
+
+Usage:
+
+  bench_compare.py BASELINE FRESH [BASELINE FRESH ...]
+      [--threshold 0.15] [--update]
+
+``--update`` copies each FRESH over its BASELINE instead of comparing
+(for refreshing baselines after an intentional perf change). Exit code 0
+when no gated metric regressed, 1 otherwise (each regression is listed
+on stderr), 2 on malformed input.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def load(path: Path):
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    if doc.get("bench_schema_version") != SCHEMA_VERSION:
+        sys.exit(
+            f"bench_compare: {path}: bench_schema_version "
+            f"{doc.get('bench_schema_version')!r}, expected {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def metrics_by_name(doc):
+    return {m["name"]: m for m in doc.get("metrics", [])}
+
+
+def compare_pair(baseline_path: Path, fresh_path: Path, threshold: float):
+    """Returns a list of human-readable regression strings."""
+    base = load(baseline_path)
+    fresh = load(fresh_path)
+    problems = []
+    if base.get("bench") != fresh.get("bench"):
+        problems.append(
+            f"{fresh_path}: bench name {fresh.get('bench')!r} does not "
+            f"match baseline {base.get('bench')!r}"
+        )
+        return problems
+    if base.get("full") != fresh.get("full"):
+        problems.append(
+            f"{fresh_path}: full={fresh.get('full')} but baseline has "
+            f"full={base.get('full')} (different grids are not comparable)"
+        )
+        return problems
+
+    fresh_metrics = metrics_by_name(fresh)
+    name = base.get("bench", "?")
+    for metric in base.get("metrics", []):
+        if not metric.get("gate"):
+            continue
+        mname = metric["name"]
+        if mname not in fresh_metrics:
+            problems.append(f"{name}: gated metric '{mname}' missing from fresh run")
+            continue
+        base_v = float(metric["value"])
+        fresh_v = float(fresh_metrics[mname]["value"])
+        better = metric.get("better", "lower")
+        if better == "equal":
+            if fresh_v != base_v:
+                problems.append(
+                    f"{name}: '{mname}' changed: baseline {base_v:g}, "
+                    f"fresh {fresh_v:g} (must match exactly)"
+                )
+        elif better == "lower":
+            if fresh_v > base_v * (1 + threshold):
+                problems.append(
+                    f"{name}: '{mname}' regressed: baseline {base_v:g}, "
+                    f"fresh {fresh_v:g} (> +{threshold:.0%})"
+                )
+        elif better == "higher":
+            if fresh_v < base_v * (1 - threshold):
+                problems.append(
+                    f"{name}: '{mname}' regressed: baseline {base_v:g}, "
+                    f"fresh {fresh_v:g} (< -{threshold:.0%})"
+                )
+        else:
+            problems.append(f"{name}: '{mname}' has unknown better={better!r}")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="gate fresh bench JSONs against committed baselines"
+    )
+    parser.add_argument(
+        "pairs",
+        nargs="+",
+        metavar="BASELINE FRESH",
+        help="alternating baseline and fresh report paths",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative tolerance for lower/higher metrics (default 0.15)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy each FRESH over its BASELINE instead of comparing",
+    )
+    args = parser.parse_args()
+
+    if len(args.pairs) % 2 != 0:
+        parser.error("expected an even number of paths (BASELINE FRESH ...)")
+    pairs = [
+        (Path(args.pairs[i]), Path(args.pairs[i + 1]))
+        for i in range(0, len(args.pairs), 2)
+    ]
+
+    if args.update:
+        for baseline, fresh in pairs:
+            load(fresh)  # validate before overwriting the baseline
+            baseline.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(fresh, baseline)
+            print(f"updated {baseline} from {fresh}")
+        return 0
+
+    regressions = []
+    compared = 0
+    for baseline, fresh in pairs:
+        regressions += compare_pair(baseline, fresh, args.threshold)
+        compared += 1
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s):", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: {compared} report(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -164,6 +164,10 @@ bool checkfence::api::checkOptionsFrom(const Request &Req,
     Out.MaxProbes = *Req.MaxProbes;
   if (Req.ConflictBudget)
     Out.ConflictBudget = *Req.ConflictBudget;
+  // Parallelism shapes wall time, never results (width-invariance is the
+  // engine's contract), so it stays out of optionsFingerprint - cached
+  // results and pooled sessions are shared across widths.
+  Out.PortfolioWidth = Req.PortfolioWidth;
   return true;
 }
 
@@ -209,7 +213,14 @@ Result checkfence::api::convertResult(const checker::CheckResult &R,
   Out.Stats.EncodeSeconds = S.Inclusion.EncodeSeconds;
   Out.Stats.SolveSeconds = S.Inclusion.SolveSeconds;
   Out.Stats.MiningSeconds = S.MiningSeconds;
+  Out.Stats.IncludeSeconds = S.IncludeSeconds;
+  Out.Stats.ProbeSeconds = S.ProbeSeconds;
   Out.Stats.TotalSeconds = S.TotalSeconds;
+  Out.Stats.LearntsExported =
+      static_cast<unsigned long long>(S.LearntsExported);
+  Out.Stats.LearntsImported =
+      static_cast<unsigned long long>(S.LearntsImported);
+  Out.Stats.RacesWon = S.RacesWonByHelper;
   for (const auto &[Loop, Bound] : R.FinalBounds)
     Out.FinalBounds[Loop] = Bound;
   return Out;
@@ -255,6 +266,11 @@ std::string checkfence::api::renderSingleCellJson(const Result &R,
     F.EncodeSeconds = R.Stats.EncodeSeconds;
     F.SolveSeconds = R.Stats.SolveSeconds;
     F.MiningSeconds = R.Stats.MiningSeconds;
+    F.IncludeSeconds = R.Stats.IncludeSeconds;
+    F.ProbeSeconds = R.Stats.ProbeSeconds;
+    F.LearntsExported = R.Stats.LearntsExported;
+    F.LearntsImported = R.Stats.LearntsImported;
+    F.RacesWon = R.Stats.RacesWon;
   }
   OS += "    " + engine::renderReportCell(F) + "\n";
   OS += "  ]\n";

@@ -144,7 +144,9 @@ std::string SynthOutcome::json() const {
       .field("success", Success)
       .field("message", Message)
       .field("checks", ChecksRun)
-      .fixed("seconds", TotalSeconds);
+      .fixed("seconds", TotalSeconds)
+      .fixed("repair_seconds", RepairSeconds)
+      .fixed("minimize_seconds", MinimizeSeconds);
   support::JsonArray Arr;
   for (const SynthFence &F : Fences) {
     support::JsonObject Fence;

@@ -27,6 +27,7 @@
 #include "checker/Encoder.h"
 #include "checker/InclusionChecker.h"
 #include "checker/SpecMiner.h"
+#include "support/WorkerBudget.h"
 
 #include <functional>
 #include <optional>
@@ -68,6 +69,21 @@ struct CheckOptions {
   /// Streaming/cancellation hooks. Not part of a run's identity: caches
   /// and session pools must ignore this field when fingerprinting options.
   CheckHooks Hooks;
+  /// Intra-check solver portfolio width: 1 runs strictly serial; N > 1
+  /// races up to N diversified solvers (with learnt-clause sharing and
+  /// first-winner cancellation) on each hard inclusion/probe query; 0
+  /// means "auto" - one racer per worker the shared budget can spare.
+  /// Verdicts, mined observation sets, and timing-free JSON are identical
+  /// at any width, so this field - like Hooks - is NOT part of a run's
+  /// identity and must be ignored by fingerprints. Forced to 1 when
+  /// ConflictBudget >= 0 (budget-exhaustion verdicts must not depend on
+  /// racing luck).
+  int PortfolioWidth = 1;
+  /// Worker slots shared with the matrix runner and fence synthesis; the
+  /// portfolio borrows helper threads from here and runs serially when
+  /// none are available. Per-request state like Hooks: never owned, never
+  /// fingerprinted. May be null (no extra workers).
+  support::WorkerBudget *Budget = nullptr;
 };
 
 enum class CheckStatus {
@@ -94,6 +110,15 @@ struct CheckStats {
   // Lazy unrolling.
   int BoundIterations = 0;
   double ProbeSeconds = 0;
+  // Per-phase wall clock (encode covers the target-model encodings across
+  // all bound iterations; include covers the inclusion phase end to end).
+  double EncodeSeconds = 0;
+  double IncludeSeconds = 0;
+  // Portfolio counters, summed over every raced query of the run.
+  uint64_t LearntsExported = 0;
+  uint64_t LearntsImported = 0;
+  int RacesRun = 0;
+  int RacesWonByHelper = 0;
   // Whole run.
   double TotalSeconds = 0;
 };

@@ -43,13 +43,13 @@ checkfence::checker::checkInclusion(EncodedProblem &Prob,
   return Out;
 }
 
-InclusionOutcome checkfence::checker::checkInclusion(
+PreparedInclusion checkfence::checker::prepareInclusion(
     SolveContext &Ctx, ProblemEncoding &Enc, const ObservationSet &Spec,
     const std::vector<sat::Lit> &Assumptions) {
-  InclusionOutcome Out;
+  PreparedInclusion P;
   if (!Enc.ok()) {
-    Out.Error = Enc.error();
-    return Out;
+    P.Error = Enc.error();
+    return P;
   }
 
   Ctx.beginPhase();
@@ -60,17 +60,34 @@ InclusionOutcome checkfence::checker::checkInclusion(
   bool Consistent = true;
   for (const Observation &O : Spec)
     Consistent = Enc.addMismatch(O, Act) && Consistent;
+  P.Ok = true;
   if (!Consistent) {
     // The constraints alone are unsatisfiable: no execution escapes the
     // specification.
+    P.Trivial = true;
+    return P;
+  }
+  P.Assumptions = Assumptions;
+  P.Assumptions.push_back(Act);
+  return P;
+}
+
+InclusionOutcome checkfence::checker::checkInclusion(
+    SolveContext &Ctx, ProblemEncoding &Enc, const ObservationSet &Spec,
+    const std::vector<sat::Lit> &Assumptions) {
+  InclusionOutcome Out;
+  PreparedInclusion P = prepareInclusion(Ctx, Enc, Spec, Assumptions);
+  if (!P.Ok) {
+    Out.Error = P.Error;
+    return Out;
+  }
+  if (P.Trivial) {
     Out.Ok = true;
     Out.Pass = true;
     return Out;
   }
 
-  std::vector<sat::Lit> SolveAssumptions = Assumptions;
-  SolveAssumptions.push_back(Act);
-  sat::SolveResult R = Ctx.solveUnder(SolveAssumptions);
+  sat::SolveResult R = Ctx.solveUnder(P.Assumptions);
   switch (R) {
   case sat::SolveResult::Unknown:
     Out.Error = "solver budget exhausted during inclusion check";

@@ -32,6 +32,7 @@
 
 #include "checker/CheckFence.h"
 #include "checker/SolveContext.h"
+#include "engine/Portfolio.h"
 
 #include <vector>
 
@@ -64,6 +65,15 @@ public:
   /// identity, so pools reusing a session swap them in here.
   void setHooks(const checker::CheckHooks &Hooks) { Opts.Hooks = Hooks; }
 
+  /// Replaces the portfolio width and shared worker budget for subsequent
+  /// check() calls. Like hooks, parallelism is per-request state (results
+  /// are width-invariant by contract); pools MUST clear the budget
+  /// pointer when a request ends - it points at request-owned storage.
+  void setParallelism(int PortfolioWidth, support::WorkerBudget *Budget) {
+    Opts.PortfolioWidth = PortfolioWidth;
+    Opts.Budget = Budget;
+  }
+
   /// One entry per completed bound iteration, across all check() calls.
   const std::vector<SessionSnapshot> &snapshots() const {
     return Snapshots;
@@ -84,8 +94,11 @@ private:
   void snapshot(int Round);
 
   checker::CheckOptions Opts;
-  checker::SolveContext MineCtx;  ///< Serial model: mining + refset probe
-  checker::SolveContext CheckCtx; ///< target model: inclusion + probe
+  checker::SolveContext MineCtx; ///< Serial model: mining + refset probe
+  /// Target model: inclusion + probe. Mirrored so the portfolio can
+  /// replay replicas and the canonical shadow solver from its CNF.
+  checker::SolveContext CheckCtx{/*MirrorCnf=*/true};
+  SolverPortfolio Portfolio; ///< racing replicas + canonical shadow
   std::vector<SessionSnapshot> Snapshots;
 };
 

@@ -21,28 +21,42 @@ using checker::CheckStatus;
 
 void checkfence::engine::parallelFor(
     int Jobs, size_t Count, const std::function<void(size_t)> &Body) {
-  if (Jobs <= 1 || Count <= 1) {
+  parallelFor(nullptr, Jobs, Count, Body);
+}
+
+void checkfence::engine::parallelFor(
+    support::WorkerBudget *Budget, int MaxWorkers, size_t Count,
+    const std::function<void(size_t)> &Body) {
+  // The calling thread is always one worker; borrow the extras.
+  int WantExtra = MaxWorkers - 1;
+  if (static_cast<size_t>(MaxWorkers) > Count)
+    WantExtra = static_cast<int>(Count) - 1;
+  int Extra = 0;
+  if (WantExtra > 0)
+    Extra = Budget ? Budget->tryAcquire(WantExtra) : WantExtra;
+  if (Extra <= 0) {
     for (size_t I = 0; I < Count; ++I)
       Body(I);
     return;
   }
   std::atomic<size_t> Next{0};
-  size_t Workers = static_cast<size_t>(Jobs) < Count
-                       ? static_cast<size_t>(Jobs)
-                       : Count;
+  auto Work = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1);
+      if (I >= Count)
+        return;
+      Body(I);
+    }
+  };
   std::vector<std::thread> Pool;
-  Pool.reserve(Workers);
-  for (size_t W = 0; W < Workers; ++W)
-    Pool.emplace_back([&] {
-      for (;;) {
-        size_t I = Next.fetch_add(1);
-        if (I >= Count)
-          return;
-        Body(I);
-      }
-    });
+  Pool.reserve(Extra);
+  for (int W = 0; W < Extra; ++W)
+    Pool.emplace_back(Work);
+  Work();
   for (std::thread &T : Pool)
     T.join();
+  if (Budget)
+    Budget->release(Extra);
 }
 
 std::string MatrixCell::label() const {
@@ -96,7 +110,12 @@ checkfence::engine::renderReportCell(const ReportCellFields &F) {
     Cell.fixed("seconds", F.Seconds)
         .fixed("encode_seconds", F.EncodeSeconds)
         .fixed("solve_seconds", F.SolveSeconds)
-        .fixed("mining_seconds", F.MiningSeconds);
+        .fixed("mining_seconds", F.MiningSeconds)
+        .fixed("include_seconds", F.IncludeSeconds)
+        .fixed("probe_seconds", F.ProbeSeconds)
+        .field("learnts_exported", F.LearntsExported)
+        .field("learnts_imported", F.LearntsImported)
+        .field("races_won", F.RacesWon);
   return Cell.str();
 }
 
@@ -144,6 +163,13 @@ std::string MatrixReport::json(bool IncludeTimings) const {
       F.EncodeSeconds = E.EncodeSeconds;
       F.SolveSeconds = E.SolveSeconds;
       F.MiningSeconds = R.Stats.MiningSeconds;
+      F.IncludeSeconds = R.Stats.IncludeSeconds;
+      F.ProbeSeconds = R.Stats.ProbeSeconds;
+      F.LearntsExported =
+          static_cast<unsigned long long>(R.Stats.LearntsExported);
+      F.LearntsImported =
+          static_cast<unsigned long long>(R.Stats.LearntsImported);
+      F.RacesWon = R.Stats.RacesWonByHelper;
     }
     OS << "    " << renderReportCell(F);
     if (I + 1 < Cells.size())
@@ -204,7 +230,7 @@ MatrixReport MatrixRunner::run(const std::vector<MatrixCell> &Cells,
   Report.Jobs = Jobs;
   Report.Cells.resize(Cells.size());
   Timer Wall;
-  parallelFor(Jobs, Cells.size(), [&](size_t I) {
+  parallelFor(Budget, Jobs, Cells.size(), [&](size_t I) {
     Timer CellTimer;
     MatrixCellResult &Out = Report.Cells[I];
     Out.Cell = Cells[I];

@@ -1,0 +1,119 @@
+//===--- Portfolio.h - racing solver portfolio ------------------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intra-check parallelism engine. A CheckSession's target-model
+/// context mirrors its CNF stream into a CnfStore (SolveContext's mirror
+/// mode); this portfolio replays that store into
+///
+///  * replica solvers that *race* the primary on hard inclusion/probe
+///    queries - diversified by default phase, random-decision frequency
+///    and seed, exchanging learnt clauses through a shared pool, with
+///    first-winner cancellation via the solver's cooperative interrupt;
+///  * one deterministic *shadow* solver whose models feed every decoded
+///    artifact (counterexample traces, exceeded-loop sets).
+///
+/// Why a shadow: a raced Sat answer is objective, but *which* model the
+/// winner holds depends on scheduling. Decoding from a solver that only
+/// ever sees the canonical query sequence - never raced, never sharing,
+/// never interrupted - makes counterexamples and bound growth identical
+/// at any portfolio width, which is the determinism contract of
+/// CheckOptions::PortfolioWidth. Sharing learnt clauses between members
+/// is sound because all members hold identical problem-clause databases:
+/// a learnt clause is implied by the database alone (assumption
+/// dependence appears as negated assumption literals inside it).
+///
+/// Helper threads are borrowed non-blockingly from the shared
+/// support::WorkerBudget, so matrix cells and portfolios can never
+/// oversubscribe `--jobs` between them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_ENGINE_PORTFOLIO_H
+#define CHECKFENCE_ENGINE_PORTFOLIO_H
+
+#include "checker/SolveContext.h"
+#include "sat/CnfStore.h"
+#include "support/WorkerBudget.h"
+
+#include <memory>
+#include <vector>
+
+namespace checkfence {
+namespace engine {
+
+/// Counters summed over every raced query (CheckStats mirrors these).
+struct PortfolioStats {
+  uint64_t LearntsExported = 0; ///< clauses published to the shared pool
+  uint64_t LearntsImported = 0; ///< pool clauses adopted by other members
+  int RacesRun = 0;             ///< queries that actually ran with helpers
+  int RacesWonByHelper = 0;     ///< races decided by a replica, not the primary
+};
+
+/// Result of one (possibly raced, possibly overlapped) query pair.
+struct RaceOutcome {
+  sat::SolveResult Primary = sat::SolveResult::Unknown;
+  bool WonByHelper = false;
+  /// Secondary query: ran and finished (it is aborted when the primary
+  /// answer makes it moot, i.e. comes back Sat).
+  bool SecondaryDone = false;
+  sat::SolveResult Secondary = sat::SolveResult::Unknown;
+};
+
+class SolverPortfolio {
+public:
+  SolverPortfolio() = default;
+  SolverPortfolio(const SolverPortfolio &) = delete;
+  SolverPortfolio &operator=(const SolverPortfolio &) = delete;
+
+  /// (Re)binds the portfolio to the mirrored CNF of the primary context
+  /// and sets the racing width and shared worker budget for subsequent
+  /// queries. Width semantics follow CheckOptions::PortfolioWidth.
+  void configure(const sat::CnfStore *Mirror, int Width,
+                 support::WorkerBudget *Budget);
+
+  /// Solves \p PrimaryAssumps on \p Primary's solver. With helpers
+  /// available, replicas race the same query (first winner cancels the
+  /// rest); when \p SecondaryAssumps is non-null one helper concurrently
+  /// solves that independent query on the same encoding (pipeline
+  /// overlap), and is aborted if the primary answer comes back Sat.
+  /// Serial fallback (width 1, no mirror, or drained budget) degrades to
+  /// a plain Primary.solveUnder call.
+  RaceOutcome solve(checker::SolveContext &Primary,
+                    const std::vector<sat::Lit> &PrimaryAssumps,
+                    const std::vector<sat::Lit> *SecondaryAssumps = nullptr);
+
+  /// Canonical deterministic solve on the shadow solver (synced from the
+  /// mirror first). The answer and - for Sat - the model depend only on
+  /// the canonical query sequence, never on width or racing. Decode
+  /// artifacts against shadowSolver() afterwards.
+  sat::SolveResult canonicalSolve(const std::vector<sat::Lit> &Assumps);
+  sat::Solver &shadowSolver();
+
+  const PortfolioStats &stats() const { return Stats; }
+
+private:
+  struct Member {
+    sat::Solver S;
+    sat::CnfStore::ReplayCursor Cur;
+  };
+
+  Member &helper(size_t Index);
+  void sync(Member &M);
+
+  const sat::CnfStore *Mirror = nullptr;
+  int Width = 1;
+  support::WorkerBudget *Budget = nullptr;
+
+  std::unique_ptr<Member> Shadow;
+  std::vector<std::unique_ptr<Member>> Helpers;
+  PortfolioStats Stats;
+};
+
+} // namespace engine
+} // namespace checkfence
+
+#endif // CHECKFENCE_ENGINE_PORTFOLIO_H

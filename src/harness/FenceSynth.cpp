@@ -216,6 +216,7 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
 
   // Repair the tests in order. Fences only restrict the execution set, so
   // a repaired test never regresses when later fences are added.
+  Timer RepairTimer;
   for (const TestSpec &Test : Tests) {
     for (;;) {
       CheckResult R = RunOnce(Test, Placed);
@@ -255,16 +256,20 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
     }
   }
 
+  Result.RepairSeconds = RepairTimer.seconds();
+
   // Necessity pass: drop any fence whose removal keeps all tests passing.
   // Candidates are tried one at a time (each removal changes the baseline
   // for the next), but the per-test re-checks of one candidate are
-  // independent and fan out across the worker pool.
+  // independent and fan out across the shared worker budget (each check
+  // additionally racing its portfolio within the same budget).
+  Timer MinimizeTimer;
   if (Opts.Minimize) {
     for (size_t I = Placed.size(); I-- > 0;) {
       std::vector<FencePlacement> Without = Placed;
       Without.erase(Without.begin() + I);
       std::atomic<bool> AnyFail{false};
-      engine::parallelFor(Opts.Jobs, Tests.size(), [&](size_t T) {
+      engine::parallelFor(Opts.Budget, Opts.Jobs, Tests.size(), [&](size_t T) {
         if (AnyFail.load())
           return; // a sibling already refuted this removal
         if (!RunOnce(Tests[T], Without).passed())
@@ -279,6 +284,8 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
       }
     }
   }
+
+  Result.MinimizeSeconds = MinimizeTimer.seconds();
 
   std::sort(Placed.begin(), Placed.end());
   Result.Fences = std::move(Placed);

@@ -32,6 +32,7 @@
 #define CHECKFENCE_HARNESS_FENCESYNTH_H
 
 #include "harness/Catalog.h"
+#include "support/WorkerBudget.h"
 
 #include <climits>
 #include <string>
@@ -73,8 +74,14 @@ struct SynthOptions {
   /// Worker threads for the minimization pass (each removal candidate
   /// re-checks every test; the per-test checks run in parallel). The
   /// repair loop itself is inherently sequential (each placement depends
-  /// on the previous counterexample).
+  /// on the previous counterexample) - but its checks still exploit
+  /// Check.PortfolioWidth, so a lone hard check saturates the budget.
   int Jobs = 1;
+  /// Worker budget shared with every other parallel layer of the request.
+  /// The minimization fan-out and the per-check portfolios (via
+  /// Check.Budget) draw from the same pool, so synthesis never runs more
+  /// than `--jobs` threads in total. May be null.
+  support::WorkerBudget *Budget = nullptr;
 };
 
 struct SynthResult {
@@ -89,6 +96,10 @@ struct SynthResult {
   std::vector<FencePlacement> Removed;
   int ChecksRun = 0;
   double TotalSeconds = 0;
+  /// Per-phase wall clock: the counterexample-guided repair loop and the
+  /// necessity (minimization) pass.
+  double RepairSeconds = 0;
+  double MinimizeSeconds = 0;
   /// Human-readable narrative of the search (one entry per step).
   std::vector<std::string> Log;
 };

@@ -1,0 +1,94 @@
+//===--- WorkerBudget.h - shared worker-slot accounting ---------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One process-wide pool of worker slots shared by every parallel layer:
+/// matrix cells (engine::MatrixRunner), fence-minimization checks
+/// (harness::FenceSynth), and intra-check portfolio helpers
+/// (engine::SolverPortfolio). A budget of `--jobs N` means at most N
+/// threads do solver work at any instant, no matter how the layers nest:
+/// the calling thread is always an implicit worker, and the budget counts
+/// the N-1 *extra* threads any layer may borrow on top of it.
+///
+/// Acquisition is non-blocking: a layer takes what is available (possibly
+/// zero) and proceeds with the calling thread alone otherwise. This keeps
+/// nesting deadlock-free - a matrix cell whose portfolio finds the budget
+/// drained simply runs serially - and guarantees no cells-times-width
+/// thread explosion by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_SUPPORT_WORKERBUDGET_H
+#define CHECKFENCE_SUPPORT_WORKERBUDGET_H
+
+#include <atomic>
+
+namespace checkfence {
+namespace support {
+
+/// Counts the extra worker threads available beyond the calling thread.
+/// A request run with `--jobs N` constructs WorkerBudget(N - 1).
+class WorkerBudget {
+public:
+  explicit WorkerBudget(int ExtraWorkers)
+      : Avail(ExtraWorkers < 0 ? 0 : ExtraWorkers),
+        Total(ExtraWorkers < 0 ? 0 : ExtraWorkers) {}
+
+  WorkerBudget(const WorkerBudget &) = delete;
+  WorkerBudget &operator=(const WorkerBudget &) = delete;
+
+  /// Takes up to \p Max slots without blocking; returns how many were
+  /// actually acquired (possibly 0). Pair every acquisition with a
+  /// release() of the same count.
+  int tryAcquire(int Max) {
+    if (Max <= 0)
+      return 0;
+    int Cur = Avail.load(std::memory_order_relaxed);
+    while (Cur > 0) {
+      int Take = Cur < Max ? Cur : Max;
+      if (Avail.compare_exchange_weak(Cur, Cur - Take,
+                                      std::memory_order_acq_rel)) {
+        noteHeld(Take);
+        return Take;
+      }
+    }
+    return 0;
+  }
+
+  /// Returns \p N previously acquired slots to the pool.
+  void release(int N) {
+    if (N <= 0)
+      return;
+    Held.fetch_sub(N, std::memory_order_acq_rel);
+    Avail.fetch_add(N, std::memory_order_acq_rel);
+  }
+
+  int totalWorkers() const { return Total; }
+  int available() const { return Avail.load(std::memory_order_relaxed); }
+
+  /// High-water mark of simultaneously held slots; the oversubscription
+  /// regression test asserts peakHeld() <= totalWorkers().
+  int peakHeld() const { return Peak.load(std::memory_order_relaxed); }
+
+private:
+  void noteHeld(int N) {
+    int H = Held.fetch_add(N, std::memory_order_acq_rel) + N;
+    int P = Peak.load(std::memory_order_relaxed);
+    while (H > P &&
+           !Peak.compare_exchange_weak(P, H, std::memory_order_acq_rel)) {
+    }
+  }
+
+  std::atomic<int> Avail;
+  const int Total;
+  std::atomic<int> Held{0};
+  std::atomic<int> Peak{0};
+};
+
+} // namespace support
+} // namespace checkfence
+
+#endif // CHECKFENCE_SUPPORT_WORKERBUDGET_H

@@ -68,8 +68,14 @@ void usage() {
       "  --no-shrink          keep divergent scenarios unshrunk\n"
       "  --corpus DIR         persist seen-scenario fingerprints and\n"
       "                       shrunk repros in DIR across runs\n"
-      "  --jobs N             worker threads for --matrix / --synth /\n"
-      "                       --explore\n"
+      "  --jobs N             total worker threads: matrix cells, synth\n"
+      "                       minimization, explore scenarios, and check\n"
+      "                       portfolios all share the one allowance\n"
+      "  --portfolio W        intra-check solver portfolio width: 1 =\n"
+      "                       serial, W > 1 = race up to W diversified\n"
+      "                       solvers per hard query, 0 = auto (one per\n"
+      "                       spare --jobs worker). Verdicts and\n"
+      "                       timing-free JSON are identical at any W\n"
       "  --deadline S         cancel cooperatively after S seconds\n"
       "  --cache PATH         persist the cross-run result cache at PATH\n"
       "  --no-cache           bypass the result cache\n"
@@ -207,6 +213,8 @@ int main(int argc, char **argv) {
       MatrixModels = splitList(Next());
     } else if (A == "--jobs") {
       Req.jobs(std::atoi(Next().c_str()));
+    } else if (A == "--portfolio") {
+      Req.portfolioWidth(std::atoi(Next().c_str()));
     } else if (A == "--deadline") {
       Req.deadline(std::atof(Next().c_str()));
     } else if (A == "--cache") {
