@@ -255,6 +255,15 @@ public:
     PortfolioWidth = N;
     return *this;
   }
+  /// Use the polynomial reads-from oracle where eligible (default on):
+  /// in checks it discharges candidate observations before the SAT
+  /// solver, in explore it replaces the brute-force enumerator on
+  /// eligible lattice points. Verdicts, observation sets, and
+  /// timing-free JSON are identical either way; see docs/ORACLES.md.
+  Request &fastOracle(bool Enable = true) {
+    UseFastOracle = Enable;
+    return *this;
+  }
 
   //===--------------------------------------------------------------===//
   // Explore options
@@ -281,6 +290,23 @@ public:
   /// persist here across runs. Empty = in-memory only.
   Request &corpus(std::string Dir) {
     CorpusDir = std::move(Dir);
+    return *this;
+  }
+  /// With the fast oracle on, explore re-runs the brute-force
+  /// enumerator as a differential reference on every Nth eligible
+  /// litmus scenario (0 = never). Sampling never changes the report;
+  /// a disagreement surfaces as an "oracle-vs-enumerator" divergence.
+  Request &oracleSamplePeriod(int N) {
+    OracleSamplePeriod = N;
+    return *this;
+  }
+  /// Out of 1000 explore scenarios, how many are symbolic catalog
+  /// tests; the rest are litmus programs (-1 = the generator default,
+  /// currently 300). 0 gives a pure litmus run - the oracle-checked
+  /// fragment - which is dramatically cheaper per scenario than the
+  /// SAT-bound symbolic checks.
+  Request &symbolicShare(int PerMille) {
+    SymbolicPerMille = PerMille;
     return *this;
   }
 
@@ -358,6 +384,7 @@ public:
   bool Fresh = false;
   int Jobs = 0;
   int PortfolioWidth = 0;
+  bool UseFastOracle = true;
 
   double DeadlineSeconds = 0;
   bool UseCache = true;
@@ -371,6 +398,8 @@ public:
   int ExploreBudget = 100;
   bool ExploreShrink = true;
   std::string CorpusDir;
+  int OracleSamplePeriod = 8;
+  int SymbolicPerMille = -1;
 };
 
 } // namespace checkfence

@@ -79,6 +79,14 @@ struct ResultStats {
   unsigned long long LearntsExported = 0;
   unsigned long long LearntsImported = 0;
   int RacesWon = 0;
+  /// Reads-from oracle pruning (zero with fastOracle(false) or on
+  /// ineligible models/programs): inclusion rounds the polynomial
+  /// oracle attempted and the ones it discharged without a SAT solve.
+  /// Timed JSON only - timing-free JSON must not depend on whether the
+  /// oracle or the solver answered.
+  int OracleAttempts = 0;
+  int OracleDischarges = 0;
+  double OracleSeconds = 0;
 };
 
 /// Outcome of a single check request.

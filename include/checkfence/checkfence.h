@@ -34,7 +34,7 @@
 #include <vector>
 
 #define CHECKFENCE_VERSION_MAJOR 0
-#define CHECKFENCE_VERSION_MINOR 5
+#define CHECKFENCE_VERSION_MINOR 6
 #define CHECKFENCE_VERSION_PATCH 0
 
 namespace checkfence {
@@ -61,6 +61,10 @@ struct ModelDesc {
   std::string Name;       ///< "sc", "tso", ...
   std::string Descriptor; ///< canonical lattice descriptor ("po:...")
   std::string Note;       ///< one-line description
+  /// The polynomial reads-from oracle covers this point: explore uses it
+  /// as the primary litmus oracle and checks prune SAT inclusion queries
+  /// with it (see docs/ORACLES.md). False = brute-force oracles only.
+  bool FastOracle = false;
 };
 
 /// Built-in implementations, tests (paper first, then extensions), and

@@ -168,6 +168,10 @@ bool checkfence::api::checkOptionsFrom(const Request &Req,
   // engine's contract), so it stays out of optionsFingerprint - cached
   // results and pooled sessions are shared across widths.
   Out.PortfolioWidth = Req.PortfolioWidth;
+  // Same contract for oracle pruning: it only decides which machinery
+  // produces the (identical) answer, so it is not part of a run's
+  // identity either.
+  Out.OraclePrune = Req.UseFastOracle;
   return true;
 }
 
@@ -221,6 +225,9 @@ Result checkfence::api::convertResult(const checker::CheckResult &R,
   Out.Stats.LearntsImported =
       static_cast<unsigned long long>(S.LearntsImported);
   Out.Stats.RacesWon = S.RacesWonByHelper;
+  Out.Stats.OracleAttempts = S.OracleAttempts;
+  Out.Stats.OracleDischarges = S.OracleDischarges;
+  Out.Stats.OracleSeconds = S.OracleSeconds;
   for (const auto &[Loop, Bound] : R.FinalBounds)
     Out.FinalBounds[Loop] = Bound;
   return Out;
@@ -271,6 +278,9 @@ std::string checkfence::api::renderSingleCellJson(const Result &R,
     F.LearntsExported = R.Stats.LearntsExported;
     F.LearntsImported = R.Stats.LearntsImported;
     F.RacesWon = R.Stats.RacesWon;
+    F.OracleAttempts = R.Stats.OracleAttempts;
+    F.OracleDischarges = R.Stats.OracleDischarges;
+    F.OracleSeconds = R.Stats.OracleSeconds;
   }
   OS += "    " + engine::renderReportCell(F) + "\n";
   OS += "  ]\n";

@@ -610,6 +610,10 @@ ExploreOutcome Verifier::explore(const Request &Req, EventSink *Sink,
   EO.CorpusDir = Req.CorpusDir;
   EO.Sink = Sink;
   EO.Token = Token;
+  EO.Diff.UseFastOracle = Req.UseFastOracle;
+  EO.Diff.EnumeratorSamplePeriod = Req.OracleSamplePeriod;
+  if (Req.SymbolicPerMille >= 0)
+    EO.Limits.SymbolicPerMille = Req.SymbolicPerMille;
 
   // Empty = the explore default axis (sc/tso/relaxed), not the single
   // default model the other request kinds fall back to.

@@ -79,6 +79,18 @@ struct CheckOptions {
   /// ConflictBudget >= 0 (budget-exhaustion verdicts must not depend on
   /// racing luck).
   int PortfolioWidth = 1;
+  /// Discharge inclusion checks with the polynomial reads-from oracle
+  /// where it applies (readsFromEligible() target models whose flattened
+  /// problem fits the oracle's fragment): when every reachable
+  /// observation is non-erroneous and inside the mined specification,
+  /// the SAT inclusion query is Unsat by construction and is skipped.
+  /// Any other oracle outcome falls through to the SAT path unchanged,
+  /// so verdicts, mined observation sets, and timing-free JSON are
+  /// identical either way - like PortfolioWidth, this field is NOT part
+  /// of a run's identity and must be ignored by fingerprints. The fresh
+  /// reference pipeline ignores it (it stays a pure-SAT differential
+  /// baseline).
+  bool OraclePrune = true;
   /// Worker slots shared with the matrix runner and fence synthesis; the
   /// portfolio borrows helper threads from here and runs serially when
   /// none are available. Per-request state like Hooks: never owned, never
@@ -119,6 +131,11 @@ struct CheckStats {
   uint64_t LearntsImported = 0;
   int RacesRun = 0;
   int RacesWonByHelper = 0;
+  // Reads-from oracle pruning (timed JSON only; timing-free JSON must
+  // not depend on whether the oracle or the SAT solver answered).
+  int OracleAttempts = 0;
+  int OracleDischarges = 0;
+  double OracleSeconds = 0;
   // Whole run.
   double TotalSeconds = 0;
 };

@@ -8,6 +8,7 @@
 
 #include "checker/InclusionChecker.h"
 #include "checker/SpecMiner.h"
+#include "memmodel/ReadsFromOracle.h"
 #include "support/Timing.h"
 
 using namespace checkfence;
@@ -137,6 +138,47 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
       CheckEnc = &CheckCtx.encode(ImplProg, ThreadProcs, Bounds, CheckCfg);
       CheckEncBounds = Bounds;
       Result.Stats.EncodeSeconds += CheckEnc->stats().EncodeSeconds;
+    }
+    // Phase 2a: reads-from oracle pruning. On eligible target models the
+    // polynomial oracle decides fragment-sized problems exactly; when
+    // every reachable observation is non-erroneous and already in the
+    // mined specification, the inclusion query is Unsat by construction
+    // (the mismatch clauses include the error flag), and - the oracle's
+    // fragment admits only statically in-bounds programs - every bound
+    // probe is Unsat too, so the check finishes here with the bounds
+    // final. Counterexamples and refset mining are never short-circuited
+    // (refset spec bounds may still need growing): any other outcome
+    // falls through to the SAT path unchanged. The reported stats keep
+    // their SAT-path values - SatVars/SatClauses freeze at encode end,
+    // and this round's solve deltas are genuinely zero.
+    if (Opts.OraclePrune && !SpecProg &&
+        memmodel::readsFromEligible(CheckCfg.Model) && CheckEnc->ok()) {
+      Timer OracleTimer;
+      ++Result.Stats.OracleAttempts;
+      memmodel::ReadsFromOptions RO;
+      RO.Model = CheckCfg.Model;
+      memmodel::ReadsFromResult RF =
+          memmodel::checkReadsFrom(CheckEnc->flat(), RO);
+      bool Discharged = RF.Ok;
+      if (Discharged) {
+        for (const memmodel::RefObservation &O : RF.Observations) {
+          if (O.Error || !Result.Spec.count(Observation{false, O.Values})) {
+            Discharged = false;
+            break;
+          }
+        }
+      }
+      Result.Stats.OracleSeconds += OracleTimer.seconds();
+      if (Discharged) {
+        ++Result.Stats.OracleDischarges;
+        Result.Stats.Inclusion = CheckEnc->stats();
+        Result.Stats.Inclusion.SolveSeconds = 0;
+        Result.Stats.Inclusion.SolveCalls = 0;
+        Result.FinalBounds = Bounds;
+        snapshot(Iter + 1);
+        return Finish(CheckStatus::Pass,
+                      "all executions are observationally serial");
+      }
     }
     // The round's first bound probe is an independent query on the same
     // encoding; with helpers available the portfolio overlaps it with the

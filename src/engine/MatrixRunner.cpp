@@ -115,7 +115,10 @@ checkfence::engine::renderReportCell(const ReportCellFields &F) {
         .fixed("probe_seconds", F.ProbeSeconds)
         .field("learnts_exported", F.LearntsExported)
         .field("learnts_imported", F.LearntsImported)
-        .field("races_won", F.RacesWon);
+        .field("races_won", F.RacesWon)
+        .field("oracle_attempts", F.OracleAttempts)
+        .field("oracle_discharges", F.OracleDischarges)
+        .fixed("oracle_seconds", F.OracleSeconds);
   return Cell.str();
 }
 
@@ -170,6 +173,9 @@ std::string MatrixReport::json(bool IncludeTimings) const {
       F.LearntsImported =
           static_cast<unsigned long long>(R.Stats.LearntsImported);
       F.RacesWon = R.Stats.RacesWonByHelper;
+      F.OracleAttempts = R.Stats.OracleAttempts;
+      F.OracleDischarges = R.Stats.OracleDischarges;
+      F.OracleSeconds = R.Stats.OracleSeconds;
     }
     OS << "    " << renderReportCell(F);
     if (I + 1 < Cells.size())

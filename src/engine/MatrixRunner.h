@@ -81,6 +81,9 @@ struct ReportCellFields {
   unsigned long long LearntsExported = 0;
   unsigned long long LearntsImported = 0;
   int RacesWon = 0;
+  int OracleAttempts = 0;
+  int OracleDischarges = 0;
+  double OracleSeconds = 0;
 };
 
 /// Renders one inline cell object of the report schema.

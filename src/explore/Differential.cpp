@@ -12,6 +12,7 @@
 #include "harness/Catalog.h"
 #include "impls/Impls.h"
 #include "memmodel/AxiomaticEnumerator.h"
+#include "memmodel/ReadsFromOracle.h"
 #include "memmodel/ReferenceExecutor.h"
 #include "support/Format.h"
 
@@ -147,15 +148,59 @@ ScenarioOutcome DifferentialRunner::runLitmus(const Scenario &S) const {
       continue;
     }
 
-    memmodel::AxiomaticOptions AO;
-    AO.Model = M;
-    AO.MaxOrders = Opts.OracleMaxOrders;
-    memmodel::AxiomaticResult Oracle =
-        memmodel::enumerateAxiomatic(Prob.flat(), AO);
-    if (!Oracle.Ok) {
+    // Primary oracle: the polynomial reads-from checker on eligible
+    // lattice points, the brute-force order enumerator elsewhere (or
+    // everywhere when the fast path is disabled). Both emit identical
+    // skip strings, so the report does not depend on which ran.
+    const bool Fast =
+        Opts.UseFastOracle && memmodel::readsFromEligible(M);
+    std::set<memmodel::RefObservation> OracleObs;
+    std::string OracleErr;
+    if (Fast) {
+      memmodel::ReadsFromOptions RO;
+      RO.Model = M;
+      RO.MaxAssignments = Opts.OracleMaxOrders;
+      memmodel::ReadsFromResult RF =
+          memmodel::checkReadsFrom(Prob.flat(), RO);
+      if (RF.Ok) {
+        OracleObs = std::move(RF.Observations);
+        // Differential reference: re-run the enumerator on a sampled
+        // fraction of scenarios. Never recorded as a skip (the report
+        // must not depend on the sample period); an Ok disagreement is
+        // an oracle-vs-enumerator divergence.
+        if (Opts.EnumeratorSamplePeriod > 0 &&
+            S.Index % Opts.EnumeratorSamplePeriod == 0) {
+          memmodel::AxiomaticOptions AO;
+          AO.Model = M;
+          AO.MaxOrders = Opts.OracleMaxOrders;
+          memmodel::AxiomaticResult Slow =
+              memmodel::enumerateAxiomatic(Prob.flat(), AO);
+          if (Slow.Ok && Slow.Observations != OracleObs) {
+            Out.Divergences.push_back(
+                {"oracle-vs-enumerator", Name,
+                 "reads-from: " + show(OracleObs) +
+                     "| enumerator: " + show(Slow.Observations)});
+            continue;
+          }
+        }
+      } else {
+        OracleErr = RF.Error;
+      }
+    } else {
+      memmodel::AxiomaticOptions AO;
+      AO.Model = M;
+      AO.MaxOrders = Opts.OracleMaxOrders;
+      memmodel::AxiomaticResult Oracle =
+          memmodel::enumerateAxiomatic(Prob.flat(), AO);
+      if (Oracle.Ok)
+        OracleObs = std::move(Oracle.Observations);
+      else
+        OracleErr = Oracle.Error;
+    }
+    if (!OracleErr.empty()) {
       // Outside the oracle's fragment (or over budget): a recorded
       // skip, never a silent drop.
-      Out.Skips.push_back(Name + ": " + Oracle.Error);
+      Out.Skips.push_back(Name + ": " + OracleErr);
       continue;
     }
 
@@ -165,15 +210,15 @@ ScenarioOutcome DifferentialRunner::runLitmus(const Scenario &S) const {
       continue;
     }
 
-    const bool OracleErr = hasError(Oracle.Observations);
-    if (Mined.SequentialBug != OracleErr) {
+    const bool OracleHasErr = hasError(OracleObs);
+    if (Mined.SequentialBug != OracleHasErr) {
       Out.Divergences.push_back(
           {"sat-vs-axiomatic", Name,
            formatString("error-flag disagreement: sat=%s oracle=%s "
                         "(oracle set: %s)",
                         Mined.SequentialBug ? "error" : "clean",
-                        OracleErr ? "error" : "clean",
-                        show(Oracle.Observations).c_str())});
+                        OracleHasErr ? "error" : "clean",
+                        show(OracleObs).c_str())});
       continue;
     }
     if (Mined.SequentialBug) {
@@ -185,11 +230,10 @@ ScenarioOutcome DifferentialRunner::runLitmus(const Scenario &S) const {
     }
 
     std::set<memmodel::RefObservation> FromSat = toRef(Mined.Spec);
-    if (FromSat != Oracle.Observations) {
+    if (FromSat != OracleObs) {
       Out.Divergences.push_back(
           {"sat-vs-axiomatic", Name,
-           "sat: " + show(FromSat) +
-               "| oracle: " + show(Oracle.Observations)});
+           "sat: " + show(FromSat) + "| oracle: " + show(OracleObs)});
       continue;
     }
 
@@ -254,7 +298,8 @@ ScenarioOutcome DifferentialRunner::runSymbolic(const Scenario &S) const {
         .noCache()
         .maxBoundIterations(Opts.MaxBoundIterations)
         .maxProbes(Opts.MaxProbes)
-        .conflictBudget(Opts.EngineConflictBudget);
+        .conflictBudget(Opts.EngineConflictBudget)
+        .fastOracle(Opts.UseFastOracle);
     if (Opts.HasDeadline)
       Req.deadline(Opts.remainingSeconds());
     Result R = V.check(Req, nullptr, Opts.Token);

@@ -55,6 +55,20 @@ struct DiffOptions {
   /// Brute-force budgets; scenarios over budget are skipped, not failed.
   uint64_t OracleMaxOrders = 20'000'000;
   uint64_t RefMaxSteps = 20'000'000;
+  /// Use the polynomial ReadsFromOracle as the primary litmus oracle on
+  /// readsFromEligible() lattice points (sc/tso/pso and the po:
+  /// descriptors they cover); ineligible points stay on the
+  /// AxiomaticEnumerator. Off = enumerator everywhere (the pre-oracle
+  /// behaviour, kept for differential runs against the fast path).
+  bool UseFastOracle = true;
+  /// With the fast oracle on, additionally run the AxiomaticEnumerator
+  /// as a differential reference on every Nth eligible litmus scenario
+  /// (keyed on Scenario::Index, so the sample set is identical at any
+  /// job count); a disagreement is an "oracle-vs-enumerator"
+  /// divergence. 0 = never sample. Sampled runs never add skips or
+  /// otherwise alter the report, so the report is byte-identical across
+  /// sample periods.
+  int EnumeratorSamplePeriod = 8;
   /// Engine budgets for symbolic checks (small: generated tests either
   /// converge quickly or are reported as bounds-exhausted skips - the
   /// bounds of converging tests stabilize within the first two
@@ -106,10 +120,10 @@ struct DiffOptions {
 
 /// One checker-vs-oracle disagreement (or broken cross-model invariant).
 struct Divergence {
-  std::string Kind;  ///< "sat-vs-axiomatic", "sat-vs-reference",
-                     ///< "serial-vs-reference", "lattice-monotonicity",
-                     ///< "seqbug-inconsistency", "engine-error",
-                     ///< "frontend-error", "injected"
+  std::string Kind;  ///< "sat-vs-axiomatic", "oracle-vs-enumerator",
+                     ///< "sat-vs-reference", "serial-vs-reference",
+                     ///< "lattice-monotonicity", "seqbug-inconsistency",
+                     ///< "engine-error", "frontend-error", "injected"
   std::string Model; ///< display name; empty for cross-model kinds
   std::string Detail;
 };

@@ -46,6 +46,12 @@ private:
     uint64_t Preds = 0; ///< accesses that must come earlier (bitmask)
   };
 
+  bool fail(OracleSkip Reason) {
+    Out.Reason = Reason;
+    Out.Error = oracleSkipMessage(Reason);
+    return false;
+  }
+
   /// Statically evaluates \p Id; fails if the value depends on a load.
   bool evalStatic(ValueId Id, Value &Out_);
   /// Evaluates \p Id given the current total order; loads resolve through
@@ -129,19 +135,15 @@ bool OrderEnumerator::prepare() {
   for (size_t I = 0; I < P.Events.size(); ++I) {
     const FlatEvent &E = P.Events[I];
     Value G;
-    if (!evalStatic(E.Guard, G)) {
-      Out.Error = "guard depends on a load";
-      return false;
-    }
+    if (!evalStatic(E.Guard, G))
+      return fail(OracleSkip::GuardDependsOnLoad);
     if (G.isUndef() || !G.isTruthy())
       continue;
     if (!E.isAccess())
       continue;
     Value Addr;
-    if (!evalStatic(E.Addr, Addr)) {
-      Out.Error = "address depends on a load";
-      return false;
-    }
+    if (!evalStatic(E.Addr, Addr))
+      return fail(OracleSkip::AddressDependsOnLoad);
     Access A;
     A.Event = static_cast<int>(I);
     A.IsStore = E.isStore();
@@ -149,23 +151,17 @@ bool OrderEnumerator::prepare() {
     AccessOfEvent[I] = static_cast<int>(Accesses.size());
     Accesses.push_back(A);
   }
-  if (Accesses.size() > 62) {
-    Out.Error = "too many accesses for the bitmask search";
-    return false;
-  }
+  if (Accesses.size() > 62)
+    return fail(OracleSkip::TooManyAccesses);
 
   // Within-bounds semantics: a statically-exceeded loop bound means the
   // program was not fully unrolled - outside the supported fragment.
   for (const FlatBoundMark &M : P.BoundMarks) {
     Value G;
-    if (!evalStatic(M.Guard, G)) {
-      Out.Error = "loop-bound mark depends on a load";
-      return false;
-    }
-    if (!G.isUndef() && G.isTruthy()) {
-      Out.Error = "program exceeds its loop bounds";
-      return false;
-    }
+    if (!evalStatic(M.Guard, G))
+      return fail(OracleSkip::BoundMarkDependsOnLoad);
+    if (!G.isUndef() && G.isTruthy())
+      return fail(OracleSkip::ExceedsLoopBounds);
   }
 
   int N = static_cast<int>(Accesses.size());
@@ -239,10 +235,8 @@ bool OrderEnumerator::prepare() {
     if (EF.K != FlatEvent::Kind::Fence)
       continue;
     Value G;
-    if (!evalStatic(EF.Guard, G)) {
-      Out.Error = "fence guard depends on a load";
-      return false;
-    }
+    if (!evalStatic(EF.Guard, G))
+      return fail(OracleSkip::FenceGuardDependsOnLoad);
     if (G.isUndef() || !G.isTruthy())
       continue;
     bool XIsLoad = EF.FenceK == lsl::FenceKind::LoadLoad ||
@@ -354,7 +348,7 @@ bool OrderEnumerator::evalDyn(ValueId Id, Value &Out_) {
 
 void OrderEnumerator::finalize() {
   if (++Out.Orders > Opts.MaxOrders) {
-    Out.Error = "order budget exceeded";
+    fail(OracleSkip::BudgetExceeded);
     return;
   }
   DynVals.assign(P.Defs.size(), Value::undef());
@@ -364,14 +358,14 @@ void OrderEnumerator::finalize() {
   for (const FlatCheck &C : P.Checks) {
     Value G;
     if (!evalDyn(C.Guard, G)) {
-      Out.Error = "cyclic value dependency";
+      fail(OracleSkip::CyclicValueDependency);
       return;
     }
     if (G.isUndef() || !G.isTruthy())
       continue;
     Value Cond;
     if (!evalDyn(C.Cond, Cond)) {
-      Out.Error = "cyclic value dependency";
+      fail(OracleSkip::CyclicValueDependency);
       return;
     }
     switch (C.K) {
@@ -404,7 +398,7 @@ void OrderEnumerator::finalize() {
   for (const FlatObservation &O : P.Observations) {
     Obs.Values.emplace_back();
     if (!evalDyn(O.Val, Obs.Values.back())) {
-      Out.Error = "cyclic value dependency";
+      fail(OracleSkip::CyclicValueDependency);
       return;
     }
   }

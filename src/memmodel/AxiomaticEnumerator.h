@@ -30,6 +30,7 @@
 #define CHECKFENCE_MEMMODEL_AXIOMATICENUMERATOR_H
 
 #include "memmodel/MemoryModel.h"
+#include "memmodel/OracleSkip.h"
 #include "memmodel/ReferenceExecutor.h"
 #include "trans/FlatProgram.h"
 
@@ -47,8 +48,12 @@ struct AxiomaticOptions {
 
 struct AxiomaticResult {
   bool Ok = false;
+  /// Why the enumerator declined (None when Ok). The structured form of
+  /// Error, for callers that account for skips by cause.
+  OracleSkip Reason = OracleSkip::None;
   /// Non-empty when the program is outside the supported fragment (guard
-  /// or address depends on a load, cyclic value dependency, budget).
+  /// or address depends on a load, cyclic value dependency, budget);
+  /// always oracleSkipMessage(Reason).
   std::string Error;
   std::set<RefObservation> Observations;
   /// Valid total orders found (statistics / sanity checking).

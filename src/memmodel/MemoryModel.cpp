@@ -23,15 +23,21 @@ using namespace checkfence::trans;
 const std::vector<NamedModel> &checkfence::memmodel::namedModels() {
   static const std::vector<NamedModel> Models = {
       {"serial", ModelParams::serial(),
-       "operation-granularity sequential order (specification mining)"},
-      {"sc", ModelParams::sc(), "sequential consistency"},
-      {"tso", ModelParams::tso(), "total store order (FIFO store buffer)"},
+       "operation-granularity sequential order (specification mining)",
+       readsFromEligible(ModelParams::serial())},
+      {"sc", ModelParams::sc(), "sequential consistency",
+       readsFromEligible(ModelParams::sc())},
+      {"tso", ModelParams::tso(), "total store order (FIFO store buffer)",
+       readsFromEligible(ModelParams::tso())},
       {"pso", ModelParams::pso(),
-       "partial store order (per-address store buffers)"},
+       "partial store order (per-address store buffers)",
+       readsFromEligible(ModelParams::pso())},
       {"rmo", ModelParams::rmo(),
-       "RMO-like: only load-load order preserved"},
+       "RMO-like: only load-load order preserved",
+       readsFromEligible(ModelParams::rmo())},
       {"relaxed", ModelParams::relaxed(),
-       "the paper's Relaxed model (no program order beyond axiom 1)"},
+       "the paper's Relaxed model (no program order beyond axiom 1)",
+       readsFromEligible(ModelParams::relaxed())},
   };
   return Models;
 }

@@ -167,11 +167,27 @@ struct ModelParams {
   }
 };
 
+/// True when the polynomial reads-from oracle (ReadsFromOracle.h) is the
+/// preferred decision procedure for \p P: the multi-copy-atomic points
+/// that keep load-load and load-store program order - sc, tso, pso, and
+/// the po: descriptors they cover. On these points the oracle's
+/// constraint saturation stays effectively branch-free (per-thread load
+/// order plus same-address coherence decide the writer disjunctions), so
+/// reads-from enumeration beats order enumeration by orders of magnitude.
+/// Callers outside the set should stay on AxiomaticEnumerator.
+constexpr bool readsFromEligible(const ModelParams &P) {
+  return P.MultiCopyAtomic && !P.SerialOps && P.OrderLoadLoad &&
+         P.OrderLoadStore;
+}
+
 /// A registry entry naming a lattice point.
 struct NamedModel {
   std::string Name;
   ModelParams Params;
   std::string Note; ///< one-line description for --list / docs
+  /// readsFromEligible(Params), recorded so front ends can surface the
+  /// fast-oracle marker without re-deriving it.
+  bool FastOracle = false;
 };
 
 /// The named models, strongest first: serial, sc, tso, pso, rmo, relaxed.

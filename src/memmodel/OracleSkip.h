@@ -1,0 +1,64 @@
+//===--- OracleSkip.h - typed oracle ineligibility reasons ------*- C++ -*-==//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured reason an execution oracle (AxiomaticEnumerator,
+/// ReadsFromOracle) declined to decide a program. Callers used to infer
+/// "fragment skip" from the Ok bool plus string matching on Error; the
+/// enum lets skip accounting (explore reports, tests) branch on the cause
+/// while oracleSkipMessage() keeps the user-facing strings canonical —
+/// both oracles emit identical text for the same reason, so differential
+/// harnesses can compare skip records across oracles byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_MEMMODEL_ORACLESKIP_H
+#define CHECKFENCE_MEMMODEL_ORACLESKIP_H
+
+namespace checkfence {
+namespace memmodel {
+
+enum class OracleSkip {
+  None,                    ///< oracle ran to completion (Ok may still be set)
+  GuardDependsOnLoad,      ///< an event guard is not statically evaluable
+  AddressDependsOnLoad,    ///< an access address is not statically evaluable
+  FenceGuardDependsOnLoad, ///< a fence guard is not statically evaluable
+  BoundMarkDependsOnLoad,  ///< a loop-bound guard is not statically evaluable
+  ExceedsLoopBounds,       ///< the unrolling statically overflows its bounds
+  TooManyAccesses,         ///< > 62 executed accesses (bitmask search limit)
+  BudgetExceeded,          ///< the order/assignment exploration budget ran out
+  CyclicValueDependency,   ///< a thin-air value cycle (undecidable here)
+};
+
+/// The canonical user-facing message for \p Reason; empty for None.
+inline const char *oracleSkipMessage(OracleSkip Reason) {
+  switch (Reason) {
+  case OracleSkip::None:
+    return "";
+  case OracleSkip::GuardDependsOnLoad:
+    return "guard depends on a load";
+  case OracleSkip::AddressDependsOnLoad:
+    return "address depends on a load";
+  case OracleSkip::FenceGuardDependsOnLoad:
+    return "fence guard depends on a load";
+  case OracleSkip::BoundMarkDependsOnLoad:
+    return "loop-bound mark depends on a load";
+  case OracleSkip::ExceedsLoopBounds:
+    return "program exceeds its loop bounds";
+  case OracleSkip::TooManyAccesses:
+    return "too many accesses for the bitmask search";
+  case OracleSkip::BudgetExceeded:
+    return "search budget exceeded";
+  case OracleSkip::CyclicValueDependency:
+    return "cyclic value dependency";
+  }
+  return "";
+}
+
+} // namespace memmodel
+} // namespace checkfence
+
+#endif // CHECKFENCE_MEMMODEL_ORACLESKIP_H

@@ -1,0 +1,102 @@
+//===--- CorpusReplayTests.cpp - persisted repro regression corpus -----------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// Replays every committed repro fixture (tests/fixtures/repros/
+// repro-*.txt, persisted in the explore corpus file format) through the
+// DifferentialRunner twice - once with the reads-from fast oracle and
+// once forced onto the brute-force enumerator - and requires both runs
+// to come back divergence-free with identical outcomes. Any scenario
+// that once tripped a checker bug stays in this corpus forever, and the
+// corpus re-checks both oracle paths on every ctest run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkfence/checkfence.h"
+
+#include "explore/Corpus.h"
+#include "explore/Differential.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+
+using namespace checkfence;
+using namespace checkfence::explore;
+
+namespace {
+
+std::string fixtureDir() {
+  std::string Dir = __FILE__;
+  return Dir.substr(0, Dir.find_last_of('/')) + "/fixtures/repros";
+}
+
+std::vector<std::string> reproFiles() {
+  std::vector<std::string> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(fixtureDir())) {
+    std::string Name = Entry.path().filename().string();
+    if (Name.rfind("repro-", 0) == 0 &&
+        Name.size() > 4 && Name.substr(Name.size() - 4) == ".txt")
+      Out.push_back(Entry.path().string());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+TEST(CorpusReplay, FixturesExist) {
+  EXPECT_GE(reproFiles().size(), 5u) << "fixture corpus went missing";
+}
+
+TEST(CorpusReplay, BothOraclesReplayEveryFixtureCleanly) {
+  Verifier V;
+  for (const std::string &Path : reproFiles()) {
+    SCOPED_TRACE(Path);
+
+    Repro R;
+    std::string Error;
+    ASSERT_TRUE(loadRepro(Path, R, Error)) << Error;
+    ASSERT_FALSE(R.Models.empty());
+
+    DiffOptions Fast;
+    for (const std::string &Name : R.Models) {
+      auto M = memmodel::modelFromName(Name);
+      ASSERT_TRUE(M.has_value()) << Name;
+      Fast.Models.push_back(*M);
+    }
+    // Sample every scenario so the fast path is additionally
+    // enumerator-checked inline, on top of the A/B comparison below.
+    Fast.UseFastOracle = true;
+    Fast.EnumeratorSamplePeriod = 1;
+    DiffOptions Slow = Fast;
+    Slow.UseFastOracle = false;
+
+    ScenarioOutcome A = DifferentialRunner(V, Fast).run(R.toScenario());
+    ScenarioOutcome B = DifferentialRunner(V, Slow).run(R.toScenario());
+
+    for (const Divergence &D : A.Divergences)
+      ADD_FAILURE() << "fast oracle: " << D.Kind << " on " << D.Model
+                    << ": " << D.Detail;
+    for (const Divergence &D : B.Divergences)
+      ADD_FAILURE() << "enumerator: " << D.Kind << " on " << D.Model
+                    << ": " << D.Detail;
+    EXPECT_EQ(A.Ran, B.Ran);
+    EXPECT_EQ(A.Skips, B.Skips);
+    EXPECT_EQ(A.Summary, B.Summary);
+  }
+}
+
+TEST(CorpusReplay, FixturesRoundTripThroughTheParser) {
+  for (const std::string &Path : reproFiles()) {
+    SCOPED_TRACE(Path);
+    Repro R;
+    std::string Error;
+    ASSERT_TRUE(loadRepro(Path, R, Error)) << Error;
+    Repro Again;
+    ASSERT_TRUE(parseRepro(renderRepro(R), Again, Error)) << Error;
+    EXPECT_EQ(renderRepro(Again), renderRepro(R));
+  }
+}
+
+} // namespace

@@ -1,0 +1,562 @@
+//===--- ReadsFromOracleTests.cpp - polynomial oracle vs. brute force --------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+// Differential testing of the reads-from oracle: on every oracle-eligible
+// point of the relaxation lattice its observation set must equal the
+// AxiomaticEnumerator's brute-force order enumeration (and under sc the
+// ReferenceExecutor's interleaving enumeration), across hand-written
+// litmus shapes and randomly generated programs. The two checkers share
+// no code beyond the FlatProgram representation and the model trait
+// table. Also covered: lattice monotonicity of the oracle's observation
+// sets, the typed skip reasons both oracles now report (and their
+// byte-identical messages), the FastOracle eligibility markers in the
+// model registry and the public catalog, and the explore runner's skip
+// accounting being independent of which oracle answered.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkfence/checkfence.h"
+
+#include "checker/Encoder.h"
+#include "checker/SpecMiner.h"
+#include "explore/Differential.h"
+#include "frontend/Lowering.h"
+#include "harness/TestSpec.h"
+#include "memmodel/AxiomaticEnumerator.h"
+#include "memmodel/ReadsFromOracle.h"
+#include "memmodel/ReferenceExecutor.h"
+
+#include "gtest/gtest.h"
+
+#include <random>
+#include <sstream>
+
+using namespace checkfence;
+using namespace checkfence::checker;
+using namespace checkfence::harness;
+
+namespace {
+
+/// The lattice points the fast oracle claims to cover: sc, tso, pso, and
+/// the unnamed po: descriptors between them.
+std::vector<memmodel::ModelParams> eligibleModels() {
+  std::vector<memmodel::ModelParams> Out;
+  for (const memmodel::ModelParams &M : memmodel::latticeModels())
+    if (memmodel::readsFromEligible(M))
+      Out.push_back(M);
+  return Out;
+}
+
+std::string show(const std::set<memmodel::RefObservation> &S) {
+  std::ostringstream SS;
+  for (const memmodel::RefObservation &O : S) {
+    SS << (O.Error ? "E(" : " (");
+    for (size_t I = 0; I < O.Values.size(); ++I)
+      SS << (I ? "," : "") << O.Values[I].str();
+    SS << ") ";
+  }
+  return SS.str();
+}
+
+bool isSubset(const std::set<memmodel::RefObservation> &A,
+              const std::set<memmodel::RefObservation> &B) {
+  return std::includes(B.begin(), B.end(), A.begin(), A.end());
+}
+
+struct ThreadOps {
+  std::string Proc;
+  int NumArgs = 0;
+};
+
+/// Compiles \p Source, builds one thread per \p Ops entry, and checks the
+/// reads-from oracle against the order enumerator on every eligible
+/// lattice point (and against the ReferenceExecutor under sc). Skips must
+/// agree too - same typed reason, same message. Returns the number of
+/// points where observation sets were actually compared.
+int compareOracles(const std::string &Source,
+                   const std::vector<ThreadOps> &Ops,
+                   const std::string &Label) {
+  frontend::DiagEngine Diags;
+  lsl::Program Prog;
+  EXPECT_TRUE(frontend::compileC(Source, {}, Prog, Diags))
+      << Label << ":\n" << Source << "\n" << Diags.str();
+
+  TestSpec Spec;
+  Spec.Name = "rf-oracle";
+  for (const ThreadOps &Op : Ops)
+    Spec.Threads.push_back({OpSpec{Op.Proc, Op.NumArgs, false, false}});
+  std::vector<std::string> Threads = buildTestThreads(Prog, Spec);
+
+  // Per-point sets that compared cleanly, for the monotonicity check.
+  std::vector<std::pair<memmodel::ModelParams,
+                        std::set<memmodel::RefObservation>>>
+      CleanSets;
+
+  int Compared = 0;
+  for (const memmodel::ModelParams &Model : eligibleModels()) {
+    ProblemConfig Cfg;
+    Cfg.Model = Model;
+    EncodedProblem Prob(Prog, Threads, {}, Cfg);
+    if (!Prob.ok()) {
+      ADD_FAILURE() << Label << ": " << Prob.error();
+      return Compared;
+    }
+
+    memmodel::ReadsFromOptions RO;
+    RO.Model = Model;
+    memmodel::ReadsFromResult RF =
+        memmodel::checkReadsFrom(Prob.flat(), RO);
+    memmodel::AxiomaticOptions AO;
+    AO.Model = Model;
+    memmodel::AxiomaticResult Slow =
+        memmodel::enumerateAxiomatic(Prob.flat(), AO);
+
+    // Fragment/skip agreement is part of the contract: the explore
+    // report must not depend on which oracle ran.
+    EXPECT_EQ(RF.Ok, Slow.Ok)
+        << Label << " on " << memmodel::modelName(Model)
+        << ": rf='" << RF.Error << "' enum='" << Slow.Error << "'\n"
+        << Source;
+    if (!RF.Ok || !Slow.Ok) {
+      if (!RF.Ok && !Slow.Ok) {
+        EXPECT_EQ(RF.Reason, Slow.Reason) << Label;
+        EXPECT_EQ(RF.Error, Slow.Error) << Label;
+      }
+      continue;
+    }
+
+    EXPECT_EQ(RF.Observations, Slow.Observations)
+        << Label << " disagrees on " << memmodel::modelName(Model)
+        << "\n  reads-from: " << show(RF.Observations)
+        << "\n  enumerator: " << show(Slow.Observations) << "\n"
+        << Source;
+
+    if (Model == memmodel::ModelParams::sc()) {
+      std::set<memmodel::RefObservation> Interleaved =
+          memmodel::enumerateExecutions(Prob.flat(), memmodel::RefOptions{});
+      EXPECT_EQ(RF.Observations, Interleaved)
+          << Label << " disagrees with the reference executor under sc"
+          << "\n  reads-from: " << show(RF.Observations)
+          << "\n  reference:  " << show(Interleaved) << "\n"
+          << Source;
+    }
+
+    CleanSets.emplace_back(Model, RF.Observations);
+    ++Compared;
+  }
+
+  // Lattice monotonicity of the oracle's own verdicts: every execution
+  // allowed under a stronger point is allowed under a weaker one.
+  for (size_t A = 0; A < CleanSets.size(); ++A)
+    for (size_t B = 0; B < CleanSets.size(); ++B) {
+      if (A == B || !memmodel::atLeastAsStrong(CleanSets[A].first,
+                                               CleanSets[B].first))
+        continue;
+      EXPECT_TRUE(isSubset(CleanSets[A].second, CleanSets[B].second))
+          << Label << ": " << memmodel::modelName(CleanSets[A].first)
+          << " not-subset-of " << memmodel::modelName(CleanSets[B].first)
+          << "\n  " << show(CleanSets[A].second) << "\n  "
+          << show(CleanSets[B].second) << "\n" << Source;
+    }
+  return Compared;
+}
+
+#define LITMUS_HEADER                                                        \
+  "extern void observe(int v);\n"                                           \
+  "extern void fence(char *type);\n"
+
+//===----------------------------------------------------------------------===//
+// Hand-written litmus shapes.
+//===----------------------------------------------------------------------===//
+
+TEST(ReadsFromOracle, StoreBuffering) {
+  compareOracles(LITMUS_HEADER R"(
+int x; int y;
+void init_op(void) { x = 0; y = 0; }
+void t1_op(void) { x = 1; observe(y); }
+void t2_op(void) { y = 1; observe(x); }
+)",
+                 {{"t1_op"}, {"t2_op"}}, "sb");
+}
+
+TEST(ReadsFromOracle, StoreBufferingFenced) {
+  compareOracles(LITMUS_HEADER R"(
+int x; int y;
+void init_op(void) { x = 0; y = 0; }
+void t1_op(void) { x = 1; fence("store-load"); observe(y); }
+void t2_op(void) { y = 1; fence("store-load"); observe(x); }
+)",
+                 {{"t1_op"}, {"t2_op"}}, "sb+fence");
+}
+
+TEST(ReadsFromOracle, MessagePassingFenced) {
+  compareOracles(LITMUS_HEADER R"(
+int data; int flag;
+void init_op(void) { data = 0; flag = 0; }
+void producer_op(void) { data = 1; fence("store-store"); flag = 1; }
+void consumer_op(void) { int f = flag; fence("load-load"); int d = data;
+                         observe(f); observe(d); }
+)",
+                 {{"producer_op"}, {"consumer_op"}}, "mp+fences");
+}
+
+TEST(ReadsFromOracle, Iriw) {
+  compareOracles(LITMUS_HEADER R"(
+int x; int y;
+void init_op(void) { x = 0; y = 0; }
+void w1_op(void) { x = 1; }
+void w2_op(void) { y = 1; }
+void r1_op(void) { int a = x; fence("load-load"); int b = y;
+                   observe(a); observe(b); }
+void r2_op(void) { int c = y; fence("load-load"); int d = x;
+                   observe(c); observe(d); }
+)",
+                 {{"w1_op"}, {"w2_op"}, {"r1_op"}, {"r2_op"}}, "iriw");
+}
+
+TEST(ReadsFromOracle, CoherenceAndForwarding) {
+  // Same-address stores plus a reader: exercises the coherence
+  // disjunctions and the store-forwarding visibility rule.
+  compareOracles(LITMUS_HEADER R"(
+int x;
+void init_op(void) { x = 0; }
+void writer_op(void) { x = 1; x = 2; observe(x); }
+void reader_op(void) { int a = x; int b = x; observe(a); observe(b); }
+)",
+                 {{"writer_op"}, {"reader_op"}}, "coherence+fwd");
+}
+
+TEST(ReadsFromOracle, AtomicIncrements) {
+  // Atomic blocks become contracted supernodes in the constraint graph.
+  compareOracles(LITMUS_HEADER R"(
+int x;
+void init_op(void) { x = 0; }
+void incr_op(void) {
+  int t;
+  atomic { t = x; x = t + 1; }
+  observe(t);
+}
+)",
+                 {{"incr_op"}, {"incr_op"}}, "atomic-incr");
+}
+
+TEST(ReadsFromOracle, SymbolicArguments) {
+  // Choice values are enumerated outside the per-assignment search; the
+  // budget spans all of them.
+  compareOracles(LITMUS_HEADER R"(
+int x; int y;
+void init_op(void) { x = 0; y = 0; }
+void w_op(int v) { x = v; y = v + 1; }
+void r_op(void) { int a = y; int b = x; observe(a); observe(b); }
+)",
+                 {{"w_op", 1}, {"r_op"}}, "choice-args");
+}
+
+TEST(ReadsFromOracle, DependentData) {
+  // Store data depending on loads chains value evaluation across the
+  // reads-from assignment (and can go cyclic - then both sides skip).
+  compareOracles(LITMUS_HEADER R"(
+int x; int y;
+void init_op(void) { x = 0; y = 0; }
+void t1_op(void) { x = 1; }
+void t2_op(void) { int r = x; y = r; }
+void t3_op(void) { int s = y; observe(s); }
+)",
+                 {{"t1_op"}, {"t2_op"}, {"t3_op"}}, "dep-data");
+}
+
+TEST(ReadsFromOracle, ThreeThreadsMixed) {
+  compareOracles(LITMUS_HEADER R"(
+int x; int y; int z;
+void init_op(void) { x = 0; y = 0; z = 0; }
+void t1_op(void) { x = 1; fence("store-store"); y = 1; }
+void t2_op(void) { int a = y; z = 2; observe(a); }
+void t3_op(void) { int b = z; int c = x; observe(b); observe(c); }
+)",
+                 {{"t1_op"}, {"t2_op"}, {"t3_op"}}, "3t-mixed");
+}
+
+//===----------------------------------------------------------------------===//
+// Randomly generated programs (property sweep), same shape family as the
+// AxiomaticOracleTests generator: branch-free threads over shared
+// variables with constant/argument/loaded stores, random fences, atomic
+// read-modify-write blocks, and observations.
+//===----------------------------------------------------------------------===//
+
+struct GenProgram {
+  std::string Source;
+  std::vector<ThreadOps> Ops;
+};
+
+GenProgram generate(unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  auto Pick = [&](int N) { return static_cast<int>(Rng() % N); };
+  const char *Vars[] = {"x", "y", "z"};
+  const char *Fences[] = {"load-load", "load-store", "store-load",
+                          "store-store"};
+
+  int NumVars = 2 + Pick(2);
+  int NumThreads = 2 + Pick(2);
+  int Budget = 7;
+
+  std::ostringstream Src;
+  Src << LITMUS_HEADER;
+  for (int V = 0; V < NumVars; ++V)
+    Src << "int " << Vars[V] << ";\n";
+  Src << "void init_op(void) {";
+  for (int V = 0; V < NumVars; ++V)
+    Src << " " << Vars[V] << " = 0;";
+  Src << " }\n";
+
+  GenProgram Out;
+  int RegNum = 0;
+  for (int T = 0; T < NumThreads; ++T) {
+    int Len = 1 + Pick(3);
+    bool UsesArg = false;
+    std::ostringstream Body;
+    for (int S = 0; S < Len && Budget > 0; ++S) {
+      switch (Pick(6)) {
+      case 0: // store constant
+        Body << "  " << Vars[Pick(NumVars)] << " = " << 1 + Pick(2)
+             << ";\n";
+        Budget -= 1;
+        break;
+      case 1: // store the symbolic argument
+        Body << "  " << Vars[Pick(NumVars)] << " = v;\n";
+        UsesArg = true;
+        Budget -= 1;
+        break;
+      case 2: { // load and observe
+        int R = RegNum++;
+        Body << "  int r" << R << " = " << Vars[Pick(NumVars)]
+             << "; observe(r" << R << ");\n";
+        Budget -= 1;
+        break;
+      }
+      case 3: { // load and republish (dependent store data)
+        int R = RegNum++;
+        Body << "  int r" << R << " = " << Vars[Pick(NumVars)] << "; "
+             << Vars[Pick(NumVars)] << " = r" << R << ";\n";
+        Budget -= 2;
+        break;
+      }
+      case 4: // fence
+        Body << "  fence(\"" << Fences[Pick(4)] << "\");\n";
+        break;
+      case 5: { // atomic read-modify-write
+        int R = RegNum++;
+        const char *V = Vars[Pick(NumVars)];
+        Body << "  int r" << R << ";\n  atomic { r" << R << " = " << V
+             << "; " << V << " = r" << R << " + 1; }\n  observe(r" << R
+             << ");\n";
+        Budget -= 2;
+        break;
+      }
+      }
+    }
+    std::string Proc = "t" + std::to_string(T) + "_op";
+    Src << "void " << Proc << "(" << (UsesArg ? "int v" : "void")
+        << ") {\n"
+        << Body.str() << "}\n";
+    Out.Ops.push_back({Proc, UsesArg ? 1 : 0});
+  }
+  Out.Source = Src.str();
+  return Out;
+}
+
+class RandomRf : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomRf, OracleMatchesEnumerator) {
+  GenProgram G = generate(GetParam());
+  int Compared = compareOracles(G.Source, G.Ops,
+                                "seed " + std::to_string(GetParam()));
+  // At the very least sc must have been comparable: no cyclic value
+  // dependency can arise where <M embeds all of <p.
+  EXPECT_GE(Compared, 1) << G.Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomRf, ::testing::Range(0u, 64u));
+
+//===----------------------------------------------------------------------===//
+// Typed skip reasons: both oracles classify identically and render the
+// exact same message - the explore skip strings depend on it.
+//===----------------------------------------------------------------------===//
+
+struct CompiledLitmus {
+  lsl::Program Prog;
+  std::vector<std::string> Threads;
+};
+
+CompiledLitmus compileLitmus(const std::string &Source,
+                             const std::vector<ThreadOps> &Ops) {
+  CompiledLitmus Out;
+  frontend::DiagEngine Diags;
+  EXPECT_TRUE(frontend::compileC(Source, {}, Out.Prog, Diags))
+      << Diags.str();
+  TestSpec Spec;
+  Spec.Name = "skip";
+  for (const ThreadOps &Op : Ops)
+    Spec.Threads.push_back({OpSpec{Op.Proc, Op.NumArgs, false, false}});
+  Out.Threads = buildTestThreads(Out.Prog, Spec);
+  return Out;
+}
+
+const char *GuardDependsSource = LITMUS_HEADER R"(
+int x; int y;
+void init_op(void) { x = 0; y = 0; }
+void t0_op(void) { int r = x; if (r) { y = 1; } }
+void t1_op(void) { x = 1; observe(y); }
+)";
+
+TEST(OracleSkips, GuardDependsOnLoad) {
+  CompiledLitmus L =
+      compileLitmus(GuardDependsSource, {{"t0_op"}, {"t1_op"}});
+  ProblemConfig Cfg;
+  Cfg.Model = memmodel::ModelParams::sc();
+  EncodedProblem Prob(L.Prog, L.Threads, {}, Cfg);
+  ASSERT_TRUE(Prob.ok()) << Prob.error();
+
+  memmodel::ReadsFromResult RF =
+      memmodel::checkReadsFrom(Prob.flat(), {});
+  EXPECT_FALSE(RF.Ok);
+  EXPECT_EQ(RF.Reason, memmodel::OracleSkip::GuardDependsOnLoad);
+  EXPECT_EQ(RF.Error, "guard depends on a load");
+
+  memmodel::AxiomaticResult Slow =
+      memmodel::enumerateAxiomatic(Prob.flat(), {});
+  EXPECT_FALSE(Slow.Ok);
+  EXPECT_EQ(Slow.Reason, memmodel::OracleSkip::GuardDependsOnLoad);
+  EXPECT_EQ(Slow.Error, RF.Error);
+  EXPECT_EQ(memmodel::oracleSkipMessage(Slow.Reason), Slow.Error);
+}
+
+TEST(OracleSkips, BudgetExceededSharesOneMessage) {
+  CompiledLitmus L = compileLitmus(LITMUS_HEADER R"(
+int x; int y;
+void init_op(void) { x = 0; y = 0; }
+void t1_op(void) { x = 1; observe(y); }
+void t2_op(void) { y = 1; observe(x); }
+)",
+                                   {{"t1_op"}, {"t2_op"}});
+  ProblemConfig Cfg;
+  Cfg.Model = memmodel::ModelParams::sc();
+  EncodedProblem Prob(L.Prog, L.Threads, {}, Cfg);
+  ASSERT_TRUE(Prob.ok()) << Prob.error();
+
+  memmodel::ReadsFromOptions RO;
+  RO.MaxAssignments = 1;
+  memmodel::ReadsFromResult RF = memmodel::checkReadsFrom(Prob.flat(), RO);
+  EXPECT_FALSE(RF.Ok);
+  EXPECT_EQ(RF.Reason, memmodel::OracleSkip::BudgetExceeded);
+  EXPECT_EQ(RF.Error, "search budget exceeded");
+
+  memmodel::AxiomaticOptions AO;
+  AO.MaxOrders = 1;
+  memmodel::AxiomaticResult Slow =
+      memmodel::enumerateAxiomatic(Prob.flat(), AO);
+  EXPECT_FALSE(Slow.Ok);
+  EXPECT_EQ(Slow.Reason, memmodel::OracleSkip::BudgetExceeded);
+  EXPECT_EQ(Slow.Error, RF.Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Eligibility bookkeeping: the registry records readsFromEligible() and
+// the public catalog surfaces it.
+//===----------------------------------------------------------------------===//
+
+TEST(OracleEligibility, RegistryMatchesPredicate) {
+  for (const memmodel::NamedModel &N : memmodel::namedModels())
+    EXPECT_EQ(N.FastOracle, memmodel::readsFromEligible(N.Params))
+        << N.Name;
+
+  auto Eligible = [](const char *Name) {
+    auto M = memmodel::modelFromName(Name);
+    EXPECT_TRUE(M.has_value()) << Name;
+    return memmodel::readsFromEligible(*M);
+  };
+  EXPECT_TRUE(Eligible("sc"));
+  EXPECT_TRUE(Eligible("tso"));
+  EXPECT_TRUE(Eligible("pso"));
+  EXPECT_FALSE(Eligible("serial"));
+  EXPECT_FALSE(Eligible("rmo"));
+  EXPECT_FALSE(Eligible("relaxed"));
+  // Unnamed descriptors between sc and pso are covered; dropping
+  // load-load or multi-copy atomicity leaves the set.
+  EXPECT_TRUE(Eligible("po:ll+ls+sl"));
+  EXPECT_FALSE(Eligible("po:ls+ss,fwd"));
+  EXPECT_FALSE(Eligible("po:all,nomca"));
+}
+
+TEST(OracleEligibility, CatalogSurfacesFastOracle) {
+  for (const ModelDesc &M : listModels()) {
+    auto P = memmodel::modelFromName(M.Name);
+    ASSERT_TRUE(P.has_value()) << M.Name;
+    EXPECT_EQ(M.FastOracle, memmodel::readsFromEligible(*P)) << M.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Explore integration: skip accounting is oracle-agnostic, and fast-mode
+// outcomes match enumerator-mode outcomes scenario by scenario.
+//===----------------------------------------------------------------------===//
+
+explore::Scenario litmusScenario(const std::string &Source, int Index) {
+  explore::Scenario S;
+  S.K = explore::Scenario::Kind::Litmus;
+  S.Index = Index;
+  S.Source = Source;
+  return S;
+}
+
+TEST(ExploreOracle, SkipStringsMatchTypedReasons) {
+  Verifier V;
+  explore::DiffOptions Opts;
+  Opts.Models = {memmodel::ModelParams::sc(), memmodel::ModelParams::tso(),
+                 memmodel::ModelParams::relaxed()};
+
+  explore::Scenario S = litmusScenario(GuardDependsSource, 0);
+  std::string Expected = std::string(memmodel::oracleSkipMessage(
+      memmodel::OracleSkip::GuardDependsOnLoad));
+
+  for (bool Fast : {true, false}) {
+    Opts.UseFastOracle = Fast;
+    explore::ScenarioOutcome Out =
+        explore::DifferentialRunner(V, Opts).run(S);
+    EXPECT_TRUE(Out.Divergences.empty());
+    ASSERT_EQ(Out.Skips.size(), 3u) << "fast=" << Fast;
+    EXPECT_EQ(Out.Skips[0], "sc: " + Expected);
+    EXPECT_EQ(Out.Skips[1], "tso: " + Expected);
+    EXPECT_EQ(Out.Skips[2], "relaxed: " + Expected);
+  }
+}
+
+TEST(ExploreOracle, FastModeMatchesEnumeratorMode) {
+  Verifier V;
+  explore::DiffOptions Fast;
+  Fast.Models = {memmodel::ModelParams::sc(), memmodel::ModelParams::tso(),
+                 memmodel::ModelParams::pso()};
+  // Sample every scenario: the enumerator double-checks each fast-oracle
+  // answer inline on top of the outcome comparison below.
+  Fast.UseFastOracle = true;
+  Fast.EnumeratorSamplePeriod = 1;
+  explore::DiffOptions Slow = Fast;
+  Slow.UseFastOracle = false;
+
+  for (unsigned Seed = 0; Seed < 12; ++Seed) {
+    GenProgram G = generate(Seed);
+    explore::Scenario S =
+        litmusScenario(G.Source, static_cast<int>(Seed));
+    explore::ScenarioOutcome A =
+        explore::DifferentialRunner(V, Fast).run(S);
+    explore::ScenarioOutcome B =
+        explore::DifferentialRunner(V, Slow).run(S);
+    EXPECT_TRUE(A.Divergences.empty()) << G.Source;
+    EXPECT_TRUE(B.Divergences.empty()) << G.Source;
+    EXPECT_EQ(A.Ran, B.Ran) << G.Source;
+    EXPECT_EQ(A.Skips, B.Skips) << G.Source;
+    EXPECT_EQ(A.Summary, B.Summary) << G.Source;
+  }
+}
+
+} // namespace

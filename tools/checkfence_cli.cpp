@@ -76,6 +76,16 @@ void usage() {
       "                       solvers per hard query, 0 = auto (one per\n"
       "                       spare --jobs worker). Verdicts and\n"
       "                       timing-free JSON are identical at any W\n"
+      "  --no-fast-oracle     disable the polynomial reads-from oracle:\n"
+      "                       checks skip SAT-pruning and explore falls\n"
+      "                       back to the brute-force enumerator on all\n"
+      "                       models. Results are identical either way\n"
+      "  --oracle-sample N    explore: re-run the brute-force enumerator\n"
+      "                       as a differential reference on every Nth\n"
+      "                       eligible scenario (default 8, 0 = never)\n"
+      "  --symbolic N         explore: symbolic catalog tests per 1000\n"
+      "                       scenarios, the rest litmus (default 300;\n"
+      "                       0 = pure litmus, the oracle fragment)\n"
       "  --deadline S         cancel cooperatively after S seconds\n"
       "  --cache PATH         persist the cross-run result cache at PATH\n"
       "  --no-cache           bypass the result cache\n"
@@ -131,10 +141,11 @@ void listCatalog() {
   for (const TestDesc &T : listTests())
     std::printf("  %-8s (%s)  %s\n", T.Name.c_str(), T.Kind.c_str(),
                 T.Notation.c_str());
-  std::printf("models (strongest first):\n");
+  std::printf("models (strongest first; * = fast reads-from oracle):\n");
   for (const ModelDesc &M : listModels())
-    std::printf("  %-8s %-16s %s\n", M.Name.c_str(),
-                M.Descriptor.c_str(), M.Note.c_str());
+    std::printf("  %-8s %-16s %s%s\n", M.Name.c_str(),
+                M.Descriptor.c_str(), M.FastOracle ? "* " : "",
+                M.Note.c_str());
 }
 
 } // namespace
@@ -215,6 +226,12 @@ int main(int argc, char **argv) {
       Req.jobs(std::atoi(Next().c_str()));
     } else if (A == "--portfolio") {
       Req.portfolioWidth(std::atoi(Next().c_str()));
+    } else if (A == "--no-fast-oracle") {
+      Req.fastOracle(false);
+    } else if (A == "--oracle-sample") {
+      Req.oracleSamplePeriod(std::atoi(Next().c_str()));
+    } else if (A == "--symbolic") {
+      Req.symbolicShare(std::atoi(Next().c_str()));
     } else if (A == "--deadline") {
       Req.deadline(std::atof(Next().c_str()));
     } else if (A == "--cache") {
