@@ -12,6 +12,10 @@
 //  * on Relaxed both store-order and load-order fences appear, in counts
 //    comparable to the shipped hand placement for the same small tests.
 //
+// Synthesis runs with its default analysis seeding on, so the gated
+// checks_run counts bake in the savings; bench_analysis A/Bs seeding
+// against the unseeded search and gates placement identity.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchGrid.h"

@@ -39,6 +39,7 @@ public:
     Synthesis,    ///< counterexample-guided fence synthesis
     Litmus,       ///< reachability of one observation (litmus test)
     Explore,      ///< randomized differential scenario exploration
+    Analyze,      ///< static critical-cycle robustness analysis (lint)
   };
 
   //===--------------------------------------------------------------===//
@@ -96,6 +97,25 @@ public:
     Request R;
     R.RequestKind = Kind::Litmus;
     R.SourceText = std::move(Source);
+    return R;
+  }
+  /// Static critical-cycle (delay-set) robustness analysis of one
+  /// (impl, test): no SAT solving, purely the conflict/program-order
+  /// graph. Reports, per lattice point of the model axis (models();
+  /// default the full lattice), the delay pairs the point admits, a
+  /// robustness verdict with witness cycles, and suggested fence cuts.
+  /// See docs/ANALYSIS.md.
+  static Request analyze(std::string Impl, std::string Test) {
+    Request R;
+    R.RequestKind = Kind::Analyze;
+    R.ImplName = std::move(Impl);
+    R.TestName = std::move(Test);
+    return R;
+  }
+  /// A static analysis request assembled piecewise (source/notation/...).
+  static Request analyze() {
+    Request R;
+    R.RequestKind = Kind::Analyze;
     return R;
   }
   /// Randomized differential exploration: generate seeded scenarios,

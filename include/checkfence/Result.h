@@ -87,6 +87,13 @@ struct ResultStats {
   int OracleAttempts = 0;
   int OracleDischarges = 0;
   double OracleSeconds = 0;
+  /// Critical-cycle robustness pruning (zero with fastOracle(false) or
+  /// on ineligible models): inclusion rounds the static analysis
+  /// attempted and the ones it discharged without a SAT solve. Timed
+  /// JSON only, like the oracle counters above.
+  int AnalysisAttempts = 0;
+  int AnalysisDischarges = 0;
+  double AnalysisSeconds = 0;
 };
 
 /// Outcome of a single check request.
@@ -208,6 +215,56 @@ struct SynthOutcome {
   ///  "repair_seconds", "minimize_seconds",
   ///  "fences": [{"line", "kind"}]}
   std::string json() const;
+};
+
+/// One row of an analysis report: the delay set of a lattice point and
+/// the robustness verdict of the program under it.
+struct AnalysisModelRow {
+  std::string Model;      ///< display name (e.g. "rmo")
+  std::string Descriptor; ///< canonical descriptor ("po:ll,fwd")
+  /// The model is within the analysis fragment (multi-copy atomic,
+  /// access granularity); false for serial and nomca descriptors.
+  bool Eligible = false;
+  /// No delay pair lies on a critical cycle and no coherence hazard
+  /// exists: the program with its current fences is sequentially
+  /// consistent under this model.
+  bool Robust = false;
+  std::string Reason; ///< one-line explanation of the verdict
+  // The program-order edge kinds the point may delay, plus forwarding
+  // (program-independent properties of the lattice point).
+  bool DelayLoadLoad = false;
+  bool DelayLoadStore = false;
+  bool DelayStoreLoad = false;
+  bool DelayStoreStore = false;
+  bool Forwarding = false;
+  int DelayedPairs = 0;     ///< program pairs outside the enforced order
+  int CyclePairs = 0;       ///< delay pairs on a critical cycle
+  int CoherenceHazards = 0; ///< store-load hazards (forwarding-free only)
+  std::vector<std::string> Cycles; ///< rendered witness cycles (capped)
+  std::vector<SynthFence> Cuts;    ///< suggested fence placements
+};
+
+/// Outcome of a static robustness analysis request (Request::analyze).
+/// Purely static: no SAT solving, no timings — json() is byte-identical
+/// at any job count.
+struct AnalysisOutcome {
+  bool Ok = false;
+  std::string Error; ///< set when Ok is false
+  std::string Impl;
+  std::string Test;
+  // Flattened program shape the graphs were built over.
+  int Loads = 0;
+  int Stores = 0;
+  int Fences = 0;
+  std::vector<AnalysisModelRow> Models; ///< model axis order
+
+  /// True when every eligible row is robust.
+  bool allRobust() const;
+
+  /// Versioned JSON ({"schema_version", "kind": "analysis", ...}).
+  std::string json() const;
+  /// Human-readable fixed-width table plus witness/cut details.
+  std::string table() const;
 };
 
 /// Outcome of a weakest-model search for one (impl, test).

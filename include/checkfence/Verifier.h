@@ -91,6 +91,12 @@ public:
   /// with Request::conflictBudget instead.
   LitmusOutcome observable(const Request &Req);
 
+  /// Runs a static critical-cycle robustness analysis
+  /// (Request::analyze). Purely static - no SAT solving, no sessions,
+  /// no cache; the model rows fan out over jobs() workers but the
+  /// outcome (and its JSON) is byte-identical at any job count.
+  AnalysisOutcome analyze(const Request &Req);
+
   /// Runs a randomized differential exploration (Request::explore):
   /// seeded scenario generation, per-model oracle cross-checks on this
   /// Verifier's session pool, divergence shrinking, and corpus

@@ -34,7 +34,7 @@
 #include <vector>
 
 #define CHECKFENCE_VERSION_MAJOR 0
-#define CHECKFENCE_VERSION_MINOR 6
+#define CHECKFENCE_VERSION_MINOR 7
 #define CHECKFENCE_VERSION_PATCH 0
 
 namespace checkfence {
@@ -65,6 +65,11 @@ struct ModelDesc {
   /// as the primary litmus oracle and checks prune SAT inclusion queries
   /// with it (see docs/ORACLES.md). False = brute-force oracles only.
   bool FastOracle = false;
+  /// The static critical-cycle robustness analysis covers this point
+  /// (multi-copy atomic, per-access granularity): `--analyze` produces a
+  /// verdict for it and checks can discharge robust programs without SAT
+  /// (see docs/ANALYSIS.md).
+  bool Analysis = false;
 };
 
 /// Built-in implementations, tests (paper first, then extensions), and

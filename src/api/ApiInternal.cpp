@@ -172,6 +172,9 @@ bool checkfence::api::checkOptionsFrom(const Request &Req,
   // produces the (identical) answer, so it is not part of a run's
   // identity either.
   Out.OraclePrune = Req.UseFastOracle;
+  // The static robustness pruner shares the oracle's contract (and its
+  // request switch): identical results, so never fingerprinted.
+  Out.AnalysisPrune = Req.UseFastOracle;
   return true;
 }
 
@@ -228,6 +231,9 @@ Result checkfence::api::convertResult(const checker::CheckResult &R,
   Out.Stats.OracleAttempts = S.OracleAttempts;
   Out.Stats.OracleDischarges = S.OracleDischarges;
   Out.Stats.OracleSeconds = S.OracleSeconds;
+  Out.Stats.AnalysisAttempts = S.AnalysisAttempts;
+  Out.Stats.AnalysisDischarges = S.AnalysisDischarges;
+  Out.Stats.AnalysisSeconds = S.AnalysisSeconds;
   for (const auto &[Loop, Bound] : R.FinalBounds)
     Out.FinalBounds[Loop] = Bound;
   return Out;
@@ -281,6 +287,9 @@ std::string checkfence::api::renderSingleCellJson(const Result &R,
     F.OracleAttempts = R.Stats.OracleAttempts;
     F.OracleDischarges = R.Stats.OracleDischarges;
     F.OracleSeconds = R.Stats.OracleSeconds;
+    F.AnalysisAttempts = R.Stats.AnalysisAttempts;
+    F.AnalysisDischarges = R.Stats.AnalysisDischarges;
+    F.AnalysisSeconds = R.Stats.AnalysisSeconds;
   }
   OS += "    " + engine::renderReportCell(F) + "\n";
   OS += "  ]\n";

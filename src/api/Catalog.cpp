@@ -6,6 +6,7 @@
 
 #include "checkfence/checkfence.h"
 
+#include "analysis/CriticalCycles.h"
 #include "harness/Catalog.h"
 #include "impls/Impls.h"
 #include "memmodel/MemoryModel.h"
@@ -39,7 +40,8 @@ std::vector<TestDesc> checkfence::listTests() {
 std::vector<ModelDesc> checkfence::listModels() {
   std::vector<ModelDesc> Out;
   for (const memmodel::NamedModel &N : memmodel::namedModels())
-    Out.push_back({N.Name, N.Params.str(), N.Note, N.FastOracle});
+    Out.push_back({N.Name, N.Params.str(), N.Note, N.FastOracle,
+                   analysis::analysisEligible(N.Params)});
   return Out;
 }
 

@@ -158,6 +158,129 @@ std::string SynthOutcome::json() const {
 }
 
 //===----------------------------------------------------------------------===//
+// AnalysisOutcome
+//===----------------------------------------------------------------------===//
+
+bool AnalysisOutcome::allRobust() const {
+  for (const AnalysisModelRow &Row : Models)
+    if (Row.Eligible && !Row.Robust)
+      return false;
+  return true;
+}
+
+namespace {
+
+/// "LL LS SL SS +fwd" - the delayable edge kinds of a row, "-" when the
+/// point delays nothing (sc-strength).
+std::string delaySetStr(const AnalysisModelRow &Row) {
+  std::string S;
+  auto Add = [&](bool On, const char *Tag) {
+    if (!On)
+      return;
+    if (!S.empty())
+      S += ' ';
+    S += Tag;
+  };
+  Add(Row.DelayLoadLoad, "LL");
+  Add(Row.DelayLoadStore, "LS");
+  Add(Row.DelayStoreLoad, "SL");
+  Add(Row.DelayStoreStore, "SS");
+  if (S.empty())
+    S = "-";
+  if (Row.Forwarding)
+    S += " +fwd";
+  return S;
+}
+
+} // namespace
+
+std::string AnalysisOutcome::json() const {
+  // Multi-line scaffolding, one model row per line (the matrix-report
+  // layout convention); everything inside a row uses the inline writers.
+  std::string S;
+  support::JsonObject Head;
+  Head.field("schema_version", JsonSchemaVersion)
+      .field("kind", "analysis")
+      .field("ok", Ok);
+  if (!Ok)
+    Head.field("error", Error);
+  Head.field("impl", Impl)
+      .field("test", Test)
+      .field("loads", Loads)
+      .field("stores", Stores)
+      .field("fences", Fences)
+      .field("all_robust", allRobust());
+  S += "{\n  " + Head.str().substr(1);
+  S.erase(S.size() - 1); // drop the closing brace, the rows follow
+  S += ",\n  \"models\": [\n";
+  for (size_t I = 0; I < Models.size(); ++I) {
+    const AnalysisModelRow &Row = Models[I];
+    support::JsonObject Obj;
+    Obj.field("model", Row.Model)
+        .field("descriptor", Row.Descriptor)
+        .field("eligible", Row.Eligible)
+        .field("robust", Row.Robust);
+    support::JsonObject Delays;
+    Delays.field("load_load", Row.DelayLoadLoad)
+        .field("load_store", Row.DelayLoadStore)
+        .field("store_load", Row.DelayStoreLoad)
+        .field("store_store", Row.DelayStoreStore)
+        .field("forwarding", Row.Forwarding);
+    Obj.raw("delays", Delays.str())
+        .field("delayed_pairs", Row.DelayedPairs)
+        .field("cycle_pairs", Row.CyclePairs)
+        .field("coherence_hazards", Row.CoherenceHazards)
+        .field("reason", Row.Reason);
+    support::JsonArray Cycles;
+    for (const std::string &C : Row.Cycles)
+      Cycles.item(support::jsonQuote(C));
+    Obj.raw("cycles", Cycles.str());
+    support::JsonArray Cuts;
+    for (const SynthFence &F : Row.Cuts) {
+      support::JsonObject Cut;
+      Cut.field("line", F.Line).field("kind", F.Kind);
+      Cuts.item(Cut);
+    }
+    Obj.raw("suggested_cuts", Cuts.str());
+    S += "    " + Obj.str() + (I + 1 < Models.size() ? ",\n" : "\n");
+  }
+  S += "  ]\n}\n";
+  return S;
+}
+
+std::string AnalysisOutcome::table() const {
+  if (!Ok)
+    return "analysis error: " + Error + "\n";
+  std::string S = formatString(
+      "critical-cycle analysis: %s %s (%d loads, %d stores, %d fences)\n",
+      Impl.c_str(), Test.c_str(), Loads, Stores, Fences);
+  S += formatString("%-10s %-16s %-14s %-11s %6s %6s %4s\n",
+                             "model", "descriptor", "delays", "verdict",
+                             "pairs", "cycles", "coh");
+  for (const AnalysisModelRow &Row : Models) {
+    const char *Verdict = !Row.Eligible ? "n/a"
+                          : Row.Robust  ? "robust"
+                                        : "NOT ROBUST";
+    S += formatString(
+        "%-10s %-16s %-14s %-11s %6d %6d %4d\n", Row.Model.c_str(),
+        Row.Descriptor.c_str(), delaySetStr(Row).c_str(), Verdict,
+        Row.DelayedPairs, Row.CyclePairs, Row.CoherenceHazards);
+  }
+  for (const AnalysisModelRow &Row : Models) {
+    if (Row.Cycles.empty() && Row.Cuts.empty())
+      continue;
+    S += formatString("\n%s: %s\n", Row.Model.c_str(),
+                               Row.Reason.c_str());
+    for (const std::string &C : Row.Cycles)
+      S += "  cycle: " + C + "\n";
+    for (const SynthFence &F : Row.Cuts)
+      S += formatString("  cut: %s fence before line %d\n",
+                                 F.Kind.c_str(), F.Line);
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
 // ExploreOutcome - thin view over explore::ExploreReport
 //===----------------------------------------------------------------------===//
 

@@ -6,9 +6,11 @@
 
 #include "checkfence/Verifier.h"
 
+#include "analysis/CriticalCycles.h"
 #include "api/ApiInternal.h"
 #include "api/Cache.h"
 #include "checker/Encoder.h"
+#include "trans/Flattener.h"
 #include "engine/CheckSession.h"
 #include "engine/MatrixRunner.h"
 #include "engine/WeakestModelSearch.h"
@@ -593,6 +595,106 @@ SynthOutcome Verifier::synthesize(const Request &Req, EventSink *Sink,
               Out.Cancelled ? Status::Cancelled
                             : (Out.Success ? Status::Pass : Status::Error),
               Out.Message, false);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Static critical-cycle robustness analysis
+//===----------------------------------------------------------------------===//
+
+AnalysisOutcome Verifier::analyze(const Request &Req) {
+  AnalysisOutcome Out;
+
+  // Model axis: explicit models() > a single model() > the full lattice
+  // (the lint default: one verdict per relaxation point).
+  std::vector<memmodel::ModelParams> Axis;
+  if (!Req.Models.empty()) {
+    if (!resolveModelAxis(Req.Models, checker::CheckOptions{}.Model, Axis,
+                          Out.Error))
+      return Out;
+  } else if (!Req.ModelName.empty()) {
+    auto M = memmodel::modelFromName(Req.ModelName);
+    if (!M) {
+      Out.Error = "unknown model '" + Req.ModelName + "'";
+      return Out;
+    }
+    Axis.push_back(*M);
+  } else {
+    Axis = memmodel::latticeModels();
+  }
+
+  CompiledCase Case = buildCase(Req);
+  if (!Case.Ok) {
+    Out.Error = Case.Error;
+    return Out;
+  }
+  Out.Impl = Case.ImplLabel;
+  Out.Test = Case.Test.Name.empty() ? Req.TestName : Case.Test.Name;
+
+  // One flattening at the default initial bounds serves every model row:
+  // the graph construction is model-independent, only the delay set (and
+  // with it the enforced-order closure) varies per row. Larger unrolling
+  // bounds only replicate loop bodies, which adds instances of the same
+  // static pairs, so the verdict is bound-independent.
+  trans::FlatProgram Flat;
+  trans::LoopBounds Bounds = checker::CheckOptions{}.InitialBounds;
+  trans::Flattener F(Case.Impl, Flat, Bounds); // Flattener keeps a ref
+  for (size_t T = 0; T < Case.Threads.size(); ++T)
+    if (!F.flattenThread(Case.Threads[T], static_cast<int>(T))) {
+      Out.Error = "flattening failed: " + F.error();
+      return Out;
+    }
+  trans::RangeInfo Ranges = trans::analyzeRanges(Flat);
+  for (const trans::FlatEvent &E : Flat.Events) {
+    Out.Loads += E.isLoad();
+    Out.Stores += E.isStore();
+    Out.Fences += !E.isAccess();
+  }
+
+  analysis::AnalysisOptions AO;
+  AO.MinLine = Req.SynthMinLine ? *Req.SynthMinLine
+                                : preludeLineCount() + 1;
+
+  // The rows are independent and the results land in indexed slots, so
+  // the fan-out is observation-free: any job count produces identical
+  // outcomes (the --analyze determinism contract).
+  Out.Models.resize(Axis.size());
+  engine::parallelFor(Self->jobsFor(Req), Axis.size(), [&](size_t I) {
+    const memmodel::ModelParams &M = Axis[I];
+    AnalysisModelRow &Row = Out.Models[I];
+    Row.Model = memmodel::modelName(M);
+    Row.Descriptor = M.str();
+    analysis::DelaySet D = analysis::delaySetFor(M);
+    Row.DelayLoadLoad = D.LoadLoad;
+    Row.DelayLoadStore = D.LoadStore;
+    Row.DelayStoreLoad = D.StoreLoad;
+    Row.DelayStoreStore = D.StoreStore;
+    Row.Forwarding = D.Forwarding;
+    Row.Eligible = analysis::analysisEligible(M);
+    if (!Row.Eligible) {
+      Row.Reason = M.SerialOps
+                       ? "outside the analysis fragment: serial "
+                         "operation granularity has no per-access "
+                         "memory order"
+                       : "outside the analysis fragment: no single "
+                         "total memory order without multi-copy "
+                         "atomicity";
+      return;
+    }
+    analysis::RobustnessResult RR =
+        analysis::analyzeRobustness(Flat, Ranges, M, AO);
+    Row.Robust = RR.Robust;
+    Row.Reason = RR.Reason;
+    Row.DelayedPairs = RR.DelayedPairs;
+    Row.CyclePairs = RR.CyclePairs;
+    Row.CoherenceHazards = RR.CoherenceHazards;
+    for (const analysis::CriticalCycle &C : RR.Cycles)
+      Row.Cycles.push_back(C.str());
+    for (const analysis::SuggestedCut &C : RR.Cuts)
+      Row.Cuts.push_back({C.Line, lsl::fenceKindName(C.Kind)});
+  });
+
+  Out.Ok = true;
   return Out;
 }
 

@@ -91,6 +91,16 @@ struct CheckOptions {
   /// reference pipeline ignores it (it stays a pure-SAT differential
   /// baseline).
   bool OraclePrune = true;
+  /// Discharge inclusion checks with the static critical-cycle robustness
+  /// analysis (analysis/CriticalCycles.h) on the lattice points the
+  /// reads-from oracle does not serve: when the flattened program is
+  /// provably robust under the target model, the weak-model verdict is
+  /// inherited from sc and the SAT loop is skipped. Verdicts, mined
+  /// observation sets, and timing-free JSON are identical either way -
+  /// like OraclePrune, this field is NOT part of a run's identity and
+  /// must be ignored by fingerprints. The fresh reference pipeline
+  /// ignores it.
+  bool AnalysisPrune = true;
   /// Worker slots shared with the matrix runner and fence synthesis; the
   /// portfolio borrows helper threads from here and runs serially when
   /// none are available. Per-request state like Hooks: never owned, never
@@ -136,6 +146,11 @@ struct CheckStats {
   int OracleAttempts = 0;
   int OracleDischarges = 0;
   double OracleSeconds = 0;
+  // Critical-cycle robustness pruning (timed JSON only, like the oracle
+  // counters above).
+  int AnalysisAttempts = 0;
+  int AnalysisDischarges = 0;
+  double AnalysisSeconds = 0;
   // Whole run.
   double TotalSeconds = 0;
 };

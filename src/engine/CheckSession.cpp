@@ -6,6 +6,7 @@
 
 #include "engine/CheckSession.h"
 
+#include "analysis/CriticalCycles.h"
 #include "checker/InclusionChecker.h"
 #include "checker/SpecMiner.h"
 #include "memmodel/ReadsFromOracle.h"
@@ -171,6 +172,57 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
       Result.Stats.OracleSeconds += OracleTimer.seconds();
       if (Discharged) {
         ++Result.Stats.OracleDischarges;
+        Result.Stats.Inclusion = CheckEnc->stats();
+        Result.Stats.Inclusion.SolveSeconds = 0;
+        Result.Stats.Inclusion.SolveCalls = 0;
+        Result.FinalBounds = Bounds;
+        snapshot(Iter + 1);
+        return Finish(CheckStatus::Pass,
+                      "all executions are observationally serial");
+      }
+    }
+    // Phase 0 (static): critical-cycle robustness pruning for the lattice
+    // points the reads-from oracle does not serve (rmo/relaxed and the
+    // other descriptors missing ll+ls order). When the delay-set analysis
+    // proves the flat program robust - no critical cycle and no coherence
+    // hazard survives the existing fences - every execution under the
+    // target model is observationally sequentially consistent, so the
+    // weak-model verdict is inherited from sc: the sc observation set
+    // (enumerated by the reads-from oracle, for which sc is always
+    // eligible) being non-erroneous and inside the mined specification
+    // makes the inclusion query Unsat by construction, and the oracle
+    // fragment admits only statically in-bounds programs, so every bound
+    // probe is Unsat too. Any other outcome - non-robust program,
+    // fragment reject, or an sc observation outside the spec - falls
+    // through to the SAT path unchanged, keeping timing-free JSON
+    // byte-identical (see docs/ANALYSIS.md for the soundness argument).
+    if (Opts.AnalysisPrune && !SpecProg && CheckEnc->ok() &&
+        analysis::analysisEligible(CheckCfg.Model) &&
+        !memmodel::readsFromEligible(CheckCfg.Model)) {
+      Timer AnalysisTimer;
+      ++Result.Stats.AnalysisAttempts;
+      analysis::RobustnessResult RR = analysis::analyzeRobustness(
+          CheckEnc->flat(), CheckEnc->ranges(), CheckCfg.Model);
+      bool Discharged = RR.Robust;
+      if (Discharged) {
+        memmodel::ReadsFromOptions RO;
+        RO.Model = memmodel::ModelParams::sc();
+        memmodel::ReadsFromResult RF =
+            memmodel::checkReadsFrom(CheckEnc->flat(), RO);
+        Discharged = RF.Ok;
+        if (Discharged) {
+          for (const memmodel::RefObservation &O : RF.Observations) {
+            if (O.Error ||
+                !Result.Spec.count(Observation{false, O.Values})) {
+              Discharged = false;
+              break;
+            }
+          }
+        }
+      }
+      Result.Stats.AnalysisSeconds += AnalysisTimer.seconds();
+      if (Discharged) {
+        ++Result.Stats.AnalysisDischarges;
         Result.Stats.Inclusion = CheckEnc->stats();
         Result.Stats.Inclusion.SolveSeconds = 0;
         Result.Stats.Inclusion.SolveCalls = 0;

@@ -118,7 +118,10 @@ checkfence::engine::renderReportCell(const ReportCellFields &F) {
         .field("races_won", F.RacesWon)
         .field("oracle_attempts", F.OracleAttempts)
         .field("oracle_discharges", F.OracleDischarges)
-        .fixed("oracle_seconds", F.OracleSeconds);
+        .fixed("oracle_seconds", F.OracleSeconds)
+        .field("analysis_attempts", F.AnalysisAttempts)
+        .field("analysis_discharges", F.AnalysisDischarges)
+        .fixed("analysis_seconds", F.AnalysisSeconds);
   return Cell.str();
 }
 
@@ -176,6 +179,9 @@ std::string MatrixReport::json(bool IncludeTimings) const {
       F.OracleAttempts = R.Stats.OracleAttempts;
       F.OracleDischarges = R.Stats.OracleDischarges;
       F.OracleSeconds = R.Stats.OracleSeconds;
+      F.AnalysisAttempts = R.Stats.AnalysisAttempts;
+      F.AnalysisDischarges = R.Stats.AnalysisDischarges;
+      F.AnalysisSeconds = R.Stats.AnalysisSeconds;
     }
     OS << "    " << renderReportCell(F);
     if (I + 1 < Cells.size())

@@ -84,6 +84,9 @@ struct ReportCellFields {
   int OracleAttempts = 0;
   int OracleDischarges = 0;
   double OracleSeconds = 0;
+  int AnalysisAttempts = 0;
+  int AnalysisDischarges = 0;
+  double AnalysisSeconds = 0;
 };
 
 /// Renders one inline cell object of the report schema.

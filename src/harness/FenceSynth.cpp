@@ -6,10 +6,13 @@
 
 #include "harness/FenceSynth.h"
 
+#include "analysis/CriticalCycles.h"
 #include "engine/MatrixRunner.h"
 #include "frontend/Lowering.h"
 #include "support/Format.h"
 #include "support/Timing.h"
+#include "trans/Flattener.h"
+#include "trans/RangeAnalysis.h"
 
 #include <algorithm>
 #include <atomic>
@@ -214,6 +217,45 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
   std::vector<FencePlacement> Placed;
   std::set<FencePlacement> PlacedSet;
 
+  // Seed placements from the critical-cycle analysis: the set of
+  // (line, kind) cuts that address at least one statically harmful delay
+  // pair - a pair on a critical cycle or a store-load coherence hazard -
+  // of the program with the current fences. candidatesFromTrace mines
+  // every program-order inversion of a counterexample, most of which are
+  // incidental (the execution reordered them, but no cycle runs through
+  // them, so a fence there cannot be load-bearing and the necessity pass
+  // would remove it again); intersecting the candidates with these cuts
+  // steers each round toward the placements that can actually survive.
+  auto SeedCuts = [&](const TestSpec &Test) {
+    std::set<FencePlacement> Cuts;
+    frontend::LoweringOptions LO;
+    LO.StripFences = Opts.StripFences;
+    frontend::DiagEngine Diags;
+    lsl::Program Impl;
+    if (!frontend::compileC(ImplSource, Opts.Defines, Impl, Diags, LO))
+      return Cuts;
+    applyFencePlacements(Impl, Placed);
+    std::vector<std::string> Threads = buildTestThreads(Impl, Test);
+    trans::FlatProgram Flat;
+    trans::Flattener F(Impl, Flat, Opts.Check.InitialBounds);
+    for (size_t T = 0; T < Threads.size(); ++T)
+      if (!F.flattenThread(Threads[T], static_cast<int>(T)))
+        return Cuts;
+    trans::RangeInfo Ranges = trans::analyzeRanges(Flat);
+    analysis::AnalysisOptions AO;
+    AO.MinLine = Opts.MinLine;
+    AO.MaxLine = Opts.MaxLine;
+    analysis::RobustnessResult RR =
+        analysis::analyzeRobustness(Flat, Ranges, Opts.Check.Model, AO);
+    for (const analysis::SuggestedCut &C : RR.Cuts) {
+      FencePlacement P;
+      P.Line = C.Line;
+      P.Kind = C.Kind;
+      Cuts.insert(P);
+    }
+    return Cuts;
+  };
+
   // Repair the tests in order. Fences only restrict the execution set, so
   // a repaired test never regresses when later fences are added.
   Timer RepairTimer;
@@ -241,18 +283,42 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
 
       std::map<FencePlacement, int> Cands =
           candidatesFromTrace(*R.Counterexample, Opts, PlacedSet);
-      FencePlacement Pick;
-      if (!pickCandidate(Cands, Pick))
+      if (Cands.empty())
         return Fail(Test.Name +
                     ": counterexample has no program-order inversion in "
                     "the eligible region; the failure is not fixable by "
                     "fences (algorithmic bug?)");
+
+      // When the model is in the analysis fragment, restrict the pick to
+      // the candidates the static analysis can vouch for (the counter-
+      // example gives no weight to the candidates it deems incidental,
+      // so the placement order among the survivors is unchanged). If the
+      // conservative analysis backs none of the candidates - its line
+      // attribution can disagree with the trace's on inlined builtins -
+      // fall back to the unrestricted pick rather than stall.
+      bool Steered = false;
+      if (Opts.SeedFromAnalysis &&
+          analysis::analysisEligible(Opts.Check.Model)) {
+        std::set<FencePlacement> Seeds = SeedCuts(Test);
+        std::map<FencePlacement, int> Cut;
+        for (const auto &[P, Score] : Cands)
+          if (Seeds.count(P))
+            Cut[P] = Score;
+        if (!Cut.empty()) {
+          Steered = Cut.size() < Cands.size();
+          Cands = std::move(Cut);
+        }
+      }
+
+      FencePlacement Pick;
+      pickCandidate(Cands, Pick);
       Placed.push_back(Pick);
       PlacedSet.insert(Pick);
       Result.Log.push_back(formatString(
-          "%s: FAIL; placing %s (%d candidate inversions)",
+          "%s: FAIL; placing %s (%d candidate inversions%s)",
           Test.Name.c_str(), placementStr(Pick).c_str(),
-          static_cast<int>(Cands.size())));
+          static_cast<int>(Cands.size()),
+          Steered ? ", cycle-backed" : ""));
     }
   }
 

@@ -69,6 +69,18 @@ struct SynthOptions {
   int MaxLine = INT_MAX;
   /// Give up after placing this many fences.
   int MaxFences = 24;
+  /// Seed candidate placements from the static critical-cycle analysis
+  /// (analysis/CriticalCycles.h): each repair round intersects the
+  /// counterexample's candidates with the cuts that address a statically
+  /// harmful delay pair of the currently placed program, so placements no
+  /// critical cycle runs through — which the necessity pass would only
+  /// remove again — are never placed and never burn a counterexample
+  /// round. The SAT checks are left to confirm the placement and prove
+  /// minimality. When the analysis backs none of the candidates (or the
+  /// model is outside the analysis fragment) the round falls back to the
+  /// unrestricted pick, so the final placement is the same 1-minimal
+  /// result with strictly fewer checker runs on seedable workloads.
+  bool SeedFromAnalysis = true;
   /// Drop fences that are not needed by any test (necessity check).
   bool Minimize = true;
   /// Worker threads for the minimization pass (each removal candidate

@@ -53,6 +53,12 @@ void usage() {
       "  --spec               print the mined observation set\n"
       "  --synth              synthesize a fence placement instead of\n"
       "                       checking (starts from stripped fences)\n"
+      "  --analyze            static critical-cycle robustness lint\n"
+      "                       instead of checking: per-lattice-point\n"
+      "                       delay pairs, verdicts, witness cycles,\n"
+      "                       and suggested fence cuts - no SAT solving\n"
+      "                       (--models narrows the axis; JSON output\n"
+      "                       is byte-identical at any --jobs)\n"
       "  --matrix             run an (impl x test x model) matrix\n"
       "  --impls a,b          matrix implementations (default: all)\n"
       "  --tests x,y          matrix tests (default: kind-matching)\n"
@@ -141,11 +147,12 @@ void listCatalog() {
   for (const TestDesc &T : listTests())
     std::printf("  %-8s (%s)  %s\n", T.Name.c_str(), T.Kind.c_str(),
                 T.Notation.c_str());
-  std::printf("models (strongest first; * = fast reads-from oracle):\n");
+  std::printf("models (strongest first; * = fast reads-from oracle,\n"
+              "                         + = critical-cycle analysis):\n");
   for (const ModelDesc &M : listModels())
-    std::printf("  %-8s %-16s %s%s\n", M.Name.c_str(),
-                M.Descriptor.c_str(), M.FastOracle ? "* " : "",
-                M.Note.c_str());
+    std::printf("  %-8s %-16s %s%s %s\n", M.Name.c_str(),
+                M.Descriptor.c_str(), M.FastOracle ? "*" : " ",
+                M.Analysis ? "+" : " ", M.Note.c_str());
 }
 
 } // namespace
@@ -154,7 +161,7 @@ int main(int argc, char **argv) {
   std::string Impl, Test, File, Kind, Notation;
   Request Req = Request::check();
   bool PrintSpec = false, Quiet = false, Synth = false, Matrix = false;
-  bool Explore = false, NoTimings = false;
+  bool Explore = false, Analyze = false, NoTimings = false;
   std::string JsonPath, CachePath;
   std::vector<std::string> MatrixImpls, MatrixTests, MatrixModels;
 
@@ -204,6 +211,8 @@ int main(int argc, char **argv) {
       PrintSpec = true;
     } else if (A == "--synth") {
       Synth = true;
+    } else if (A == "--analyze") {
+      Analyze = true;
     } else if (A == "--matrix") {
       Matrix = true;
     } else if (A == "--explore") {
@@ -365,6 +374,21 @@ int main(int argc, char **argv) {
   } else {
     usage();
     return ExitUsage;
+  }
+
+  if (Analyze) {
+    Req.RequestKind = Request::Kind::Analyze;
+    Req.models(MatrixModels);
+    AnalysisOutcome A = V.analyze(Req);
+    if (!A.Ok) {
+      std::fprintf(stderr, "%s\n", A.Error.c_str());
+      return exitCodeFor(Status::Error);
+    }
+    if (!Quiet)
+      std::printf("%s", A.table().c_str());
+    if (!JsonPath.empty() && !writeReport(JsonPath, A.json()))
+      return ExitUsage;
+    return 0;
   }
 
   if (Synth) {
