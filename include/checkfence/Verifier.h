@@ -36,6 +36,58 @@
 
 namespace checkfence {
 
+namespace api {
+class ResultCache; // internal representation behind SharedResultCache
+}
+
+/// Cache observability counters.
+struct CacheStats {
+  size_t Entries = 0;
+  size_t Hits = 0;
+  size_t Misses = 0;
+  size_t BoundsSeeded = 0; ///< runs whose initial bounds came from cache
+};
+
+/// A copyable handle to a result cache that several Verifiers can share:
+/// construct Verifiers whose VerifierConfig::SharedCache holds the same
+/// handle and they hit/fill one cache (the checkfenced server does this
+/// across its shards). An empty (default-constructed) handle means "the
+/// Verifier owns a private cache".
+///
+/// Persistence moves to the handle's owner: a Verifier built on a shared
+/// cache never loads or saves CachePath itself. load() *merges* the file
+/// into the cache (in-memory entries win) and save() merges the cache
+/// into the file via a locked read-merge-rename, so concurrent daemons
+/// and ad-hoc CLI runs can share one cache file without clobbering each
+/// other's entries.
+class SharedResultCache {
+public:
+  /// An empty handle (no cache).
+  SharedResultCache();
+  ~SharedResultCache();
+  SharedResultCache(const SharedResultCache &);
+  SharedResultCache &operator=(const SharedResultCache &);
+
+  /// A handle to a fresh, empty cache.
+  static SharedResultCache create();
+
+  bool valid() const { return Cache != nullptr; }
+
+  /// Merges \p Path into the cache (see class comment). False when the
+  /// file is missing or not a cache written by this library version.
+  bool load(const std::string &Path);
+  /// Merges the cache into \p Path atomically (temp file + rename under
+  /// an advisory lock). False on I/O failure or an empty handle.
+  bool save(const std::string &Path) const;
+
+  CacheStats stats() const;
+  void clear();
+
+private:
+  friend class Verifier;
+  std::shared_ptr<api::ResultCache> Cache;
+};
+
 struct VerifierConfig {
   /// Default worker-thread count for matrix cells and synthesis
   /// minimization when the request does not set its own (minimum 1).
@@ -49,14 +101,19 @@ struct VerifierConfig {
   /// same program (single checks only; matrix cells always start clean
   /// so reports stay byte-identical across job counts and cache states).
   bool ReuseBounds = true;
+  /// When valid: use this shared cache instead of a private one. The
+  /// Verifier then never loads or saves CachePath - persistence belongs
+  /// to whoever owns the handle (see SharedResultCache).
+  SharedResultCache SharedCache;
 };
 
-/// Cache observability counters.
-struct CacheStats {
-  size_t Entries = 0;
-  size_t Hits = 0;
-  size_t Misses = 0;
-  size_t BoundsSeeded = 0; ///< runs whose initial bounds came from cache
+/// Session-pool observability counters (the `/metrics` surface of the
+/// checkfenced server; see docs/SERVER.md).
+struct PoolStats {
+  size_t IdleSessions = 0; ///< warm sessions parked in the pool
+  /// Total CNF clauses held by those idle sessions' persistent solvers -
+  /// a proxy for the pool's solver memory.
+  unsigned long long IdleClauses = 0;
 };
 
 class Verifier {
@@ -105,6 +162,9 @@ public:
                          CancelToken Token = CancelToken());
 
   CacheStats cacheStats() const;
+  /// Occupancy of the warm-session pool (idle sessions and the clauses
+  /// their persistent solvers hold) - a live service's memory signal.
+  PoolStats poolStats() const;
   void clearCache();
   /// Persists the cache now (to \p Path, or the configured CachePath).
   bool saveCache(const std::string &Path = std::string()) const;

@@ -26,15 +26,17 @@
 #define CHECKFENCE_PUBLIC_CHECKFENCE_H
 
 #include "checkfence/Events.h"
+#include "checkfence/Remote.h"
 #include "checkfence/Request.h"
 #include "checkfence/Result.h"
+#include "checkfence/Server.h"
 #include "checkfence/Verifier.h"
 
 #include <string>
 #include <vector>
 
 #define CHECKFENCE_VERSION_MAJOR 0
-#define CHECKFENCE_VERSION_MINOR 7
+#define CHECKFENCE_VERSION_MINOR 8
 #define CHECKFENCE_VERSION_PATCH 0
 
 namespace checkfence {

@@ -14,6 +14,10 @@
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 using namespace checkfence;
 using namespace checkfence::api;
 
@@ -47,6 +51,178 @@ bool splitTag(const std::string &Line, std::string &Tag,
     Rest = Line.substr(Sp + 1);
   }
   return !Tag.empty();
+}
+
+/// Advisory cross-process lock guarding the read-merge-rename persistence
+/// sequence: all writers (and load's readers) of one cache file serialize
+/// on `<path>.lock`. Missing lock support degrades to best-effort (the
+/// atomic rename still prevents torn files).
+class FileLock {
+public:
+  explicit FileLock(const std::string &Path) {
+    Fd = ::open((Path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                0644);
+    if (Fd >= 0 && ::flock(Fd, LOCK_EX) != 0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+  }
+  ~FileLock() {
+    if (Fd >= 0) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+    }
+  }
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+private:
+  int Fd = -1;
+};
+
+/// Parses one cache file into \p Out. False on a missing file, a header
+/// from another library version, or any malformed entry (partial
+/// results are discarded - never half-merge a corrupt file).
+bool parseCacheFile(const std::string &Path,
+                    std::map<std::string, Result> &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Line;
+  if (!std::getline(In, Line) || Line != fileHeader())
+    return false;
+
+  std::map<std::string, Result> NewEntries;
+  std::string Key;
+  Result R;
+  bool InEntry = false;
+
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::string Tag, Rest;
+    if (!splitTag(Line, Tag, Rest))
+      return false;
+    if (Tag == "entry") {
+      if (InEntry || Rest.empty())
+        return false;
+      Key = Rest;
+      R = Result{};
+      InEntry = true;
+    } else if (!InEntry) {
+      return false;
+    } else if (Tag == "impl") {
+      R.Impl = unescapeLine(Rest);
+    } else if (Tag == "test") {
+      R.Test = unescapeLine(Rest);
+    } else if (Tag == "model") {
+      R.Model = unescapeLine(Rest);
+    } else if (Tag == "status") {
+      auto S = statusFromName(Rest);
+      if (!S)
+        return false;
+      R.Verdict = *S;
+    } else if (Tag == "message") {
+      R.Message = unescapeLine(Rest);
+    } else if (Tag == "stats") {
+      if (std::sscanf(Rest.c_str(), "%d %d %d %d %d %d %llu",
+                      &R.Stats.ObservationCount, &R.Stats.BoundIterations,
+                      &R.Stats.UnrolledInstrs, &R.Stats.Loads,
+                      &R.Stats.Stores, &R.Stats.SatVars,
+                      &R.Stats.SatClauses) != 7)
+        return false;
+    } else if (Tag == "times") {
+      if (std::sscanf(Rest.c_str(), "%lf %lf %lf %lf",
+                      &R.Stats.EncodeSeconds, &R.Stats.SolveSeconds,
+                      &R.Stats.MiningSeconds,
+                      &R.Stats.TotalSeconds) != 4)
+        return false;
+    } else if (Tag == "obs") {
+      size_t N = std::strtoull(Rest.c_str(), nullptr, 10);
+      R.Observations.clear();
+      for (size_t I = 0; I < N; ++I) {
+        if (!std::getline(In, Line) || Line.rfind("o ", 0) != 0)
+          return false;
+        R.Observations.push_back(unescapeLine(Line.substr(2)));
+      }
+    } else if (Tag == "cex") {
+      R.HasCounterexample = Rest == "1";
+    } else if (Tag == "ct") {
+      R.CounterexampleTrace = unescapeLine(Rest);
+    } else if (Tag == "cc") {
+      R.CounterexampleColumns = unescapeLine(Rest);
+    } else if (Tag == "co") {
+      R.CounterexampleObservation = unescapeLine(Rest);
+    } else if (Tag == "bounds") {
+      size_t N = std::strtoull(Rest.c_str(), nullptr, 10);
+      R.FinalBounds.clear();
+      for (size_t I = 0; I < N; ++I) {
+        if (!std::getline(In, Line) || Line.rfind("b ", 0) != 0)
+          return false;
+        int Bound = 0;
+        int Consumed = 0;
+        if (std::sscanf(Line.c_str(), "b %d %n", &Bound, &Consumed) != 1)
+          return false;
+        R.FinalBounds[unescapeLine(Line.substr(Consumed))] = Bound;
+      }
+    } else if (Tag == "end") {
+      NewEntries[Key] = R;
+      InEntry = false;
+    } else {
+      return false; // unknown tag: refuse rather than misread
+    }
+  }
+  if (InEntry)
+    return false;
+  Out = std::move(NewEntries);
+  return true;
+}
+
+/// Renders \p Entries in the line-oriented cache format (header
+/// included). Deterministic: entries print in key order.
+std::string renderCacheFile(const std::map<std::string, Result> &Entries) {
+  std::ostringstream OS;
+  OS << fileHeader() << "\n";
+  for (const auto &[Key, R] : Entries) {
+    OS << "entry " << Key << "\n";
+    OS << "impl " << escapeLine(R.Impl) << "\n";
+    OS << "test " << escapeLine(R.Test) << "\n";
+    OS << "model " << escapeLine(R.Model) << "\n";
+    OS << "status " << statusName(R.Verdict) << "\n";
+    OS << "message " << escapeLine(R.Message) << "\n";
+    OS << formatString("stats %d %d %d %d %d %d %llu\n",
+                       R.Stats.ObservationCount, R.Stats.BoundIterations,
+                       R.Stats.UnrolledInstrs, R.Stats.Loads,
+                       R.Stats.Stores, R.Stats.SatVars,
+                       R.Stats.SatClauses);
+    OS << formatString("times %.6f %.6f %.6f %.6f\n",
+                       R.Stats.EncodeSeconds, R.Stats.SolveSeconds,
+                       R.Stats.MiningSeconds, R.Stats.TotalSeconds);
+    OS << "obs " << R.Observations.size() << "\n";
+    for (const std::string &O : R.Observations)
+      OS << "o " << escapeLine(O) << "\n";
+    OS << "cex " << (R.HasCounterexample ? 1 : 0) << "\n";
+    if (R.HasCounterexample) {
+      OS << "ct " << escapeLine(R.CounterexampleTrace) << "\n";
+      OS << "cc " << escapeLine(R.CounterexampleColumns) << "\n";
+      OS << "co " << escapeLine(R.CounterexampleObservation) << "\n";
+    }
+    OS << "bounds " << R.FinalBounds.size() << "\n";
+    for (const auto &[Loop, Bound] : R.FinalBounds)
+      OS << formatString("b %d ", Bound) << escapeLine(Loop) << "\n";
+    OS << "end\n";
+  }
+  return OS.str();
+}
+
+/// Publishes a passing entry's final bounds under its program
+/// fingerprint (the part of the key before '|').
+void publishBounds(std::map<std::string, std::map<std::string, int>> &PB,
+                   const std::string &Key, const Result &R) {
+  size_t Bar = Key.find('|');
+  if (Bar != std::string::npos && R.Verdict == Status::Pass &&
+      !R.FinalBounds.empty())
+    PB[Key.substr(0, Bar)] = R.FinalBounds;
 }
 
 } // namespace
@@ -103,145 +279,49 @@ void ResultCache::clear() {
 }
 
 bool ResultCache::save(const std::string &Path) const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  std::ostringstream OS;
-  OS << fileHeader() << "\n";
-  for (const auto &[Key, R] : Entries) {
-    OS << "entry " << Key << "\n";
-    OS << "impl " << escapeLine(R.Impl) << "\n";
-    OS << "test " << escapeLine(R.Test) << "\n";
-    OS << "model " << escapeLine(R.Model) << "\n";
-    OS << "status " << statusName(R.Verdict) << "\n";
-    OS << "message " << escapeLine(R.Message) << "\n";
-    OS << formatString("stats %d %d %d %d %d %d %llu\n",
-                       R.Stats.ObservationCount, R.Stats.BoundIterations,
-                       R.Stats.UnrolledInstrs, R.Stats.Loads,
-                       R.Stats.Stores, R.Stats.SatVars,
-                       R.Stats.SatClauses);
-    OS << formatString("times %.6f %.6f %.6f %.6f\n",
-                       R.Stats.EncodeSeconds, R.Stats.SolveSeconds,
-                       R.Stats.MiningSeconds, R.Stats.TotalSeconds);
-    OS << "obs " << R.Observations.size() << "\n";
-    for (const std::string &O : R.Observations)
-      OS << "o " << escapeLine(O) << "\n";
-    OS << "cex " << (R.HasCounterexample ? 1 : 0) << "\n";
-    if (R.HasCounterexample) {
-      OS << "ct " << escapeLine(R.CounterexampleTrace) << "\n";
-      OS << "cc " << escapeLine(R.CounterexampleColumns) << "\n";
-      OS << "co " << escapeLine(R.CounterexampleObservation) << "\n";
-    }
-    OS << "bounds " << R.FinalBounds.size() << "\n";
-    for (const auto &[Loop, Bound] : R.FinalBounds)
-      OS << formatString("b %d ", Bound) << escapeLine(Loop) << "\n";
-    OS << "end\n";
+  // Read-merge-rename under the advisory file lock: another process may
+  // have added entries since we loaded, and clobbering them would lose
+  // results. In-memory entries win on key collisions (they are newer or
+  // identical - keys are content fingerprints).
+  FileLock Lock(Path);
+  std::map<std::string, Result> Union;
+  parseCacheFile(Path, Union); // missing/foreign file: start empty
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    for (const auto &[Key, R] : Entries)
+      Union[Key] = R;
   }
-  std::ofstream Out(Path, std::ios::trunc);
-  if (!Out)
+  const std::string Tmp =
+      Path + formatString(".tmp.%ld", static_cast<long>(::getpid()));
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << renderCacheFile(Union);
+    if (!Out)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
     return false;
-  Out << OS.str();
-  return static_cast<bool>(Out);
+  }
+  return true;
 }
 
 bool ResultCache::load(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return false;
-  std::string Line;
-  if (!std::getline(In, Line) || Line != fileHeader())
-    return false;
-
-  std::map<std::string, Result> NewEntries;
-  std::string Key;
-  Result R;
-  bool InEntry = false;
-  auto Fail = [&] { return false; };
-
-  while (std::getline(In, Line)) {
-    if (Line.empty())
-      continue;
-    std::string Tag, Rest;
-    if (!splitTag(Line, Tag, Rest))
-      return Fail();
-    if (Tag == "entry") {
-      if (InEntry || Rest.empty())
-        return Fail();
-      Key = Rest;
-      R = Result{};
-      InEntry = true;
-    } else if (!InEntry) {
-      return Fail();
-    } else if (Tag == "impl") {
-      R.Impl = unescapeLine(Rest);
-    } else if (Tag == "test") {
-      R.Test = unescapeLine(Rest);
-    } else if (Tag == "model") {
-      R.Model = unescapeLine(Rest);
-    } else if (Tag == "status") {
-      auto S = statusFromName(Rest);
-      if (!S)
-        return Fail();
-      R.Verdict = *S;
-    } else if (Tag == "message") {
-      R.Message = unescapeLine(Rest);
-    } else if (Tag == "stats") {
-      if (std::sscanf(Rest.c_str(), "%d %d %d %d %d %d %llu",
-                      &R.Stats.ObservationCount, &R.Stats.BoundIterations,
-                      &R.Stats.UnrolledInstrs, &R.Stats.Loads,
-                      &R.Stats.Stores, &R.Stats.SatVars,
-                      &R.Stats.SatClauses) != 7)
-        return Fail();
-    } else if (Tag == "times") {
-      if (std::sscanf(Rest.c_str(), "%lf %lf %lf %lf",
-                      &R.Stats.EncodeSeconds, &R.Stats.SolveSeconds,
-                      &R.Stats.MiningSeconds,
-                      &R.Stats.TotalSeconds) != 4)
-        return Fail();
-    } else if (Tag == "obs") {
-      size_t N = std::strtoull(Rest.c_str(), nullptr, 10);
-      R.Observations.clear();
-      for (size_t I = 0; I < N; ++I) {
-        if (!std::getline(In, Line) || Line.rfind("o ", 0) != 0)
-          return Fail();
-        R.Observations.push_back(unescapeLine(Line.substr(2)));
-      }
-    } else if (Tag == "cex") {
-      R.HasCounterexample = Rest == "1";
-    } else if (Tag == "ct") {
-      R.CounterexampleTrace = unescapeLine(Rest);
-    } else if (Tag == "cc") {
-      R.CounterexampleColumns = unescapeLine(Rest);
-    } else if (Tag == "co") {
-      R.CounterexampleObservation = unescapeLine(Rest);
-    } else if (Tag == "bounds") {
-      size_t N = std::strtoull(Rest.c_str(), nullptr, 10);
-      R.FinalBounds.clear();
-      for (size_t I = 0; I < N; ++I) {
-        if (!std::getline(In, Line) || Line.rfind("b ", 0) != 0)
-          return Fail();
-        int Bound = 0;
-        int Consumed = 0;
-        if (std::sscanf(Line.c_str(), "b %d %n", &Bound, &Consumed) != 1)
-          return Fail();
-        R.FinalBounds[unescapeLine(Line.substr(Consumed))] = Bound;
-      }
-    } else if (Tag == "end") {
-      NewEntries[Key] = R;
-      InEntry = false;
-    } else {
-      return Fail(); // unknown tag: refuse rather than misread
-    }
+  std::map<std::string, Result> FileEntries;
+  {
+    FileLock Lock(Path);
+    if (!parseCacheFile(Path, FileEntries))
+      return false;
   }
-  if (InEntry)
-    return Fail();
-
-  std::lock_guard<std::mutex> Lock(Mu);
-  Entries = std::move(NewEntries);
-  PassBounds.clear();
-  for (const auto &[K, E] : Entries) {
-    size_t Bar = K.find('|');
-    if (Bar != std::string::npos && E.Verdict == Status::Pass &&
-        !E.FinalBounds.empty())
-      PassBounds[K.substr(0, Bar)] = E.FinalBounds;
+  // Merge, in-memory entries winning: a live Verifier's fresh results
+  // outrank whatever an earlier process persisted under the same key.
+  std::lock_guard<std::mutex> Guard(Mu);
+  for (auto &[Key, R] : FileEntries) {
+    auto [It, Inserted] = Entries.emplace(Key, std::move(R));
+    if (Inserted)
+      publishBounds(PassBounds, It->first, It->second);
   }
   return true;
 }

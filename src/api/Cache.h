@@ -17,6 +17,14 @@
 /// it persistent across processes when the Verifier is configured with a
 /// cache path. Thread-safe.
 ///
+/// Persistence is safe for concurrent multi-process use: load() *merges*
+/// the file into memory (in-memory entries win on key collisions), and
+/// save() re-reads the file, overlays the in-memory entries, and writes
+/// the union via a temp file + atomic rename, all under an advisory
+/// flock on `<path>.lock`. A daemon and ad-hoc CLI runs sharing one
+/// cache file can therefore never corrupt it or silently drop each
+/// other's entries - the worst case is reading a slightly stale view.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHECKFENCE_API_CACHE_H
@@ -54,8 +62,10 @@ public:
   CacheStats stats() const;
   void clear();
 
-  /// Text-file persistence. load() replaces the current contents and is
-  /// tolerant of missing files (returns false, cache left empty).
+  /// Text-file persistence. load() merges the file into the current
+  /// contents (in-memory entries win) and is tolerant of missing files
+  /// (returns false, cache left unchanged). save() merges the current
+  /// contents into the file atomically (see the class comment).
   bool load(const std::string &Path);
   bool save(const std::string &Path) const;
 

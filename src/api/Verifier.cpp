@@ -172,7 +172,13 @@ int preludeLineCount() {
 
 struct Verifier::Impl {
   VerifierConfig Cfg;
-  ResultCache Cache;
+  /// The result cache: private by default, or the handle from
+  /// VerifierConfig::SharedCache (several Verifiers then fill one cache;
+  /// the checkfenced server shards do this). Never null.
+  std::shared_ptr<ResultCache> Cache;
+  /// Persistence belongs to whoever owns the cache: a Verifier on a
+  /// shared handle never loads or saves CachePath.
+  bool OwnsCache = true;
   /// Cleared when CachePath named an existing file we could not parse:
   /// saving on destruction would clobber it (wrong file, or a future
   /// cache format) - an explicit saveCache() still can.
@@ -237,28 +243,79 @@ struct Verifier::Impl {
 Verifier::Verifier(VerifierConfig Config)
     : Self(std::make_unique<Impl>()) {
   Self->Cfg = std::move(Config);
-  if (Self->Cfg.EnableCache && !Self->Cfg.CachePath.empty()) {
+  if (Self->Cfg.SharedCache.valid()) {
+    Self->Cache = Self->Cfg.SharedCache.Cache;
+    Self->OwnsCache = false;
+  } else {
+    Self->Cache = std::make_shared<ResultCache>();
+  }
+  if (Self->OwnsCache && Self->Cfg.EnableCache &&
+      !Self->Cfg.CachePath.empty()) {
     bool Exists = std::ifstream(Self->Cfg.CachePath).good();
-    if (!Self->Cache.load(Self->Cfg.CachePath) && Exists)
+    if (!Self->Cache->load(Self->Cfg.CachePath) && Exists)
       Self->SaveCacheOnExit = false;
   }
 }
 
 Verifier::~Verifier() {
-  if (Self->Cfg.EnableCache && !Self->Cfg.CachePath.empty() &&
-      Self->SaveCacheOnExit)
-    Self->Cache.save(Self->Cfg.CachePath);
+  if (Self->OwnsCache && Self->Cfg.EnableCache &&
+      !Self->Cfg.CachePath.empty() && Self->SaveCacheOnExit)
+    Self->Cache->save(Self->Cfg.CachePath);
 }
 
-CacheStats Verifier::cacheStats() const { return Self->Cache.stats(); }
+CacheStats Verifier::cacheStats() const { return Self->Cache->stats(); }
 
-void Verifier::clearCache() { Self->Cache.clear(); }
+void Verifier::clearCache() { Self->Cache->clear(); }
 
 bool Verifier::saveCache(const std::string &Path) const {
   std::string Target = Path.empty() ? Self->Cfg.CachePath : Path;
   if (Target.empty())
     return false;
-  return Self->Cache.save(Target);
+  return Self->Cache->save(Target);
+}
+
+PoolStats Verifier::poolStats() const {
+  PoolStats S;
+  std::lock_guard<std::mutex> Lock(Self->PoolMu);
+  for (const auto &[Key, Idle] : Self->Pool)
+    for (const auto &Session : Idle) {
+      ++S.IdleSessions;
+      S.IdleClauses += Session->totalClauses();
+    }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// SharedResultCache - a copyable handle over api::ResultCache
+//===----------------------------------------------------------------------===//
+
+SharedResultCache::SharedResultCache() = default;
+SharedResultCache::~SharedResultCache() = default;
+SharedResultCache::SharedResultCache(const SharedResultCache &) = default;
+SharedResultCache &
+SharedResultCache::operator=(const SharedResultCache &) = default;
+
+SharedResultCache SharedResultCache::create() {
+  SharedResultCache H;
+  H.Cache = std::make_shared<ResultCache>();
+  return H;
+}
+
+bool SharedResultCache::load(const std::string &Path) {
+  return Cache && Cache->load(Path);
+}
+
+bool SharedResultCache::save(const std::string &Path) const {
+  return Cache && Cache->save(Path);
+}
+
+CacheStats SharedResultCache::stats() const {
+  return Cache ? Cache->stats() : CacheStats{};
+}
+
+void SharedResultCache::clear() {
+  if (Cache)
+    Cache->clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -284,17 +341,17 @@ Result Verifier::check(const Request &Req, EventSink *Sink,
   const bool Caching = Self->Cfg.EnableCache && Req.UseCache;
 
   if (Caching) {
-    if (std::optional<Result> Hit = Self->Cache.lookup(Key)) {
+    if (std::optional<Result> Hit = Self->Cache->lookup(Key)) {
       fireVerdict(Sink, Label, Hit->Verdict, Hit->Message, true);
       return *Hit;
     }
     // Miss with a matching program fingerprint: seed the lazy unrolling
     // from the earlier passing run's final bounds (Fig. 10 workflow).
     if (Self->Cfg.ReuseBounds) {
-      if (auto Bounds = Self->Cache.boundsFor(Case.ProgramFp)) {
+      if (auto Bounds = Self->Cache->boundsFor(Case.ProgramFp)) {
         for (const auto &[Loop, Bound] : *Bounds)
           Opts.InitialBounds[Loop] = Bound;
-        Self->Cache.noteSeed();
+        Self->Cache->noteSeed();
       }
     }
   }
@@ -339,7 +396,7 @@ Result Verifier::check(const Request &Req, EventSink *Sink,
       !Token.cancelled())
     Out.Message = "deadline exceeded";
   if (Caching && Out.Verdict != Status::Cancelled)
-    Self->Cache.insert(Key, Case.ProgramFp, Out);
+    Self->Cache->insert(Key, Case.ProgramFp, Out);
   fireVerdict(Sink, Label, Out.Verdict, Out.Message, false);
   return Out;
 }

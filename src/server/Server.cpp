@@ -1,0 +1,784 @@
+//===--- Server.cpp - the checkfenced daemon core -----------------------------===//
+//
+// Part of the CheckFence reproduction (PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+//
+// Thread architecture:
+//
+//   listener ---- accepts, spawns one connection thread per socket
+//   connection -- parses HTTP + JSON-RPC, enqueues a Job on a shard,
+//                 blocks on the job's future, writes the response
+//   shard worker (xN) -- pops Jobs by priority, runs them on the
+//                 shard's Verifier (one request at a time per shard;
+//                 intra-request parallelism comes from JobsPerShard)
+//   watcher ----- polls waiting sockets; a client disconnect cancels
+//                 the matching request's CancelToken
+//
+// Admission control happens on the connection thread: when the global
+// queued count reaches QueueDepth the request is answered 429 +
+// Retry-After without ever touching a shard. A graceful drain stops the
+// listener, lets the queues empty (every queued job has a connection
+// thread waiting on it), joins everything, and persists the cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkfence/Server.h"
+
+#include "checkfence/checkfence.h"
+#include "server/Http.h"
+#include "server/Wire.h"
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/JsonParse.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace checkfence;
+using namespace checkfence::server;
+using support::JsonArray;
+using support::JsonObject;
+using support::JsonValue;
+
+namespace {
+
+/// Thread-safe progress counters fed by every request's EventSink (the
+/// scenarios/cells throughput half of /metrics).
+class MetricsSink : public EventSink {
+public:
+  void onCellFinished(const CellFinishedEvent &) override { ++Cells; }
+  void onScenarioChecked(const ScenarioCheckedEvent &) override {
+    ++Scenarios;
+  }
+  std::atomic<unsigned long long> Cells{0};
+  std::atomic<unsigned long long> Scenarios{0};
+};
+
+/// Polls sockets whose requests are queued or running; a peer that
+/// closes (or resets) its connection cancels the matching token, so an
+/// abandoned request stops consuming a shard at the next phase boundary.
+class DisconnectWatcher {
+public:
+  void watch(int Fd, CancelToken Token) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Watched.push_back({Fd, std::move(Token)});
+  }
+  void unwatch(int Fd) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (auto It = Watched.begin(); It != Watched.end(); ++It)
+      if (It->Fd == Fd) {
+        Watched.erase(It);
+        return;
+      }
+  }
+
+  void start() {
+    Thread = std::thread([this] { run(); });
+  }
+  void stop() {
+    Stopping.store(true);
+    if (Thread.joinable())
+      Thread.join();
+  }
+
+private:
+  struct Entry {
+    int Fd;
+    CancelToken Token;
+  };
+
+  void run() {
+    while (!Stopping.load()) {
+      std::vector<Entry> Snapshot;
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Snapshot = Watched;
+      }
+      for (const Entry &E : Snapshot) {
+        struct pollfd P;
+        P.fd = E.Fd;
+        P.events = POLLIN;
+        P.revents = 0;
+        if (::poll(&P, 1, 0) <= 0)
+          continue;
+        if (P.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          E.Token.cancel();
+          continue;
+        }
+        if (P.revents & POLLIN) {
+          // Readable on a connection that already sent its request
+          // means EOF (the protocol is one request per connection);
+          // peek to distinguish it from stray bytes.
+          char C;
+          if (::recv(E.Fd, &C, 1, MSG_PEEK | MSG_DONTWAIT) == 0)
+            E.Token.cancel();
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  std::mutex Mu;
+  std::vector<Entry> Watched;
+  std::atomic<bool> Stopping{false};
+  std::thread Thread;
+};
+
+/// One queued request: the closure runs on a shard worker and renders
+/// the JSON-RPC response body; the connection thread waits on Done.
+struct Job {
+  int Priority = 1; // 0 high, 1 normal, 2 low
+  std::function<std::string()> Run;
+  std::promise<std::string> Done;
+};
+
+struct Shard {
+  std::unique_ptr<Verifier> V;
+  std::thread Worker;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<std::unique_ptr<Job>> Queues[3];
+};
+
+int priorityFromName(const std::string &Name) {
+  if (Name == "high")
+    return 0;
+  if (Name == "low")
+    return 2;
+  return 1;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CheckServer::Impl
+//===----------------------------------------------------------------------===//
+
+struct CheckServer::Impl {
+  ServerConfig Cfg;
+  SharedResultCache Shared = SharedResultCache::create();
+  std::vector<std::unique_ptr<Shard>> Shards;
+  MetricsSink Sink;
+  DisconnectWatcher Watcher;
+
+  int ListenFd = -1;
+  int BoundPort = 0;
+  std::thread Listener;
+
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Stopping{false};
+  /// Set only after every connection thread has exited: a worker must
+  /// never quit while a connection could still enqueue, or that job
+  /// (and its waiting connection) would hang forever.
+  std::atomic<bool> WorkersExit{false};
+  std::atomic<bool> Drained{false};
+
+  // Counters (ServerStats).
+  std::atomic<unsigned long long> Accepted{0}, Served{0}, Rejected{0},
+      Cancelled{0}, Errors{0};
+  std::atomic<size_t> Queued{0}, InFlight{0};
+
+  // Connection threads, reaped opportunistically by the listener.
+  struct Conn {
+    std::thread T;
+    std::atomic<bool> Finished{false};
+  };
+  std::mutex ConnMu;
+  std::list<std::unique_ptr<Conn>> Conns;
+  std::atomic<size_t> ActiveConns{0};
+
+  ~Impl() = default;
+
+  //===------------------------------------------------------------===//
+  // Shard queue
+  //===------------------------------------------------------------===//
+
+  size_t shardFor(const Request &Req) const {
+    // Warm-session affinity: identical programs land on the same shard,
+    // so its Verifier's session pool and bounds seeding stay hot.
+    std::string Key = Req.ImplName + '\x1f' + Req.SourceText + '\x1f' +
+                      Req.TestName + '\x1f' + Req.Notation;
+    for (const std::string &D : Req.Defines)
+      Key += '\x1f' + D;
+    return std::hash<std::string>{}(Key) % Shards.size();
+  }
+
+  /// False when the queue is full (admission rejection).
+  bool enqueue(size_t ShardIdx, std::unique_ptr<Job> J) {
+    size_t Before = Queued.fetch_add(1);
+    if (Before >= static_cast<size_t>(Cfg.QueueDepth)) {
+      Queued.fetch_sub(1);
+      return false;
+    }
+    Shard &S = *Shards[ShardIdx];
+    {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      S.Queues[J->Priority].push_back(std::move(J));
+    }
+    S.Cv.notify_one();
+    return true;
+  }
+
+  void workerLoop(Shard &S) {
+    while (true) {
+      std::unique_ptr<Job> J;
+      {
+        std::unique_lock<std::mutex> Lock(S.Mu);
+        S.Cv.wait(Lock, [&] {
+          return WorkersExit.load() || !S.Queues[0].empty() ||
+                 !S.Queues[1].empty() || !S.Queues[2].empty();
+        });
+        for (auto &Q : S.Queues)
+          if (!Q.empty()) {
+            J = std::move(Q.front());
+            Q.pop_front();
+            break;
+          }
+        if (!J) {
+          if (WorkersExit.load())
+            return; // drained: queues empty and no more arrivals
+          continue;
+        }
+      }
+      Queued.fetch_sub(1);
+      InFlight.fetch_add(1);
+      J->Done.set_value(J->Run());
+      InFlight.fetch_sub(1);
+    }
+  }
+
+  //===------------------------------------------------------------===//
+  // RPC dispatch (runs on a shard worker)
+  //===------------------------------------------------------------===//
+
+  std::string runRequest(size_t ShardIdx, Request Req, int Id,
+                         CancelToken Token) {
+    Verifier &V = *Shards[ShardIdx]->V;
+    std::string Payload;
+    bool WasCancelled = false;
+    switch (Req.RequestKind) {
+    case Request::Kind::Check: {
+      Result R = V.check(Req, &Sink, Token);
+      WasCancelled = R.Verdict == Status::Cancelled;
+      if (R.Verdict == Status::Error)
+        ++Errors;
+      Payload = encodeResult(R);
+      break;
+    }
+    case Request::Kind::Matrix:
+    case Request::Kind::Sweep: {
+      Report R = V.matrix(Req, &Sink, Token);
+      JsonObject O;
+      O.field("ok", R.ok());
+      O.field("error", R.error());
+      if (R.ok()) {
+        O.field("table", R.table());
+        O.field("json", R.json(true));
+        O.field("jsonNoTimings", R.json(false));
+        O.field("allCompleted", R.allCompleted());
+        O.field("cellCount",
+                static_cast<unsigned long long>(R.cellCount()));
+        O.field("errorCells", R.count(Status::Error));
+        O.field("cancelledCells", R.count(Status::Cancelled));
+        WasCancelled = R.count(Status::Cancelled) > 0;
+      } else {
+        ++Errors;
+      }
+      Payload = O.str();
+      break;
+    }
+    case Request::Kind::Analyze: {
+      AnalysisOutcome A = V.analyze(Req);
+      JsonObject O;
+      O.field("ok", A.Ok);
+      O.field("error", A.Error);
+      if (A.Ok) {
+        O.field("table", A.table());
+        O.field("json", A.json());
+      } else {
+        ++Errors;
+      }
+      Payload = O.str();
+      break;
+    }
+    case Request::Kind::Explore: {
+      ExploreOutcome E = V.explore(Req, &Sink, Token);
+      JsonObject O;
+      O.field("ok", E.ok());
+      O.field("error", E.error());
+      if (E.ok()) {
+        O.field("cancelled", E.cancelled());
+        O.field("seed", static_cast<unsigned long long>(E.seed()));
+        O.field("generated", E.generated());
+        O.field("deduplicated", E.deduplicated());
+        O.field("run", E.run());
+        O.field("skips", E.skips());
+        O.field("shrunk", E.shrunk());
+        O.raw("wallSeconds", wireDouble(E.wallSeconds()));
+        O.field("json", E.json(true));
+        O.field("jsonNoTimings", E.json(false));
+        {
+          JsonArray W;
+          for (const std::string &S : E.warnings())
+            W.item(support::jsonQuote(S));
+          O.raw("warnings", W.str());
+        }
+        {
+          JsonArray D;
+          for (const ExploreDivergence &Div : E.divergences())
+            D.item(encodeDivergence(Div));
+          O.raw("divergences", D.str());
+        }
+        WasCancelled = E.cancelled();
+      } else {
+        ++Errors;
+      }
+      Payload = O.str();
+      break;
+    }
+    case Request::Kind::Synthesis: {
+      SynthOutcome S = V.synthesize(Req, &Sink, Token);
+      WasCancelled = S.Cancelled;
+      JsonObject O;
+      O.raw("outcome", encodeSynthOutcome(S));
+      O.field("json", S.json());
+      Payload = O.str();
+      break;
+    }
+    case Request::Kind::WeakestModel: {
+      WeakestOutcome W = V.weakestModels(Req, &Sink, Token);
+      WasCancelled = W.Cancelled;
+      if (!W.Ok)
+        ++Errors;
+      Payload = encodeWeakestOutcome(W);
+      break;
+    }
+    case Request::Kind::Litmus: {
+      LitmusOutcome L = V.observable(Req);
+      if (!L.Ok)
+        ++Errors;
+      JsonObject O;
+      O.field("ok", L.Ok);
+      O.field("reachable", L.Reachable);
+      O.field("error", L.Error);
+      Payload = O.str();
+      break;
+    }
+    }
+    if (WasCancelled)
+      ++Cancelled;
+    ++Served;
+    return rpcResult(Payload, Id);
+  }
+
+  //===------------------------------------------------------------===//
+  // HTTP routing (runs on a connection thread)
+  //===------------------------------------------------------------===//
+
+  HttpResponse handleRpc(const HttpRequest &Http, int Fd) {
+    HttpResponse Resp;
+    JsonValue Root;
+    std::string ParseError;
+    if (!support::parseJson(Http.Body, Root, ParseError) ||
+        !Root.isObject()) {
+      Resp.StatusCode = 400;
+      Resp.Body = rpcError(RpcParseError, ParseError.empty()
+                                              ? "body is not an object"
+                                              : ParseError,
+                           0);
+      return Resp;
+    }
+    const JsonValue *IdV = Root.find("id");
+    int Id = IdV ? IdV->asInt() : 0;
+    const JsonValue *MethodV = Root.find("method");
+    std::string Method = MethodV ? MethodV->asString() : std::string();
+
+    if (Method == "checkfence.version") {
+      JsonObject O;
+      O.field("version", versionString());
+      O.field("schema", JsonSchemaVersion);
+      Resp.Body = rpcResult(O.str(), Id);
+      ++Served;
+      return Resp;
+    }
+
+    static const char *Known[] = {
+        "checkfence.check",    "checkfence.matrix",
+        "checkfence.explore",  "checkfence.analyze",
+        "checkfence.synthesize", "checkfence.weakestModel",
+        "checkfence.litmus"};
+    bool Recognized = false;
+    for (const char *K : Known)
+      Recognized |= Method == K;
+    if (!Recognized) {
+      Resp.StatusCode = 404;
+      Resp.Body =
+          rpcError(RpcMethodNotFound, "unknown method '" + Method + "'",
+                   Id);
+      return Resp;
+    }
+
+    const JsonValue *Params = Root.find("params");
+    Request Req;
+    std::string DecodeError;
+    if (!Params || !decodeRequest(*Params, Req, DecodeError)) {
+      Resp.StatusCode = 400;
+      Resp.Body = rpcError(RpcInvalidParams,
+                           DecodeError.empty() ? "missing params"
+                                               : DecodeError,
+                           Id);
+      return Resp;
+    }
+
+    // Server policy overrides. Thread allowance belongs to the daemon
+    // (JobsPerShard), not the client; corpus persistence writes to the
+    // server's filesystem, so remote requests cannot direct it.
+    Req.Jobs = 0;
+    Req.CorpusDir.clear();
+    if (Cfg.MaxRequestSeconds > 0 &&
+        (Req.DeadlineSeconds <= 0 ||
+         Req.DeadlineSeconds > Cfg.MaxRequestSeconds))
+      Req.DeadlineSeconds = Cfg.MaxRequestSeconds;
+
+    if (Stopping.load()) {
+      Resp.StatusCode = 503;
+      Resp.Body = rpcError(RpcShuttingDown, "server is draining", Id);
+      return Resp;
+    }
+
+    int Priority = 1;
+    if (auto It = Http.Headers.find("x-checkfence-priority");
+        It != Http.Headers.end())
+      Priority = priorityFromName(It->second);
+
+    CancelToken Token;
+    size_t ShardIdx = shardFor(Req);
+    auto J = std::make_unique<Job>();
+    J->Priority = Priority;
+    J->Run = [this, ShardIdx, Req = std::move(Req), Id, Token] {
+      return runRequest(ShardIdx, Req, Id, Token);
+    };
+    std::future<std::string> Done = J->Done.get_future();
+
+    if (!enqueue(ShardIdx, std::move(J))) {
+      ++Rejected;
+      Resp.StatusCode = 429;
+      Resp.Headers["Retry-After"] = "1";
+      Resp.Body = rpcError(RpcQueueFull, "request queue is full", Id);
+      return Resp;
+    }
+
+    // From here the job WILL run (drain finishes queued work); watch
+    // the socket so a vanished client cancels it instead.
+    Watcher.watch(Fd, Token);
+    Resp.Body = Done.get();
+    Watcher.unwatch(Fd);
+    return Resp;
+  }
+
+  std::string metricsText() {
+    ServerStats S = snapshot();
+    std::string Out;
+    auto Counter = [&Out](const char *Name, const char *Help,
+                          unsigned long long Value) {
+      Out += formatString("# HELP %s %s\n# TYPE %s counter\n%s %llu\n",
+                          Name, Help, Name, Name, Value);
+    };
+    auto Gauge = [&Out](const char *Name, const char *Help,
+                        unsigned long long Value) {
+      Out += formatString("# HELP %s %s\n# TYPE %s gauge\n%s %llu\n",
+                          Name, Help, Name, Name, Value);
+    };
+    Counter("checkfence_requests_served_total",
+            "RPC requests answered", S.Served);
+    Counter("checkfence_requests_rejected_total",
+            "admission rejections (HTTP 429)", S.Rejected);
+    Counter("checkfence_requests_cancelled_total",
+            "requests that finished cancelled", S.Cancelled);
+    Counter("checkfence_requests_error_total",
+            "requests that finished in error", S.Errors);
+    Counter("checkfence_connections_accepted_total",
+            "TCP connections accepted", S.Accepted);
+    Gauge("checkfence_queue_depth", "requests waiting for a shard",
+          S.Queued);
+    Gauge("checkfence_inflight", "requests running on a shard",
+          S.InFlight);
+    Counter("checkfence_cache_hits_total", "result cache hits",
+            S.Cache.Hits);
+    Counter("checkfence_cache_misses_total", "result cache misses",
+            S.Cache.Misses);
+    Gauge("checkfence_cache_entries", "result cache entries",
+          S.Cache.Entries);
+    Counter("checkfence_cache_bounds_seeded_total",
+            "runs whose bounds were seeded from the cache",
+            S.Cache.BoundsSeeded);
+    Gauge("checkfence_sessions_idle",
+          "warm sessions parked in the shard pools", S.Pool.IdleSessions);
+    Gauge("checkfence_session_clauses",
+          "CNF clauses held by idle sessions' solvers",
+          S.Pool.IdleClauses);
+    Counter("checkfence_cells_completed_total",
+            "matrix cells completed", S.CellsCompleted);
+    Counter("checkfence_scenarios_checked_total",
+            "explore scenarios checked", S.ScenariosChecked);
+    return Out;
+  }
+
+  std::string statusJson() {
+    ServerStats S = snapshot();
+    JsonObject Cache;
+    Cache.field("entries", static_cast<unsigned long long>(S.Cache.Entries))
+        .field("hits", static_cast<unsigned long long>(S.Cache.Hits))
+        .field("misses", static_cast<unsigned long long>(S.Cache.Misses))
+        .field("boundsSeeded",
+               static_cast<unsigned long long>(S.Cache.BoundsSeeded));
+    JsonObject Pool;
+    Pool.field("idleSessions",
+               static_cast<unsigned long long>(S.Pool.IdleSessions))
+        .field("idleClauses", S.Pool.IdleClauses);
+    JsonObject O;
+    O.field("version", versionString());
+    O.field("schema", JsonSchemaVersion);
+    O.field("shards", Cfg.Shards);
+    O.field("jobsPerShard", Cfg.JobsPerShard);
+    O.field("queueDepth", Cfg.QueueDepth);
+    O.field("queued", static_cast<unsigned long long>(S.Queued));
+    O.field("inFlight", static_cast<unsigned long long>(S.InFlight));
+    O.field("accepted", S.Accepted);
+    O.field("served", S.Served);
+    O.field("rejected", S.Rejected);
+    O.field("cancelled", S.Cancelled);
+    O.field("errors", S.Errors);
+    O.field("cellsCompleted", S.CellsCompleted);
+    O.field("scenariosChecked", S.ScenariosChecked);
+    O.field("draining", Stopping.load());
+    O.raw("cache", Cache.str());
+    O.raw("pool", Pool.str());
+    return O.str() + "\n";
+  }
+
+  ServerStats snapshot() {
+    ServerStats S;
+    S.Accepted = Accepted.load();
+    S.Served = Served.load();
+    S.Rejected = Rejected.load();
+    S.Cancelled = Cancelled.load();
+    S.Errors = Errors.load();
+    S.Queued = Queued.load();
+    S.InFlight = InFlight.load();
+    S.CellsCompleted = Sink.Cells.load();
+    S.ScenariosChecked = Sink.Scenarios.load();
+    S.Cache = Shared.stats();
+    for (const auto &Sh : Shards) {
+      PoolStats P = Sh->V->poolStats();
+      S.Pool.IdleSessions += P.IdleSessions;
+      S.Pool.IdleClauses += P.IdleClauses;
+    }
+    return S;
+  }
+
+  void serveConnection(int Fd) {
+    HttpRequest Http;
+    std::string Error;
+    if (readHttpRequest(Fd, Http, Error)) {
+      HttpResponse Resp;
+      if (Http.Method == "POST" && Http.Path == "/rpc") {
+        Resp = handleRpc(Http, Fd);
+      } else if (Http.Method == "GET" && Http.Path == "/metrics") {
+        Resp.ContentType = "text/plain; version=0.0.4";
+        Resp.Body = metricsText();
+      } else if (Http.Method == "GET" && Http.Path == "/status") {
+        Resp.Body = statusJson();
+      } else if (Http.Path == "/rpc" || Http.Path == "/metrics" ||
+                 Http.Path == "/status" ||
+                 (Http.Method != "GET" && Http.Method != "POST")) {
+        // A known endpoint with the wrong verb (or an unknown verb
+        // anywhere) is 405, not 404.
+        Resp.StatusCode = 405;
+        Resp.ContentType = "text/plain";
+        Resp.Body = "method not allowed\n";
+      } else {
+        Resp.StatusCode = 404;
+        Resp.ContentType = "text/plain";
+        Resp.Body = "not found (try /rpc, /metrics, /status)\n";
+      }
+      writeHttpResponse(Fd, Resp);
+    }
+    ::shutdown(Fd, SHUT_RDWR);
+    ::close(Fd);
+  }
+
+  void listenerLoop() {
+    while (!Stopping.load()) {
+      struct pollfd P;
+      P.fd = ListenFd;
+      P.events = POLLIN;
+      P.revents = 0;
+      if (::poll(&P, 1, 100) <= 0)
+        continue;
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0)
+        continue;
+      ++Accepted;
+      reapConnections();
+      auto C = std::make_unique<Conn>();
+      Conn *Raw = C.get();
+      ActiveConns.fetch_add(1);
+      Raw->T = std::thread([this, Fd, Raw] {
+        serveConnection(Fd);
+        Raw->Finished.store(true);
+        ActiveConns.fetch_sub(1);
+      });
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      Conns.push_back(std::move(C));
+    }
+  }
+
+  void reapConnections() {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (auto It = Conns.begin(); It != Conns.end();)
+      if ((*It)->Finished.load()) {
+        (*It)->T.join();
+        It = Conns.erase(It);
+      } else {
+        ++It;
+      }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// CheckServer
+//===----------------------------------------------------------------------===//
+
+CheckServer::CheckServer(ServerConfig Config)
+    : Self(std::make_unique<Impl>()) {
+  Self->Cfg = std::move(Config);
+  if (Self->Cfg.Shards < 1)
+    Self->Cfg.Shards = 1;
+  if (Self->Cfg.JobsPerShard < 1)
+    Self->Cfg.JobsPerShard = 1;
+  if (Self->Cfg.QueueDepth < 1)
+    Self->Cfg.QueueDepth = 1;
+}
+
+CheckServer::~CheckServer() {
+  if (Self->Started.load()) {
+    requestStop();
+    waitStopped();
+  }
+}
+
+bool CheckServer::start(std::string &Error) {
+  if (!Self->Cfg.CachePath.empty())
+    Self->Shared.load(Self->Cfg.CachePath); // absent file: start empty
+
+  for (int I = 0; I < Self->Cfg.Shards; ++I) {
+    auto S = std::make_unique<Shard>();
+    VerifierConfig VC;
+    VC.Jobs = Self->Cfg.JobsPerShard;
+    VC.SharedCache = Self->Shared;
+    S->V = std::make_unique<Verifier>(VC);
+    Self->Shards.push_back(std::move(S));
+  }
+
+  Self->ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Self->ListenFd < 0) {
+    Error = "cannot create listening socket";
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Self->ListenFd, SOL_SOCKET, SO_REUSEADDR, &One,
+               sizeof One);
+  struct sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof Addr);
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Self->Cfg.Port));
+  if (::inet_pton(AF_INET, Self->Cfg.BindAddress.c_str(),
+                  &Addr.sin_addr) != 1) {
+    Error = "bad bind address '" + Self->Cfg.BindAddress + "'";
+    ::close(Self->ListenFd);
+    Self->ListenFd = -1;
+    return false;
+  }
+  if (::bind(Self->ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof Addr) != 0 ||
+      ::listen(Self->ListenFd, 64) != 0) {
+    Error = formatString("cannot bind %s:%d",
+                         Self->Cfg.BindAddress.c_str(), Self->Cfg.Port);
+    ::close(Self->ListenFd);
+    Self->ListenFd = -1;
+    return false;
+  }
+  socklen_t Len = sizeof Addr;
+  ::getsockname(Self->ListenFd,
+                reinterpret_cast<struct sockaddr *>(&Addr), &Len);
+  Self->BoundPort = ntohs(Addr.sin_port);
+
+  for (auto &S : Self->Shards) {
+    Shard *Raw = S.get();
+    S->Worker = std::thread([this, Raw] { Self->workerLoop(*Raw); });
+  }
+  Self->Watcher.start();
+  Self->Listener = std::thread([this] { Self->listenerLoop(); });
+  Self->Started.store(true);
+  return true;
+}
+
+int CheckServer::port() const { return Self->BoundPort; }
+
+void CheckServer::requestStop() { Self->Stopping.store(true); }
+
+bool CheckServer::stopRequested() const { return Self->Stopping.load(); }
+
+void CheckServer::waitStopped() {
+  if (!Self->Started.load() || Self->Drained.exchange(true))
+    return;
+  Self->Stopping.store(true);
+  if (Self->Listener.joinable())
+    Self->Listener.join();
+  // Every live connection either already holds a queued/running job
+  // (the workers will finish it) or is about to get a 503; wait for
+  // them all to write their responses and exit before letting the
+  // workers quit.
+  while (Self->ActiveConns.load() > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Self->reapConnections();
+  {
+    std::lock_guard<std::mutex> Lock(Self->ConnMu);
+    for (auto &C : Self->Conns)
+      if (C->T.joinable())
+        C->T.join();
+    Self->Conns.clear();
+  }
+  Self->WorkersExit.store(true);
+  for (auto &S : Self->Shards) {
+    S->Cv.notify_all();
+    if (S->Worker.joinable())
+      S->Worker.join();
+  }
+  Self->Watcher.stop();
+  if (Self->ListenFd >= 0) {
+    ::close(Self->ListenFd);
+    Self->ListenFd = -1;
+  }
+  if (!Self->Cfg.CachePath.empty())
+    Self->Shared.save(Self->Cfg.CachePath);
+}
+
+ServerStats CheckServer::stats() const { return Self->snapshot(); }

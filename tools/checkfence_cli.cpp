@@ -12,17 +12,23 @@
 //
 // The CLI is a thin shell over the public API (include/checkfence/): it
 // parses flags into a checkfence::Request, dispatches it on a
-// checkfence::Verifier, and renders the result. Exit codes follow the
-// verdict: 0 pass, 1 fail, 2 sequential bug, 3 bounds exhausted, 4 error,
-// 5 cancelled; usage/I-O problems exit 64.
+// checkfence::Verifier - or, with --remote URL, on a running checkfenced
+// daemon via RemoteVerifier - and renders the result. Both dispatch paths
+// feed one set of emit functions, so remote output and exit codes are
+// byte-identical to a local run. Exit codes follow the verdict: 0 pass,
+// 1 fail, 2 sequential bug, 3 bounds exhausted, 4 error, 5 cancelled;
+// usage/I-O problems exit 64.
 //
 //===----------------------------------------------------------------------===//
 
+#include "checkfence/Remote.h"
 #include "checkfence/checkfence.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -95,6 +101,13 @@ void usage() {
       "  --deadline S         cancel cooperatively after S seconds\n"
       "  --cache PATH         persist the cross-run result cache at PATH\n"
       "  --no-cache           bypass the result cache\n"
+      "  --remote URL         dispatch to a running checkfenced daemon\n"
+      "                       (http://host:port, see docs/SERVER.md);\n"
+      "                       output and exit codes match a local run.\n"
+      "                       --jobs, --corpus, and --cache describe the\n"
+      "                       daemon's resources and are decided by it\n"
+      "  --priority P         remote admission priority: high | normal |\n"
+      "                       low (default normal)\n"
       "  --json PATH          write a JSON report ('-' = stdout)\n"
       "  --no-timings         omit timing fields from the JSON report\n"
       "                       (byte-identical output at any --jobs)\n"
@@ -155,6 +168,153 @@ void listCatalog() {
                 M.Analysis ? "+" : " ", M.Note.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Emit functions - the single rendering path both dispatch modes feed.
+// Local runs populate the Remote* structs from the in-process outcomes;
+// remote runs decode them off the wire. Identical inputs here is what
+// makes `--remote` byte-identical to a local run.
+//===----------------------------------------------------------------------===//
+
+int emitExplore(const RemoteExplore &E, const std::string &JsonPath,
+                bool NoTimings, bool Quiet) {
+  if (!E.Ok) {
+    std::fprintf(stderr, "%s\n", E.Error.c_str());
+    return ExitUsage;
+  }
+  if (!JsonPath.empty() &&
+      !writeReport(JsonPath, NoTimings ? E.JsonNoTimings : E.Json))
+    return ExitUsage;
+  for (const std::string &W : E.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+  if (!Quiet) {
+    std::printf("explore: seed %llu, %d generated, %d deduplicated, "
+                "%d run, %d skips, %d divergences (%.1fs)\n",
+                E.Seed, E.Generated, E.Deduplicated, E.Run, E.Skips,
+                static_cast<int>(E.Divergences.size()), E.WallSeconds);
+    for (const ExploreDivergence &D : E.Divergences) {
+      std::string Where =
+          D.ReproPath.empty() ? std::string() : " -> " + D.ReproPath;
+      std::printf("DIVERGENCE %s [%s%s%s] %d threads, %d ops%s\n",
+                  D.Label.c_str(), D.Kind.c_str(),
+                  D.Model.empty() ? "" : " @ ",
+                  D.Model.c_str(), D.Threads, D.Ops, Where.c_str());
+      if (!D.Notation.empty())
+        std::printf("  notation: %s\n", D.Notation.c_str());
+      std::printf("  %s\n", D.Detail.c_str());
+    }
+  }
+  if (E.Cancelled)
+    return exitCodeFor(Status::Cancelled);
+  return E.Divergences.empty() ? 0 : 1;
+}
+
+int emitMatrix(const RemoteReport &R, const std::string &JsonPath,
+               bool NoTimings, bool Quiet) {
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s\n", R.Error.c_str());
+    return ExitUsage;
+  }
+  if (!Quiet)
+    std::printf("%s", R.Table.c_str());
+  if (!JsonPath.empty() &&
+      !writeReport(JsonPath, NoTimings ? R.JsonNoTimings : R.Json))
+    return ExitUsage;
+  if (R.AllCompleted)
+    return 0;
+  // Cancelled-only incompleteness (a --deadline expiry) reports as
+  // CANCELLED; any errored cell dominates.
+  return exitCodeFor(R.ErrorCells > 0 ? Status::Error
+                                      : Status::Cancelled);
+}
+
+int emitAnalysis(const RemoteAnalysis &A, const std::string &JsonPath,
+                 bool Quiet) {
+  if (!A.Ok) {
+    std::fprintf(stderr, "%s\n", A.Error.c_str());
+    return exitCodeFor(Status::Error);
+  }
+  if (!Quiet)
+    std::printf("%s", A.Table.c_str());
+  if (!JsonPath.empty() && !writeReport(JsonPath, A.Json))
+    return ExitUsage;
+  return 0;
+}
+
+int emitSynth(const SynthOutcome &S, const std::string &Json,
+              const std::string &JsonPath, bool Quiet) {
+  if (!Quiet)
+    for (const std::string &Step : S.Log)
+      std::printf("%s\n", Step.c_str());
+  if (!JsonPath.empty() && !writeReport(JsonPath, Json))
+    return ExitUsage;
+  if (S.Cancelled) {
+    std::printf("SYNTHESIS CANCELLED: %s\n", S.Message.c_str());
+    return exitCodeFor(Status::Cancelled);
+  }
+  if (!S.Success) {
+    std::printf("SYNTHESIS FAILED: %s\n", S.Message.c_str());
+    return 1;
+  }
+  std::printf("%s (%d checks, %.1fs)\n", S.Message.c_str(), S.ChecksRun,
+              S.TotalSeconds);
+  for (const SynthFence &F : S.Fences)
+    std::printf("  insert %s fence at line %d\n", F.Kind.c_str(),
+                F.Line);
+  return 0;
+}
+
+int emitCheck(const Result &R, const std::string &JsonPath,
+              bool NoTimings, bool Quiet, bool PrintSpec) {
+  if (!JsonPath.empty() && !writeReport(JsonPath, R.json(!NoTimings)))
+    return ExitUsage;
+
+  std::printf("%s\n", statusName(R.Verdict));
+  if (Quiet)
+    return exitCodeFor(R.Verdict);
+
+  std::printf("%s\n", R.Message.c_str());
+  std::printf("stats: %d instrs, %d loads, %d stores | spec %d obs "
+              "(%.2fs) | CNF %d vars %llu clauses | encode %.2fs solve "
+              "%.2fs | total %.2fs, %d bound rounds%s\n",
+              R.Stats.UnrolledInstrs, R.Stats.Loads, R.Stats.Stores,
+              R.Stats.ObservationCount, R.Stats.MiningSeconds,
+              R.Stats.SatVars, R.Stats.SatClauses,
+              R.Stats.EncodeSeconds, R.Stats.SolveSeconds,
+              R.Stats.TotalSeconds, R.Stats.BoundIterations,
+              R.FromCache ? " (cached)" : "");
+  if (PrintSpec)
+    for (const std::string &O : R.Observations)
+      std::printf("  %s\n", O.c_str());
+  if (R.HasCounterexample)
+    std::printf("\n%s", R.CounterexampleColumns.c_str());
+  return exitCodeFor(R.Verdict);
+}
+
+/// Transport and server-side dispatch problems (connection refused,
+/// queue full, protocol drift) are infrastructure errors, not verdicts:
+/// report on stderr, exit 4. A full queue additionally surfaces the
+/// daemon's Retry-After hint.
+int remoteFail(const RemoteStatus &S) {
+  std::fprintf(stderr, "remote: %s\n", S.Error.c_str());
+  if (S.HttpStatus == 429 && S.RetryAfterSeconds > 0)
+    std::fprintf(stderr, "remote: retry after %d second%s\n",
+                 S.RetryAfterSeconds,
+                 S.RetryAfterSeconds == 1 ? "" : "s");
+  return exitCodeFor(Status::Error);
+}
+
+// SIGINT during a local run cancels cooperatively (the run winds down
+// and exits 5 like any other cancellation). CancelToken::cancel() is an
+// atomic store on a pre-allocated flag, so it is safe in a handler; a
+// second ^C gets the default fatal behavior.
+CancelToken *InterruptToken = nullptr;
+
+void onInterrupt(int) {
+  if (InterruptToken)
+    InterruptToken->cancel();
+  std::signal(SIGINT, SIG_DFL);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -162,7 +322,7 @@ int main(int argc, char **argv) {
   Request Req = Request::check();
   bool PrintSpec = false, Quiet = false, Synth = false, Matrix = false;
   bool Explore = false, Analyze = false, NoTimings = false;
-  std::string JsonPath, CachePath;
+  std::string JsonPath, CachePath, RemoteUrl, Priority = "normal";
   std::vector<std::string> MatrixImpls, MatrixTests, MatrixModels;
 
   std::vector<std::string> Positional;
@@ -247,6 +407,10 @@ int main(int argc, char **argv) {
       CachePath = Next();
     } else if (A == "--no-cache") {
       Req.noCache();
+    } else if (A == "--remote") {
+      RemoteUrl = Next();
+    } else if (A == "--priority") {
+      Priority = Next();
     } else if (A == "--json") {
       JsonPath = Next();
     } else if (A == "--no-timings") {
@@ -278,48 +442,66 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "unknown model '%s'\n", M.c_str());
       return ExitUsage;
     }
+  if (Priority != "high" && Priority != "normal" && Priority != "low") {
+    std::fprintf(stderr, "bad --priority '%s' (high | normal | low)\n",
+                 Priority.c_str());
+    return ExitUsage;
+  }
 
-  VerifierConfig Config;
-  Config.Jobs = 1;
-  Config.CachePath = CachePath;
-  Verifier V(Config);
+  // Dispatch target: a daemon (--remote) or an in-process Verifier,
+  // constructed lazily so remote runs never touch the local cache file.
+  std::unique_ptr<RemoteVerifier> RV;
+  std::unique_ptr<Verifier> V;
+  if (!RemoteUrl.empty()) {
+    RV = std::make_unique<RemoteVerifier>(RemoteUrl);
+    if (Priority != "normal")
+      RV->setPriority(Priority);
+  }
+  auto Local = [&]() -> Verifier & {
+    if (!V) {
+      VerifierConfig Config;
+      Config.Jobs = 1;
+      Config.CachePath = CachePath;
+      V = std::make_unique<Verifier>(Config);
+    }
+    return *V;
+  };
+
+  CancelToken Token;
+  if (!RV) {
+    // Remote runs cancel server-side when this process (and with it the
+    // connection) dies; locally, ^C unwinds cooperatively.
+    InterruptToken = &Token;
+    std::signal(SIGINT, onInterrupt);
+  }
 
   // Explore mode: seeded scenario generation, differential oracle
   // cross-checks, shrinking, corpus persistence.
   if (Explore) {
     Req.RequestKind = Request::Kind::Explore;
     Req.models(MatrixModels);
-    ExploreOutcome E = V.explore(Req);
-    if (!E.ok()) {
-      std::fprintf(stderr, "%s\n", E.error().c_str());
-      return ExitUsage;
+    RemoteExplore E;
+    if (RV) {
+      if (RemoteStatus S = RV->explore(Req, E); !S)
+        return remoteFail(S);
+    } else {
+      ExploreOutcome O = Local().explore(Req, nullptr, Token);
+      E.Ok = O.ok();
+      E.Error = O.error();
+      E.Cancelled = O.cancelled();
+      E.Seed = O.seed();
+      E.Generated = O.generated();
+      E.Deduplicated = O.deduplicated();
+      E.Run = O.run();
+      E.Skips = O.skips();
+      E.Shrunk = O.shrunk();
+      E.WallSeconds = O.wallSeconds();
+      E.Json = O.json(true);
+      E.JsonNoTimings = O.json(false);
+      E.Warnings = O.warnings();
+      E.Divergences = O.divergences();
     }
-    if (!JsonPath.empty() && !writeReport(JsonPath, E.json(!NoTimings)))
-      return ExitUsage;
-    for (const std::string &W : E.warnings())
-      std::fprintf(stderr, "warning: %s\n", W.c_str());
-    std::vector<ExploreDivergence> Found = E.divergences();
-    if (!Quiet) {
-      std::printf("explore: seed %llu, %d generated, %d deduplicated, "
-                  "%d run, %d skips, %d divergences (%.1fs)\n",
-                  E.seed(), E.generated(), E.deduplicated(), E.run(),
-                  E.skips(), static_cast<int>(Found.size()),
-                  E.wallSeconds());
-      for (const ExploreDivergence &D : Found) {
-        std::string Where =
-            D.ReproPath.empty() ? std::string() : " -> " + D.ReproPath;
-        std::printf("DIVERGENCE %s [%s%s%s] %d threads, %d ops%s\n",
-                    D.Label.c_str(), D.Kind.c_str(),
-                    D.Model.empty() ? "" : " @ ",
-                    D.Model.c_str(), D.Threads, D.Ops, Where.c_str());
-        if (!D.Notation.empty())
-          std::printf("  notation: %s\n", D.Notation.c_str());
-        std::printf("  %s\n", D.Detail.c_str());
-      }
-    }
-    if (E.cancelled())
-      return exitCodeFor(Status::Cancelled);
-    return Found.empty() ? 0 : 1;
+    return emitExplore(E, JsonPath, NoTimings, Quiet);
   }
 
   // Matrix mode: expand the (impl x test x model) grid, run it on the
@@ -327,21 +509,23 @@ int main(int argc, char **argv) {
   if (Matrix) {
     Req.RequestKind = Request::Kind::Matrix;
     Req.impls(MatrixImpls).tests(MatrixTests).models(MatrixModels);
-    Report R = V.matrix(Req);
-    if (!R.ok()) {
-      std::fprintf(stderr, "%s\n", R.error().c_str());
-      return ExitUsage;
+    RemoteReport RR;
+    if (RV) {
+      if (RemoteStatus S = RV->matrix(Req, RR); !S)
+        return remoteFail(S);
+    } else {
+      Report R = Local().matrix(Req, nullptr, Token);
+      RR.Ok = R.ok();
+      RR.Error = R.error();
+      RR.Table = R.table();
+      RR.Json = R.json(true);
+      RR.JsonNoTimings = R.json(false);
+      RR.AllCompleted = R.allCompleted();
+      RR.CellCount = R.cellCount();
+      RR.ErrorCells = static_cast<int>(R.count(Status::Error));
+      RR.CancelledCells = static_cast<int>(R.count(Status::Cancelled));
     }
-    if (!Quiet)
-      std::printf("%s", R.table().c_str());
-    if (!JsonPath.empty() && !writeReport(JsonPath, R.json(!NoTimings)))
-      return ExitUsage;
-    if (R.allCompleted())
-      return 0;
-    // Cancelled-only incompleteness (a --deadline expiry) reports as
-    // CANCELLED; any errored cell dominates.
-    return exitCodeFor(R.count(Status::Error) > 0 ? Status::Error
-                                                  : Status::Cancelled);
+    return emitMatrix(RR, JsonPath, NoTimings, Quiet);
   }
 
   // Resolve what to run: a built-in impl, a file, or nothing (usage).
@@ -379,65 +563,39 @@ int main(int argc, char **argv) {
   if (Analyze) {
     Req.RequestKind = Request::Kind::Analyze;
     Req.models(MatrixModels);
-    AnalysisOutcome A = V.analyze(Req);
-    if (!A.Ok) {
-      std::fprintf(stderr, "%s\n", A.Error.c_str());
-      return exitCodeFor(Status::Error);
+    RemoteAnalysis RA;
+    if (RV) {
+      if (RemoteStatus S = RV->analyze(Req, RA); !S)
+        return remoteFail(S);
+    } else {
+      AnalysisOutcome A = Local().analyze(Req);
+      RA.Ok = A.Ok;
+      RA.Error = A.Error;
+      RA.Table = A.table();
+      RA.Json = A.json();
     }
-    if (!Quiet)
-      std::printf("%s", A.table().c_str());
-    if (!JsonPath.empty() && !writeReport(JsonPath, A.json()))
-      return ExitUsage;
-    return 0;
+    return emitAnalysis(RA, JsonPath, Quiet);
   }
 
   if (Synth) {
     Req.RequestKind = Request::Kind::Synthesis;
-    SynthOutcome S = V.synthesize(Req);
-    if (!Quiet)
-      for (const std::string &Step : S.Log)
-        std::printf("%s\n", Step.c_str());
-    if (!JsonPath.empty() && !writeReport(JsonPath, S.json()))
-      return ExitUsage;
-    if (S.Cancelled) {
-      std::printf("SYNTHESIS CANCELLED: %s\n", S.Message.c_str());
-      return exitCodeFor(Status::Cancelled);
+    RemoteSynth RS;
+    if (RV) {
+      if (RemoteStatus S = RV->synthesize(Req, RS); !S)
+        return remoteFail(S);
+    } else {
+      RS.Outcome = Local().synthesize(Req, nullptr, Token);
+      RS.Json = RS.Outcome.json();
     }
-    if (!S.Success) {
-      std::printf("SYNTHESIS FAILED: %s\n", S.Message.c_str());
-      return 1;
-    }
-    std::printf("%s (%d checks, %.1fs)\n", S.Message.c_str(), S.ChecksRun,
-                S.TotalSeconds);
-    for (const SynthFence &F : S.Fences)
-      std::printf("  insert %s fence at line %d\n", F.Kind.c_str(),
-                  F.Line);
-    return 0;
+    return emitSynth(RS.Outcome, RS.Json, JsonPath, Quiet);
   }
 
-  Result R = V.check(Req);
-
-  if (!JsonPath.empty() && !writeReport(JsonPath, R.json(!NoTimings)))
-    return ExitUsage;
-
-  std::printf("%s\n", statusName(R.Verdict));
-  if (Quiet)
-    return exitCodeFor(R.Verdict);
-
-  std::printf("%s\n", R.Message.c_str());
-  std::printf("stats: %d instrs, %d loads, %d stores | spec %d obs "
-              "(%.2fs) | CNF %d vars %llu clauses | encode %.2fs solve "
-              "%.2fs | total %.2fs, %d bound rounds%s\n",
-              R.Stats.UnrolledInstrs, R.Stats.Loads, R.Stats.Stores,
-              R.Stats.ObservationCount, R.Stats.MiningSeconds,
-              R.Stats.SatVars, R.Stats.SatClauses,
-              R.Stats.EncodeSeconds, R.Stats.SolveSeconds,
-              R.Stats.TotalSeconds, R.Stats.BoundIterations,
-              R.FromCache ? " (cached)" : "");
-  if (PrintSpec)
-    for (const std::string &O : R.Observations)
-      std::printf("  %s\n", O.c_str());
-  if (R.HasCounterexample)
-    std::printf("\n%s", R.CounterexampleColumns.c_str());
-  return exitCodeFor(R.Verdict);
+  Result R;
+  if (RV) {
+    if (RemoteStatus S = RV->check(Req, R); !S)
+      return remoteFail(S);
+  } else {
+    R = Local().check(Req, nullptr, Token);
+  }
+  return emitCheck(R, JsonPath, NoTimings, Quiet, PrintSpec);
 }
