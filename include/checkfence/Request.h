@@ -345,6 +345,17 @@ public:
     UseCache = !Bypass;
     return *this;
   }
+  /// Write a Chrome trace-event / Perfetto-compatible span timeline of
+  /// this request to `Path` (loadable at https://ui.perfetto.dev). Works
+  /// locally and through `RemoteVerifier`, where the server-side spans
+  /// (queue wait, shard dispatch, solve) are merged into the client's
+  /// timeline. Tracing is purely observational: verdicts and timing-free
+  /// JSON are byte-identical with it on or off. Empty = disabled.
+  /// See docs/OBSERVABILITY.md.
+  Request &traceFile(std::string Path) {
+    TraceFile = std::move(Path);
+    return *this;
+  }
 
   //===--------------------------------------------------------------===//
   // Synthesis options
@@ -408,6 +419,7 @@ public:
 
   double DeadlineSeconds = 0;
   bool UseCache = true;
+  std::string TraceFile;
 
   bool SynthStrip = true;
   std::optional<int> SynthMinLine;

@@ -58,6 +58,13 @@ struct ServerConfig {
   /// Hard per-request deadline in seconds (0 = none). A request's own
   /// deadline() still applies when tighter.
   double MaxRequestSeconds = 0;
+  /// Minimum log level for the structured logger: "debug", "info",
+  /// "warn", "error", or "off". Empty = leave the process-wide level
+  /// unchanged (the library default is warn). Applied in start().
+  std::string LogLevel;
+  /// Requests whose shard-worker latency exceeds this many seconds are
+  /// logged at warn level with their kind and timing (0 = never).
+  double SlowRequestSeconds = 10;
 };
 
 /// A point-in-time snapshot of the daemon's counters (the `/metrics`

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by `checkfence --trace`.
+
+Checks, in order:
+  1. The file parses and has a non-empty "traceEvents" array.
+  2. Every event is a complete span ("X") or metadata record ("M") with
+     the fields Perfetto needs (name, ts; dur/pid/tid for spans).
+  3. Within each (pid, tid) lane, spans nest properly: a span that
+     starts inside another must also end inside it (no partial
+     overlaps - RAII spans guarantee this, so a violation means the
+     emitter is broken).
+  4. Optional --require NAME assertions: each NAME must appear as a
+     span name (exact match) somewhere in the trace.
+
+Usage:
+  python3 scripts/check_trace.py trace.json --require request:matrix \
+      --require cell:ms2:T0:sc
+
+Exit code 0 on success, 1 with a diagnostic on the first failure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_nesting(lane, events) -> None:
+    """Spans in one lane, sorted by (start, -dur), must strictly nest."""
+    stack = []  # (start, end, name) of open ancestors
+    for ev in sorted(events, key=lambda e: (e["ts"], -e["dur"])):
+        start, end = ev["ts"], ev["ts"] + ev["dur"]
+        while stack and start >= stack[-1][1]:
+            stack.pop()
+        if stack and end > stack[-1][1] + 1e-9:
+            fail(
+                f"lane {lane}: span '{ev['name']}' "
+                f"[{start}, {end}] partially overlaps enclosing "
+                f"'{stack[-1][2]}' [{stack[-1][0]}, {stack[-1][1]}]"
+            )
+        stack.append((start, end, ev["name"]))
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace JSON file to validate")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="assert a span with this exact name exists (repeatable)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as ex:
+        fail(f"{args.trace}: {ex}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents array (or it is empty)")
+
+    spans = []
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            if "name" not in ev:
+                fail(f"event {i}: metadata record without a name")
+            continue
+        if ph != "X":
+            fail(f"event {i}: unexpected phase {ph!r} (want 'X' or 'M')")
+        for field in ("name", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                fail(f"event {i} ('{ev.get('name', '?')}'): missing {field}")
+        if ev["dur"] < 0 or ev["ts"] < 0:
+            fail(f"event {i} ('{ev['name']}'): negative ts/dur")
+        spans.append(ev)
+
+    if not spans:
+        fail("trace has metadata but no spans")
+
+    lanes = {}
+    for ev in spans:
+        lanes.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    for lane, lane_events in sorted(lanes.items()):
+        check_nesting(lane, lane_events)
+
+    names = {ev["name"] for ev in spans}
+    for want in args.require:
+        if want not in names:
+            fail(
+                f"required span '{want}' not found; "
+                f"names present: {', '.join(sorted(names))}"
+            )
+
+    print(
+        f"check_trace: OK: {len(spans)} spans in {len(lanes)} lanes, "
+        f"{len(names)} distinct names"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -19,8 +19,11 @@
 #include "harness/Catalog.h"
 #include "harness/FenceSynth.h"
 #include "impls/Impls.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Timing.h"
+
+#include <memory>
 
 #include <atomic>
 #include <chrono>
@@ -60,6 +63,30 @@ struct RunControl {
     return HasDeadline && Clock::now() >= Deadline;
   }
   bool stopRequested() const { return Token.cancelled() || expired(); }
+};
+
+/// Per-request tracing scope. When the request asked for a trace file
+/// this owns a fresh Tracer, installs it for the calling thread (worker
+/// fan-out points re-install it in their threads), and writes the file
+/// on destruction. When TraceFile is empty it is fully inert - in
+/// particular it does NOT displace a tracer installed by an enclosing
+/// scope (the checkfenced server installs one per traced RPC), so
+/// library-internal reuse of the public entry points keeps tracing.
+class TraceFileScope {
+public:
+  explicit TraceFileScope(const std::string &Path)
+      : Path(Path), T(Path.empty() ? nullptr : new obs::Tracer()),
+        Ctx(T.get()) {}
+  ~TraceFileScope() {
+    if (T)
+      T->writeFile(Path);
+  }
+  obs::Tracer *tracer() { return T.get(); }
+
+private:
+  std::string Path;
+  std::unique_ptr<obs::Tracer> T;
+  obs::TraceContext Ctx;
 };
 
 /// Wires a sink + control into the engine's hook structure.
@@ -324,6 +351,8 @@ void SharedResultCache::clear() {
 
 Result Verifier::check(const Request &Req, EventSink *Sink,
                        CancelToken Token) {
+  TraceFileScope Trace(Req.TraceFile);
+  obs::Span RequestSpan("request", "request:check");
   checker::CheckOptions Opts;
   std::string Error;
   if (!checkOptionsFrom(Req, Opts, Error))
@@ -382,8 +411,11 @@ Result Verifier::check(const Request &Req, EventSink *Sink,
     std::string PoolKey = Case.ProgramFp + "|" + OptsFp;
     for (const auto &[Loop, Bound] : Opts.InitialBounds)
       PoolKey += formatString("|%s=%d", Loop.c_str(), Bound);
-    std::unique_ptr<engine::CheckSession> Session =
-        Self->leaseSession(PoolKey, Opts);
+    std::unique_ptr<engine::CheckSession> Session;
+    {
+      obs::Span LeaseSpan("api", "session_lease");
+      Session = Self->leaseSession(PoolKey, Opts);
+    }
     Session->setHooks(Opts.Hooks);
     Session->setParallelism(Opts.PortfolioWidth, &Budget);
     R = Session->check(Case.Impl, Case.Threads,
@@ -407,6 +439,8 @@ Result Verifier::check(const Request &Req, EventSink *Sink,
 
 Report Verifier::matrix(const Request &Req, EventSink *Sink,
                         CancelToken Token) {
+  TraceFileScope Trace(Req.TraceFile);
+  obs::Span RequestSpan("request", "request:matrix");
   auto Fail = [Sink](std::string Message) {
     fireVerdict(Sink, "matrix", Status::Error, Message, false);
     return Report::makeError(std::move(Message));
@@ -490,6 +524,8 @@ Report Verifier::matrix(const Request &Req, EventSink *Sink,
 WeakestOutcome Verifier::weakestModels(const Request &Req,
                                        EventSink *Sink,
                                        CancelToken Token) {
+  TraceFileScope Trace(Req.TraceFile);
+  obs::Span RequestSpan("request", "request:weakest");
   WeakestOutcome Out;
   Out.Impl = Req.ImplName;
   Out.Test = Req.TestName;
@@ -557,6 +593,8 @@ WeakestOutcome Verifier::weakestModels(const Request &Req,
 
 SynthOutcome Verifier::synthesize(const Request &Req, EventSink *Sink,
                                   CancelToken Token) {
+  TraceFileScope Trace(Req.TraceFile);
+  obs::Span RequestSpan("request", "request:synth");
   SynthOutcome Out;
   // Setup failures are terminal verdicts too (see failRequest).
   auto Fail = [&]() -> SynthOutcome & {
@@ -660,6 +698,8 @@ SynthOutcome Verifier::synthesize(const Request &Req, EventSink *Sink,
 //===----------------------------------------------------------------------===//
 
 AnalysisOutcome Verifier::analyze(const Request &Req) {
+  TraceFileScope Trace(Req.TraceFile);
+  obs::Span RequestSpan("request", "request:analyze");
   AnalysisOutcome Out;
 
   // Model axis: explicit models() > a single model() > the full lattice
@@ -761,6 +801,8 @@ AnalysisOutcome Verifier::analyze(const Request &Req) {
 
 ExploreOutcome Verifier::explore(const Request &Req, EventSink *Sink,
                                  CancelToken Token) {
+  TraceFileScope Trace(Req.TraceFile);
+  obs::Span RequestSpan("request", "request:explore");
   explore::ExploreOptions EO;
   EO.Seed = Req.ExploreSeed;
   EO.Budget = Req.ExploreBudget;
@@ -815,6 +857,8 @@ ExploreOutcome Verifier::explore(const Request &Req, EventSink *Sink,
 //===----------------------------------------------------------------------===//
 
 LitmusOutcome Verifier::observable(const Request &Req) {
+  TraceFileScope Trace(Req.TraceFile);
+  obs::Span RequestSpan("request", "request:litmus");
   LitmusOutcome Out;
   checker::CheckOptions Opts;
   if (!checkOptionsFrom(Req, Opts, Out.Error))

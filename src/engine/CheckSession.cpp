@@ -10,6 +10,8 @@
 #include "checker/InclusionChecker.h"
 #include "checker/SpecMiner.h"
 #include "memmodel/ReadsFromOracle.h"
+#include "obs/Trace.h"
+#include "support/Json.h"
 #include "support/Timing.h"
 
 using namespace checkfence;
@@ -93,14 +95,20 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
       return Finish(CheckStatus::Cancelled, "check cancelled");
     if (Hooks.OnRoundStarted)
       Hooks.OnRoundStarted(Iter + 1);
+    obs::Span RoundSpan("engine", "round");
+    if (RoundSpan.active())
+      RoundSpan.args(
+          support::JsonObject().field("round", Iter + 1).str());
     trans::LoopBounds &MineBounds = SpecProg ? SpecBounds : Bounds;
 
     // Phase 1: specification mining under the Serial model. Skipped when
     // the mined program's bounds are unchanged - re-enumerating would
     // reproduce the identical observation set.
     if (!HaveSpec || SpecForBounds != MineBounds) {
+      obs::Span MineSpan("engine", "mine");
       Timer MineTimer;
       if (!MineEnc || MineEncBounds != MineBounds) {
+        obs::Span EncodeSpan("engine", "encode:mine");
         MineEnc = &MineCtx.encode(MineProg, ThreadProcs, MineBounds,
                                   MineCfg);
         MineEncBounds = MineBounds;
@@ -136,6 +144,7 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
     // with the bound probe of this round (and reuses the final probe
     // encoding of the previous round when the bounds stabilized there).
     if (!CheckEnc || CheckEncBounds != Bounds) {
+      obs::Span EncodeSpan("engine", "encode");
       CheckEnc = &CheckCtx.encode(ImplProg, ThreadProcs, Bounds, CheckCfg);
       CheckEncBounds = Bounds;
       Result.Stats.EncodeSeconds += CheckEnc->stats().EncodeSeconds;
@@ -154,6 +163,7 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
     // and this round's solve deltas are genuinely zero.
     if (Opts.OraclePrune && !SpecProg &&
         memmodel::readsFromEligible(CheckCfg.Model) && CheckEnc->ok()) {
+      obs::Span OracleSpan("engine", "oracle_prune");
       Timer OracleTimer;
       ++Result.Stats.OracleAttempts;
       memmodel::ReadsFromOptions RO;
@@ -199,6 +209,7 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
     if (Opts.AnalysisPrune && !SpecProg && CheckEnc->ok() &&
         analysis::analysisEligible(CheckCfg.Model) &&
         !memmodel::readsFromEligible(CheckCfg.Model)) {
+      obs::Span AnalysisSpan("engine", "analysis_prune");
       Timer AnalysisTimer;
       ++Result.Stats.AnalysisAttempts;
       analysis::RobustnessResult RR = analysis::analyzeRobustness(
@@ -238,6 +249,7 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
     bool RoundProbed = false;
     sat::SolveResult RoundProbeR = sat::SolveResult::Unknown;
     {
+      obs::Span IncludeSpan("engine", "include");
       Timer IncludeTimer;
       EncodeStats Before = CheckEnc->stats();
       PreparedInclusion Prep =
@@ -297,6 +309,7 @@ CheckResult CheckSession::check(const lsl::Program &ImplProg,
     while (ProbesLeft-- > 0) {
       if (CancelRequested())
         return Finish(CheckStatus::Cancelled, "check cancelled");
+      obs::Span ProbeSpan("engine", "probe");
       Timer ProbeTimer;
       if (!CheckEnc->ok())
         return Finish(CheckStatus::Error, CheckEnc->error());

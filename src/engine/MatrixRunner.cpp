@@ -7,6 +7,7 @@
 #include "engine/MatrixRunner.h"
 
 #include "engine/WeakestModelSearch.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/Timing.h"
@@ -40,7 +41,11 @@ void checkfence::engine::parallelFor(
     return;
   }
   std::atomic<size_t> Next{0};
+  // Spans recorded by workers must land in the caller's trace, so the
+  // current tracer (if any) is reinstalled in every spawned thread.
+  obs::Tracer *ParentTracer = obs::currentTracer();
   auto Work = [&] {
+    obs::TraceContext TC(ParentTracer);
     for (;;) {
       size_t I = Next.fetch_add(1);
       if (I >= Count)
@@ -243,6 +248,8 @@ MatrixReport MatrixRunner::run(const std::vector<MatrixCell> &Cells,
   Report.Cells.resize(Cells.size());
   Timer Wall;
   parallelFor(Budget, Jobs, Cells.size(), [&](size_t I) {
+    obs::Span CellSpan("matrix",
+                       [&] { return "cell:" + Cells[I].label(); });
     Timer CellTimer;
     MatrixCellResult &Out = Report.Cells[I];
     Out.Cell = Cells[I];

@@ -6,6 +6,9 @@
 
 #include "engine/Portfolio.h"
 
+#include "obs/Trace.h"
+#include "support/Json.h"
+
 #include <atomic>
 #include <mutex>
 #include <thread>
@@ -120,6 +123,7 @@ SolverPortfolio::canonicalSolve(const std::vector<sat::Lit> &Assumps) {
     return sat::SolveResult::Unknown;
   if (!Shadow)
     Shadow = std::make_unique<Member>();
+  obs::Span ReplaySpan("solver", "canonical_replay");
   Mirror->replayInto(Shadow->S, Shadow->Cur);
   return Shadow->S.solve(Assumps);
 }
@@ -151,11 +155,19 @@ SolverPortfolio::solve(checker::SolveContext &Primary,
   }
 
   if (Granted == 0) {
+    obs::Span SolveSpan("solver", "solve");
     Out.Primary = Primary.solveUnder(PrimaryAssumps);
     return Out;
   }
 
   ++Stats.RacesRun;
+  obs::Span RaceSpan("solver", "race");
+  if (RaceSpan.active())
+    RaceSpan.args(support::JsonObject()
+                      .field("width", Granted + 1)
+                      .field("secondary", SecondaryAssumps != nullptr)
+                      .str());
+  obs::Tracer *ParentTracer = obs::currentTracer();
   SharedPool Pool;
   std::atomic<bool> StopPrimary{false};
   std::atomic<bool> StopSecondary{false};
@@ -189,6 +201,8 @@ SolverPortfolio::solve(checker::SolveContext &Primary,
   if (HasSecondary) {
     Member *M = &helper(NextHelper++);
     SecondaryThread = std::thread([&, M, Assumps = *SecondaryAssumps] {
+      obs::TraceContext TC(ParentTracer);
+      obs::Span S("solver", "racer:secondary");
       RaceHooks Hooks(M->S, /*Id=*/1, Pool, StopSecondary);
       SecondaryR = M->S.solve(Assumps);
       SecondaryFinished.store(true, std::memory_order_release);
@@ -197,6 +211,8 @@ SolverPortfolio::solve(checker::SolveContext &Primary,
   for (int K = NextHelper; K < Granted; ++K) {
     Member *M = &helper(K);
     Threads.emplace_back([&, M, K] {
+      obs::TraceContext TC(ParentTracer);
+      obs::Span S("solver", "racer:helper");
       RaceHooks Hooks(M->S, /*Id=*/K + 2, Pool, StopPrimary);
       ReportPrimary(M->S.solve(PrimaryAssumps), /*Helper=*/true);
     });

@@ -7,6 +7,7 @@
 #include "explore/Explore.h"
 
 #include "engine/MatrixRunner.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/Timing.h"
@@ -110,6 +111,8 @@ ExploreReport checkfence::explore::runExplore(Verifier &V,
           Outcomes[I].Cancelled = true;
           return;
         }
+        obs::Span ScenarioSpan(
+            "explore", [&] { return "scenario:" + Selected[I].label(); });
         Timer T;
         Outcomes[I] = Runner.run(Selected[I]);
         Seconds[I] = T.seconds();
@@ -164,6 +167,8 @@ ExploreReport checkfence::explore::runExplore(Verifier &V,
     std::vector<memmodel::ModelParams> ReproModels = Models;
     bool Shrunk = false;
     if (Opts.Shrink && !Opts.stopRequested()) {
+      obs::Span ShrinkSpan("explore",
+                           [&] { return "shrink:" + S.label(); });
       ShrinkResult SR = shrinkScenario(S, V, Diff, Opts.ShrinkLimits);
       if (!SR.Repro.Kind.empty()) {
         Min = SR.Min;

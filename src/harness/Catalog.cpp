@@ -8,6 +8,7 @@
 
 #include "frontend/Lowering.h"
 #include "impls/Impls.h"
+#include "obs/Log.h"
 
 #include <cassert>
 #include <cstdio>
@@ -128,14 +129,16 @@ TestSpec checkfence::harness::testByName(const std::string &Name) {
     TestSpec Spec;
     std::string Err;
     if (!parseTestNotation(E->Notation, alphabetFor(E->Kind), Spec, Err)) {
-      std::fprintf(stderr, "catalog test %s failed to parse: %s\n",
-                   Name.c_str(), Err.c_str());
+      obs::logf(obs::LogLevel::Error, "harness",
+                "catalog test %s failed to parse: %s", Name.c_str(),
+                Err.c_str());
       std::abort();
     }
     Spec.Name = Name;
     return Spec;
   }
-  std::fprintf(stderr, "unknown catalog test '%s'\n", Name.c_str());
+  obs::logf(obs::LogLevel::Error, "harness", "unknown catalog test '%s'",
+            Name.c_str());
   std::abort();
 }
 

@@ -9,6 +9,7 @@
 #include "analysis/CriticalCycles.h"
 #include "engine/MatrixRunner.h"
 #include "frontend/Lowering.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Timing.h"
 #include "trans/Flattener.h"
@@ -260,7 +261,10 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
   // a repaired test never regresses when later fences are added.
   Timer RepairTimer;
   for (const TestSpec &Test : Tests) {
+    obs::Span RepairSpan("synth",
+                         [&] { return "repair:" + Test.Name; });
     for (;;) {
+      obs::Span RoundSpan("synth", "repair_round");
       CheckResult R = RunOnce(Test, Placed);
       if (R.Status == CheckStatus::Pass) {
         Result.Log.push_back(
@@ -331,6 +335,7 @@ checkfence::harness::synthesizeFences(const std::string &ImplSource,
   // additionally racing its portfolio within the same budget).
   Timer MinimizeTimer;
   if (Opts.Minimize) {
+    obs::Span MinimizeSpan("synth", "minimize");
     for (size_t I = Placed.size(); I-- > 0;) {
       std::vector<FencePlacement> Without = Placed;
       Without.erase(Without.begin() + I);

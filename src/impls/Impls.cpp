@@ -13,6 +13,8 @@
 
 #include "impls/Impls.h"
 
+#include "obs/Log.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -879,7 +881,8 @@ std::string checkfence::impls::sourceFor(const std::string &Name) {
   else if (Name == "treiber")
     Body = TreiberSource;
   else {
-    std::fprintf(stderr, "unknown implementation '%s'\n", Name.c_str());
+    obs::logf(obs::LogLevel::Error, "impls", "unknown implementation '%s'",
+              Name.c_str());
     std::abort();
   }
   return preludeSource() + Body;
@@ -896,7 +899,8 @@ std::string checkfence::impls::referenceFor(const std::string &Kind) {
   else if (Kind == "stack")
     Body = RefStackSource;
   else {
-    std::fprintf(stderr, "unknown data-type kind '%s'\n", Kind.c_str());
+    obs::logf(obs::LogLevel::Error, "impls", "unknown data-type kind '%s'",
+              Kind.c_str());
     std::abort();
   }
   return preludeSource() + Body;

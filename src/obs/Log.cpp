@@ -1,0 +1,131 @@
+//===- obs/Log.cpp - Leveled structured logging implementation ------------===//
+
+#include "obs/Log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace checkfence {
+namespace obs {
+
+namespace {
+
+std::atomic<int> CurrentLevel{static_cast<int>(LogLevel::Warn)};
+
+std::mutex SinkMu;
+std::function<void(const std::string &)> CurrentSink;
+
+void defaultSink(const std::string &Line) {
+  std::fwrite(Line.data(), 1, Line.size(), stderr);
+  std::fflush(stderr);
+}
+
+std::string timestampUtc() {
+  using namespace std::chrono;
+  system_clock::time_point Now = system_clock::now();
+  std::time_t Secs = system_clock::to_time_t(Now);
+  int Millis = static_cast<int>(
+      duration_cast<milliseconds>(Now.time_since_epoch()).count() % 1000);
+  std::tm Tm{};
+#if defined(_WIN32)
+  gmtime_s(&Tm, &Secs);
+#else
+  gmtime_r(&Secs, &Tm);
+#endif
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                Tm.tm_year + 1900, Tm.tm_mon + 1, Tm.tm_mday, Tm.tm_hour,
+                Tm.tm_min, Tm.tm_sec, Millis);
+  return Buf;
+}
+
+} // namespace
+
+LogLevel logLevel() {
+  return static_cast<LogLevel>(CurrentLevel.load(std::memory_order_relaxed));
+}
+
+void setLogLevel(LogLevel L) {
+  CurrentLevel.store(static_cast<int>(L), std::memory_order_relaxed);
+}
+
+bool parseLogLevel(const std::string &Text, LogLevel &Out) {
+  if (Text == "debug")
+    Out = LogLevel::Debug;
+  else if (Text == "info")
+    Out = LogLevel::Info;
+  else if (Text == "warn")
+    Out = LogLevel::Warn;
+  else if (Text == "error")
+    Out = LogLevel::Error;
+  else if (Text == "off")
+    Out = LogLevel::Off;
+  else
+    return false;
+  return true;
+}
+
+const char *logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "?";
+}
+
+void setLogSink(std::function<void(const std::string &)> Sink) {
+  std::lock_guard<std::mutex> Lock(SinkMu);
+  CurrentSink = std::move(Sink);
+}
+
+bool logEnabled(LogLevel L) {
+  return static_cast<int>(L) >= CurrentLevel.load(std::memory_order_relaxed) &&
+         L != LogLevel::Off;
+}
+
+void log(LogLevel L, const char *Subsystem, const std::string &Message) {
+  if (!logEnabled(L))
+    return;
+  std::string Line = timestampUtc();
+  Line += " ";
+  std::string Level = logLevelName(L);
+  // Pad level names to a fixed width so columns line up.
+  Level.resize(6, ' ');
+  Line += Level;
+  Line += "[";
+  Line += Subsystem ? Subsystem : "?";
+  Line += "] ";
+  Line += Message;
+  Line += "\n";
+  std::lock_guard<std::mutex> Lock(SinkMu);
+  if (CurrentSink)
+    CurrentSink(Line);
+  else
+    defaultSink(Line);
+}
+
+void logf(LogLevel L, const char *Subsystem, const char *Fmt, ...) {
+  if (!logEnabled(L))
+    return;
+  char Buf[1024];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  log(L, Subsystem, Buf);
+}
+
+} // namespace obs
+} // namespace checkfence

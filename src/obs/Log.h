@@ -1,0 +1,59 @@
+//===- obs/Log.h - Leveled structured logging -----------------------------===//
+//
+// A minimal leveled logger for the library and the daemon. One line per
+// record:
+//
+//   2026-08-07T12:34:56.789Z warn  [server] queue full, rejecting request
+//
+// The level check is a single relaxed atomic load, so disabled levels
+// cost one branch. The default level is Warn: library diagnostics that
+// previously went to stderr unconditionally (catalog parse failures,
+// unknown-implementation aborts) still print by default, but callers can
+// silence or expand them. The sink is replaceable for tests and for the
+// daemon (which may later want file output); the default sink writes to
+// stderr.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CHECKFENCE_OBS_LOG_H
+#define CHECKFENCE_OBS_LOG_H
+
+#include <functional>
+#include <string>
+
+namespace checkfence {
+namespace obs {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Current minimum level; records below it are dropped.
+LogLevel logLevel();
+void setLogLevel(LogLevel L);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-sensitive). Returns
+/// false and leaves `Out` untouched on anything else.
+bool parseLogLevel(const std::string &Text, LogLevel &Out);
+const char *logLevelName(LogLevel L);
+
+/// Replaces the sink (nullptr restores the default stderr sink). The
+/// sink receives the fully formatted line, newline included.
+void setLogSink(std::function<void(const std::string &)> Sink);
+
+/// True when `L` would be emitted — lets callers skip building
+/// expensive messages.
+bool logEnabled(LogLevel L);
+
+/// Emits one record. `Subsystem` is a short static tag ("server",
+/// "harness", "impls", ...).
+void log(LogLevel L, const char *Subsystem, const std::string &Message);
+
+/// printf-style convenience.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void logf(LogLevel L, const char *Subsystem, const char *Fmt, ...);
+
+} // namespace obs
+} // namespace checkfence
+
+#endif // CHECKFENCE_OBS_LOG_H

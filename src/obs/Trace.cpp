@@ -1,0 +1,237 @@
+//===- obs/Trace.cpp - Span tracer implementation -------------------------===//
+
+#include "obs/Trace.h"
+
+#include "support/Json.h"
+#include "support/JsonParse.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+namespace checkfence {
+namespace obs {
+
+namespace {
+
+thread_local Tracer *CurrentTracer = nullptr;
+
+/// Stable small thread ids, assigned in first-use order. std::thread::id
+/// values are opaque and unstable; small dense ids keep trace output
+/// readable and per-run reproducible in single-threaded paths.
+std::atomic<uint32_t> NextTid{1};
+thread_local uint32_t ThisTid = 0;
+
+} // namespace
+
+Tracer *currentTracer() { return CurrentTracer; }
+
+uint32_t currentTraceTid() {
+  if (ThisTid == 0)
+    ThisTid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return ThisTid;
+}
+
+TraceContext::TraceContext(Tracer *T) {
+  if (!T)
+    return;
+  Prev = CurrentTracer;
+  CurrentTracer = T;
+  Installed = true;
+}
+
+TraceContext::~TraceContext() {
+  if (Installed)
+    CurrentTracer = Prev;
+}
+
+Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::nowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+Tracer::Shard &Tracer::shardForThisThread() const {
+  return Shards[currentTraceTid() % NumShards];
+}
+
+void Tracer::record(const char *Cat, std::string Name, uint64_t StartNs,
+                    uint64_t EndNs, std::string Args) {
+  TraceEvent Ev;
+  Ev.Name = std::move(Name);
+  Ev.Cat = Cat ? Cat : "";
+  Ev.StartNs = StartNs;
+  Ev.DurNs = EndNs >= StartNs ? EndNs - StartNs : 0;
+  Ev.Tid = currentTraceTid();
+  Ev.Pid = 0;
+  Ev.Args = std::move(Args);
+  Shard &S = shardForThisThread();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Events.push_back(std::move(Ev));
+}
+
+void Tracer::recordForeign(const TraceEvent &In, uint32_t Pid,
+                           int64_t ShiftNs) {
+  TraceEvent Ev = In;
+  Ev.Pid = Pid;
+  int64_t Shifted = static_cast<int64_t>(Ev.StartNs) + ShiftNs;
+  Ev.StartNs = Shifted > 0 ? static_cast<uint64_t>(Shifted) : 0;
+  Shard &S = shardForThisThread();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Events.push_back(std::move(Ev));
+}
+
+size_t Tracer::eventCount() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.Events.size();
+  }
+  return N;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> All;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    All.insert(All.end(), S.Events.begin(), S.Events.end());
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (A.Pid != B.Pid)
+                       return A.Pid < B.Pid;
+                     if (A.Tid != B.Tid)
+                       return A.Tid < B.Tid;
+                     if (A.StartNs != B.StartNs)
+                       return A.StartNs < B.StartNs;
+                     // Longer spans first so parents precede children.
+                     return A.DurNs > B.DurNs;
+                   });
+  return All;
+}
+
+namespace {
+
+std::string eventJson(const TraceEvent &Ev) {
+  support::JsonObject O;
+  O.field("name", Ev.Name)
+      .field("cat", Ev.Cat.empty() ? std::string("checkfence") : Ev.Cat)
+      .field("ph", "X")
+      // Chrome trace timestamps are microseconds; keep sub-microsecond
+      // resolution with three decimals.
+      .fixed("ts", static_cast<double>(Ev.StartNs) / 1000.0, 3)
+      .fixed("dur", static_cast<double>(Ev.DurNs) / 1000.0, 3)
+      .field("pid", static_cast<long long>(Ev.Pid))
+      .field("tid", static_cast<long long>(Ev.Tid));
+  if (!Ev.Args.empty())
+    O.raw("args", Ev.Args);
+  return O.str();
+}
+
+std::string processName(uint32_t Pid) {
+  return Pid == 0 ? "checkfence" : "checkfenced (remote)";
+}
+
+} // namespace
+
+std::string Tracer::eventsJson() const {
+  support::JsonArray Arr;
+  for (const TraceEvent &Ev : events())
+    Arr.item(eventJson(Ev));
+  return Arr.str();
+}
+
+std::string Tracer::json() const {
+  std::vector<TraceEvent> All = events();
+  std::string Out = "{\"traceEvents\": [";
+  bool First = true;
+  // Metadata events naming each process lane, so Perfetto labels the
+  // client and server timelines.
+  uint32_t LastPid = ~0u;
+  for (const TraceEvent &Ev : All) {
+    if (Ev.Pid != LastPid) {
+      LastPid = Ev.Pid;
+      support::JsonObject Meta;
+      Meta.field("name", "process_name")
+          .field("ph", "M")
+          .field("pid", static_cast<long long>(Ev.Pid))
+          .raw("args", support::JsonObject()
+                           .field("name", processName(Ev.Pid))
+                           .str());
+      Out += First ? "\n  " : ",\n  ";
+      Out += Meta.str();
+      First = false;
+    }
+    Out += First ? "\n  " : ",\n  ";
+    Out += eventJson(Ev);
+    First = false;
+  }
+  Out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
+bool Tracer::writeFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << json();
+  return static_cast<bool>(Out);
+}
+
+bool Tracer::parseEvents(const std::string &Text,
+                         std::vector<TraceEvent> &Out) {
+  support::JsonValue Doc;
+  std::string Err;
+  if (!support::parseJson(Text, Doc, Err))
+    return false;
+  return parseEvents(Doc, Out);
+}
+
+bool Tracer::parseEvents(const support::JsonValue &Doc,
+                         std::vector<TraceEvent> &Out) {
+  if (!Doc.isArray())
+    return false;
+  for (const support::JsonValue &Item : Doc.Items) {
+    if (!Item.isObject())
+      return false;
+    TraceEvent Ev;
+    if (const support::JsonValue *V = Item.find("name"))
+      Ev.Name = V->asString();
+    if (const support::JsonValue *V = Item.find("cat"))
+      Ev.Cat = V->asString();
+    if (const support::JsonValue *V = Item.find("ts"))
+      Ev.StartNs = static_cast<uint64_t>(V->asDouble() * 1000.0);
+    if (const support::JsonValue *V = Item.find("dur"))
+      Ev.DurNs = static_cast<uint64_t>(V->asDouble() * 1000.0);
+    if (const support::JsonValue *V = Item.find("tid"))
+      Ev.Tid = static_cast<uint32_t>(V->asU64());
+    if (const support::JsonValue *V = Item.find("pid"))
+      Ev.Pid = static_cast<uint32_t>(V->asU64());
+    if (const support::JsonValue *V = Item.find("args")) {
+      // Re-render the args object so imported events round-trip through
+      // the same writer as local ones.
+      if (V->isObject()) {
+        support::JsonObject O;
+        for (const auto &M : V->Members) {
+          if (M.second.isString())
+            O.field(M.first.c_str(), M.second.asString());
+          else if (M.second.isBool())
+            O.field(M.first.c_str(), M.second.asBool());
+          else if (M.second.isNumber())
+            O.field(M.first.c_str(),
+                    static_cast<long long>(M.second.asI64()));
+        }
+        Ev.Args = O.str();
+      }
+    }
+    Out.push_back(std::move(Ev));
+  }
+  return true;
+}
+
+} // namespace obs
+} // namespace checkfence

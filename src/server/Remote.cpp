@@ -6,12 +6,16 @@
 
 #include "checkfence/Remote.h"
 
+#include "obs/Trace.h"
 #include "server/Http.h"
 #include "server/Wire.h"
 #include "support/Format.h"
 #include "support/JsonParse.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
 using namespace checkfence;
 using namespace checkfence::server;
@@ -25,9 +29,28 @@ struct RemoteVerifier::Impl {
   int NextId = 1;
 
   /// One JSON-RPC round trip. On success \p ResultOut points into
-  /// \p Doc's "result" member.
+  /// \p Doc's "result" member. When \p TraceFile is non-empty (the
+  /// request carried traceFile()) and no tracer is already installed,
+  /// this call owns one and writes the merged client+server trace file;
+  /// under an enclosing tracer the spans land there instead.
   RemoteStatus call(const std::string &Method, const std::string &Params,
-                    JsonValue &Doc, const JsonValue *&ResultOut) {
+                    JsonValue &Doc, const JsonValue *&ResultOut,
+                    const std::string &TraceFile = std::string()) {
+    std::unique_ptr<obs::Tracer> Owned;
+    if (!TraceFile.empty() && !obs::currentTracer())
+      Owned = std::make_unique<obs::Tracer>();
+    obs::TraceContext Ctx(Owned.get());
+    RemoteStatus S = callTraced(Method, Params, Doc, ResultOut);
+    if (Owned)
+      Owned->writeFile(TraceFile);
+    return S;
+  }
+
+  RemoteStatus callTraced(const std::string &Method,
+                          const std::string &Params, JsonValue &Doc,
+                          const JsonValue *&ResultOut) {
+    obs::Tracer *T = obs::currentTracer();
+    obs::Span RpcSpan("rpc", [&] { return "rpc:" + Method; });
     RemoteStatus S;
     if (!UrlError.empty()) {
       S.Error = UrlError;
@@ -37,6 +60,9 @@ struct RemoteVerifier::Impl {
     std::map<std::string, std::string> Headers;
     if (Priority != "normal")
       Headers["X-Checkfence-Priority"] = Priority;
+    if (T)
+      Headers["X-Checkfence-Trace"] = "1";
+    uint64_t SentNs = T ? T->nowNs() : 0;
     HttpResult H = httpRequest(Host, Port, "POST", "/rpc",
                                rpcRequest(Method, Params, Id), Headers);
     if (!H.Ok) {
@@ -55,6 +81,7 @@ struct RemoteVerifier::Impl {
       S.Error = "malformed server response: " + ParseError;
       return S;
     }
+    mergeServerTrace(T, Doc, SentNs);
     if (const JsonValue *Err = Doc.find("error")) {
       const JsonValue *Msg = Err->isObject() ? Err->find("message")
                                              : nullptr;
@@ -69,6 +96,30 @@ struct RemoteVerifier::Impl {
     }
     S.Ok = true;
     return S;
+  }
+
+  /// Imports the envelope's "trace" array (server-side spans) into lane
+  /// pid=1, shifting the server timeline so its earliest span lines up
+  /// with the moment this client sent the request. The clocks are
+  /// unrelated steady clocks, so this alignment is presentational; span
+  /// durations are exact.
+  static void mergeServerTrace(obs::Tracer *T, const JsonValue &Doc,
+                               uint64_t SentNs) {
+    if (!T)
+      return;
+    const JsonValue *Tr = Doc.find("trace");
+    if (!Tr)
+      return;
+    std::vector<obs::TraceEvent> Events;
+    if (!obs::Tracer::parseEvents(*Tr, Events) || Events.empty())
+      return;
+    uint64_t MinStart = Events.front().StartNs;
+    for (const obs::TraceEvent &Ev : Events)
+      MinStart = std::min(MinStart, Ev.StartNs);
+    int64_t ShiftNs =
+        static_cast<int64_t>(SentNs) - static_cast<int64_t>(MinStart);
+    for (const obs::TraceEvent &Ev : Events)
+      T->recordForeign(Ev, /*Pid=*/1, ShiftNs);
   }
 };
 
@@ -103,7 +154,8 @@ RemoteStatus RemoteVerifier::check(const Request &Req, Result &Out) {
   JsonValue Doc;
   const JsonValue *R = nullptr;
   RemoteStatus S =
-      Self->call("checkfence.check", encodeRequest(Req), Doc, R);
+      Self->call("checkfence.check", encodeRequest(Req), Doc, R,
+                 Req.TraceFile);
   if (!S)
     return S;
   std::string Error;
@@ -119,7 +171,8 @@ RemoteStatus RemoteVerifier::matrix(const Request &Req,
   JsonValue Doc;
   const JsonValue *R = nullptr;
   RemoteStatus S =
-      Self->call("checkfence.matrix", encodeRequest(Req), Doc, R);
+      Self->call("checkfence.matrix", encodeRequest(Req), Doc, R,
+                 Req.TraceFile);
   if (!S)
     return S;
   auto Str = [&](const char *K) {
@@ -148,7 +201,8 @@ RemoteStatus RemoteVerifier::analyze(const Request &Req,
   JsonValue Doc;
   const JsonValue *R = nullptr;
   RemoteStatus S =
-      Self->call("checkfence.analyze", encodeRequest(Req), Doc, R);
+      Self->call("checkfence.analyze", encodeRequest(Req), Doc, R,
+                 Req.TraceFile);
   if (!S)
     return S;
   const JsonValue *Ok = R->find("ok");
@@ -167,7 +221,8 @@ RemoteStatus RemoteVerifier::explore(const Request &Req,
   JsonValue Doc;
   const JsonValue *R = nullptr;
   RemoteStatus S =
-      Self->call("checkfence.explore", encodeRequest(Req), Doc, R);
+      Self->call("checkfence.explore", encodeRequest(Req), Doc, R,
+                 Req.TraceFile);
   if (!S)
     return S;
   auto Str = [&](const char *K) {
@@ -211,7 +266,8 @@ RemoteStatus RemoteVerifier::synthesize(const Request &Req,
   JsonValue Doc;
   const JsonValue *R = nullptr;
   RemoteStatus S =
-      Self->call("checkfence.synthesize", encodeRequest(Req), Doc, R);
+      Self->call("checkfence.synthesize", encodeRequest(Req), Doc, R,
+                 Req.TraceFile);
   if (!S)
     return S;
   std::string Error;
@@ -231,7 +287,8 @@ RemoteStatus RemoteVerifier::weakestModels(const Request &Req,
   JsonValue Doc;
   const JsonValue *R = nullptr;
   RemoteStatus S =
-      Self->call("checkfence.weakestModel", encodeRequest(Req), Doc, R);
+      Self->call("checkfence.weakestModel", encodeRequest(Req), Doc, R,
+                 Req.TraceFile);
   if (!S)
     return S;
   std::string Error;

@@ -26,6 +26,9 @@
 #include "checkfence/Server.h"
 
 #include "checkfence/checkfence.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "server/Http.h"
 #include "server/Wire.h"
 #include "support/Format.h"
@@ -33,6 +36,7 @@
 #include "support/JsonParse.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -146,6 +150,16 @@ struct Job {
   int Priority = 1; // 0 high, 1 normal, 2 low
   std::function<std::string()> Run;
   std::promise<std::string> Done;
+  /// Short request-kind name ("check", "matrix", ...) for the latency
+  /// histogram label and the slow-request log.
+  const char *KindName = "?";
+  /// Admission time, for the queue-wait histogram.
+  std::chrono::steady_clock::time_point EnqueuedAt;
+  /// Per-request tracer (X-Checkfence-Trace round-trip); null for the
+  /// common untraced case.
+  std::shared_ptr<obs::Tracer> Tracer;
+  /// Enqueue instant in the tracer's clock, for the queue_wait span.
+  uint64_t EnqueueNs = 0;
 };
 
 struct Shard {
@@ -162,6 +176,39 @@ int priorityFromName(const std::string &Name) {
   if (Name == "low")
     return 2;
   return 1;
+}
+
+const char *priorityName(int Priority) {
+  switch (Priority) {
+  case 0:
+    return "high";
+  case 2:
+    return "low";
+  default:
+    return "normal";
+  }
+}
+
+const char *kindShortName(Request::Kind K) {
+  switch (K) {
+  case Request::Kind::Check:
+    return "check";
+  case Request::Kind::Matrix:
+    return "matrix";
+  case Request::Kind::Sweep:
+    return "sweep";
+  case Request::Kind::WeakestModel:
+    return "weakest";
+  case Request::Kind::Synthesis:
+    return "synth";
+  case Request::Kind::Litmus:
+    return "litmus";
+  case Request::Kind::Explore:
+    return "explore";
+  case Request::Kind::Analyze:
+    return "analyze";
+  }
+  return "?";
 }
 
 } // namespace
@@ -189,10 +236,76 @@ struct CheckServer::Impl {
   std::atomic<bool> WorkersExit{false};
   std::atomic<bool> Drained{false};
 
-  // Counters (ServerStats).
+  // Counters (ServerStats). These atomics stay the source of truth for
+  // snapshot(); the registry mirrors them at scrape time and owns the
+  // series the atomics cannot express (latency/queue-wait histograms).
   std::atomic<unsigned long long> Accepted{0}, Served{0}, Rejected{0},
       Cancelled{0}, Errors{0};
   std::atomic<size_t> Queued{0}, InFlight{0};
+
+  // Metrics registry (one per server instance so parallel in-process
+  // servers - the test suites boot several - stay isolated).
+  obs::MetricsRegistry Reg;
+  obs::Counter *MServed, *MRejected, *MCancelled, *MErrors, *MAccepted;
+  obs::Gauge *MQueued, *MInFlight;
+  obs::Counter *MCacheHits, *MCacheMisses, *MCacheSeeded;
+  obs::Gauge *MCacheEntries, *MSessionsIdle, *MSessionClauses;
+  obs::Counter *MCells, *MScenarios;
+  obs::HistogramFamily *RequestSeconds;
+  obs::HistogramFamily *QueueWaitSeconds;
+
+  Impl() {
+    // Registration order is render order; keep it aligned with the
+    // pre-registry /metrics layout so existing scrapers stay happy.
+    MServed = &Reg.counter("checkfence_requests_served_total",
+                           "RPC requests answered");
+    MRejected = &Reg.counter("checkfence_requests_rejected_total",
+                             "admission rejections (HTTP 429)");
+    MCancelled = &Reg.counter("checkfence_requests_cancelled_total",
+                              "requests that finished cancelled");
+    MErrors = &Reg.counter("checkfence_requests_error_total",
+                           "requests that finished in error");
+    MAccepted = &Reg.counter("checkfence_connections_accepted_total",
+                             "TCP connections accepted");
+    MQueued = &Reg.gauge("checkfence_queue_depth",
+                         "requests waiting for a shard");
+    MInFlight = &Reg.gauge("checkfence_inflight",
+                           "requests running on a shard");
+    MCacheHits =
+        &Reg.counter("checkfence_cache_hits_total", "result cache hits");
+    MCacheMisses = &Reg.counter("checkfence_cache_misses_total",
+                                "result cache misses");
+    MCacheEntries =
+        &Reg.gauge("checkfence_cache_entries", "result cache entries");
+    MCacheSeeded =
+        &Reg.counter("checkfence_cache_bounds_seeded_total",
+                     "runs whose bounds were seeded from the cache");
+    MSessionsIdle =
+        &Reg.gauge("checkfence_sessions_idle",
+                   "warm sessions parked in the shard pools");
+    MSessionClauses =
+        &Reg.gauge("checkfence_session_clauses",
+                   "CNF clauses held by idle sessions' solvers");
+    MCells = &Reg.counter("checkfence_cells_completed_total",
+                          "matrix cells completed");
+    MScenarios = &Reg.counter("checkfence_scenarios_checked_total",
+                              "explore scenarios checked");
+    RequestSeconds = &Reg.histogramFamily(
+        "checkfence_request_seconds",
+        "request latency on a shard worker, by request kind", "kind",
+        obs::latencyBuckets());
+    QueueWaitSeconds = &Reg.histogramFamily(
+        "checkfence_queue_wait_seconds",
+        "time from admission to shard dispatch, by priority class",
+        "priority", obs::latencyBuckets());
+    // Pre-create the label values so every series renders (as zeros)
+    // from the first scrape and the exposition shape is stable.
+    for (const char *Kind : {"check", "matrix", "sweep", "weakest",
+                             "synth", "litmus", "explore", "analyze"})
+      RequestSeconds->withLabel(Kind);
+    for (const char *P : {"high", "normal", "low"})
+      QueueWaitSeconds->withLabel(P);
+  }
 
   // Connection threads, reaped opportunistically by the listener.
   struct Conn {
@@ -258,8 +371,35 @@ struct CheckServer::Impl {
       }
       Queued.fetch_sub(1);
       InFlight.fetch_add(1);
-      J->Done.set_value(J->Run());
+      double Waited = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - J->EnqueuedAt)
+                          .count();
+      QueueWaitSeconds->withLabel(priorityName(J->Priority))
+          .observe(Waited);
+      if (J->Tracer)
+        J->Tracer->record("server", "queue_wait", J->EnqueueNs,
+                          J->Tracer->nowNs());
+      std::chrono::steady_clock::time_point RunStart =
+          std::chrono::steady_clock::now();
+      std::string Payload = J->Run();
+      double RunSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - RunStart)
+                              .count();
+      // Observe and log before fulfilling the promise: a client that
+      // has received its response is guaranteed to see this request in
+      // a subsequent /metrics scrape.
+      RequestSeconds->withLabel(J->KindName).observe(RunSeconds);
+      obs::logf(obs::LogLevel::Info, "server",
+                "%s finished in %.3fs (waited %.3fs, %s priority)",
+                J->KindName, RunSeconds, Waited,
+                priorityName(J->Priority));
+      if (Cfg.SlowRequestSeconds > 0 &&
+          RunSeconds > Cfg.SlowRequestSeconds)
+        obs::logf(obs::LogLevel::Warn, "server",
+                  "slow request: %s took %.3fs (threshold %.3fs)",
+                  J->KindName, RunSeconds, Cfg.SlowRequestSeconds);
       InFlight.fetch_sub(1);
+      J->Done.set_value(std::move(Payload));
     }
   }
 
@@ -268,10 +408,22 @@ struct CheckServer::Impl {
   //===------------------------------------------------------------===//
 
   std::string runRequest(size_t ShardIdx, Request Req, int Id,
-                         CancelToken Token) {
+                         CancelToken Token, obs::Tracer *Tracer) {
     Verifier &V = *Shards[ShardIdx]->V;
     std::string Payload;
     bool WasCancelled = false;
+    {
+    // Install the per-request tracer for this worker; the Verifier's
+    // fan-out points propagate it to any threads they spawn. The scope
+    // closes the dispatch span before the events are serialized below.
+    obs::TraceContext TC(Tracer);
+    obs::Span DispatchSpan("server", [&] {
+      return std::string("dispatch:") + kindShortName(Req.RequestKind);
+    });
+    if (DispatchSpan.active())
+      DispatchSpan.args(JsonObject()
+                            .field("shard", static_cast<int>(ShardIdx))
+                            .str());
     switch (Req.RequestKind) {
     case Request::Kind::Check: {
       Result R = V.check(Req, &Sink, Token);
@@ -381,9 +533,12 @@ struct CheckServer::Impl {
       break;
     }
     }
+    }
     if (WasCancelled)
       ++Cancelled;
     ++Served;
+    if (Tracer)
+      return rpcResultWithTrace(Payload, Id, Tracer->eventsJson());
     return rpcResult(Payload, Id);
   }
 
@@ -447,10 +602,12 @@ struct CheckServer::Impl {
     }
 
     // Server policy overrides. Thread allowance belongs to the daemon
-    // (JobsPerShard), not the client; corpus persistence writes to the
-    // server's filesystem, so remote requests cannot direct it.
+    // (JobsPerShard), not the client; corpus persistence and trace files
+    // write to the server's filesystem, so remote requests cannot direct
+    // them (traces travel back in the response envelope instead).
     Req.Jobs = 0;
     Req.CorpusDir.clear();
+    Req.TraceFile.clear();
     if (Cfg.MaxRequestSeconds > 0 &&
         (Req.DeadlineSeconds <= 0 ||
          Req.DeadlineSeconds > Cfg.MaxRequestSeconds))
@@ -467,17 +624,34 @@ struct CheckServer::Impl {
         It != Http.Headers.end())
       Priority = priorityFromName(It->second);
 
+    // An X-Checkfence-Trace header opts this request into server-side
+    // span collection: the spans ride back to the client inside the
+    // result envelope and are merged into its local timeline.
+    std::shared_ptr<obs::Tracer> ReqTracer;
+    if (Http.Headers.count("x-checkfence-trace"))
+      ReqTracer = std::make_shared<obs::Tracer>();
+
     CancelToken Token;
     size_t ShardIdx = shardFor(Req);
+    const char *Kind = kindShortName(Req.RequestKind);
     auto J = std::make_unique<Job>();
     J->Priority = Priority;
-    J->Run = [this, ShardIdx, Req = std::move(Req), Id, Token] {
-      return runRequest(ShardIdx, Req, Id, Token);
+    J->KindName = Kind;
+    J->Tracer = ReqTracer;
+    J->Run = [this, ShardIdx, Req = std::move(Req), Id, Token,
+              ReqTracer] {
+      return runRequest(ShardIdx, Req, Id, Token, ReqTracer.get());
     };
     std::future<std::string> Done = J->Done.get_future();
+    J->EnqueuedAt = std::chrono::steady_clock::now();
+    if (ReqTracer)
+      J->EnqueueNs = ReqTracer->nowNs();
 
     if (!enqueue(ShardIdx, std::move(J))) {
       ++Rejected;
+      obs::logf(obs::LogLevel::Warn, "server",
+                "queue full, rejecting %s request (depth %d)", Kind,
+                Cfg.QueueDepth);
       Resp.StatusCode = 429;
       Resp.Headers["Retry-After"] = "1";
       Resp.Body = rpcError(RpcQueueFull, "request queue is full", Id);
@@ -492,52 +666,29 @@ struct CheckServer::Impl {
     return Resp;
   }
 
+  /// Mirror the snapshot-derived values into the registry; the
+  /// histograms are updated live by the worker loop and need no mirror.
+  void syncRegistry(const ServerStats &S) {
+    MServed->set(S.Served);
+    MRejected->set(S.Rejected);
+    MCancelled->set(S.Cancelled);
+    MErrors->set(S.Errors);
+    MAccepted->set(S.Accepted);
+    MQueued->set(static_cast<int64_t>(S.Queued));
+    MInFlight->set(static_cast<int64_t>(S.InFlight));
+    MCacheHits->set(S.Cache.Hits);
+    MCacheMisses->set(S.Cache.Misses);
+    MCacheEntries->set(static_cast<int64_t>(S.Cache.Entries));
+    MCacheSeeded->set(S.Cache.BoundsSeeded);
+    MSessionsIdle->set(static_cast<int64_t>(S.Pool.IdleSessions));
+    MSessionClauses->set(static_cast<int64_t>(S.Pool.IdleClauses));
+    MCells->set(S.CellsCompleted);
+    MScenarios->set(S.ScenariosChecked);
+  }
+
   std::string metricsText() {
-    ServerStats S = snapshot();
-    std::string Out;
-    auto Counter = [&Out](const char *Name, const char *Help,
-                          unsigned long long Value) {
-      Out += formatString("# HELP %s %s\n# TYPE %s counter\n%s %llu\n",
-                          Name, Help, Name, Name, Value);
-    };
-    auto Gauge = [&Out](const char *Name, const char *Help,
-                        unsigned long long Value) {
-      Out += formatString("# HELP %s %s\n# TYPE %s gauge\n%s %llu\n",
-                          Name, Help, Name, Name, Value);
-    };
-    Counter("checkfence_requests_served_total",
-            "RPC requests answered", S.Served);
-    Counter("checkfence_requests_rejected_total",
-            "admission rejections (HTTP 429)", S.Rejected);
-    Counter("checkfence_requests_cancelled_total",
-            "requests that finished cancelled", S.Cancelled);
-    Counter("checkfence_requests_error_total",
-            "requests that finished in error", S.Errors);
-    Counter("checkfence_connections_accepted_total",
-            "TCP connections accepted", S.Accepted);
-    Gauge("checkfence_queue_depth", "requests waiting for a shard",
-          S.Queued);
-    Gauge("checkfence_inflight", "requests running on a shard",
-          S.InFlight);
-    Counter("checkfence_cache_hits_total", "result cache hits",
-            S.Cache.Hits);
-    Counter("checkfence_cache_misses_total", "result cache misses",
-            S.Cache.Misses);
-    Gauge("checkfence_cache_entries", "result cache entries",
-          S.Cache.Entries);
-    Counter("checkfence_cache_bounds_seeded_total",
-            "runs whose bounds were seeded from the cache",
-            S.Cache.BoundsSeeded);
-    Gauge("checkfence_sessions_idle",
-          "warm sessions parked in the shard pools", S.Pool.IdleSessions);
-    Gauge("checkfence_session_clauses",
-          "CNF clauses held by idle sessions' solvers",
-          S.Pool.IdleClauses);
-    Counter("checkfence_cells_completed_total",
-            "matrix cells completed", S.CellsCompleted);
-    Counter("checkfence_scenarios_checked_total",
-            "explore scenarios checked", S.ScenariosChecked);
-    return Out;
+    syncRegistry(snapshot());
+    return Reg.renderPrometheus();
   }
 
   std::string statusJson() {
@@ -570,7 +721,28 @@ struct CheckServer::Impl {
     O.field("draining", Stopping.load());
     O.raw("cache", Cache.str());
     O.raw("pool", Pool.str());
+    O.raw("queueWaitSeconds", histogramSummaries(*QueueWaitSeconds));
+    O.raw("requestSeconds", histogramSummaries(*RequestSeconds));
     return O.str() + "\n";
+  }
+
+  /// One {"count":..,"sumSeconds":..,"p50":..,"p90":..,"p99":..} object
+  /// per label that has observations, keyed by label value.
+  static std::string histogramSummaries(obs::HistogramFamily &Family) {
+    JsonObject Out;
+    for (obs::Histogram *H : Family.all()) {
+      obs::HistogramSnapshot S = H->snapshot();
+      if (S.Count == 0)
+        continue;
+      JsonObject One;
+      One.field("count", static_cast<unsigned long long>(S.Count))
+          .fixed("sumSeconds", S.Sum, 6)
+          .fixed("p50", S.P50, 6)
+          .fixed("p90", S.P90, 6)
+          .fixed("p99", S.P99, 6);
+      Out.raw(H->labelValue().c_str(), One.str());
+    }
+    return Out.str();
   }
 
   ServerStats snapshot() {
@@ -685,6 +857,15 @@ CheckServer::~CheckServer() {
 }
 
 bool CheckServer::start(std::string &Error) {
+  if (!Self->Cfg.LogLevel.empty()) {
+    obs::LogLevel Level;
+    if (!obs::parseLogLevel(Self->Cfg.LogLevel, Level)) {
+      Error = "bad log level '" + Self->Cfg.LogLevel +
+              "' (want debug|info|warn|error|off)";
+      return false;
+    }
+    obs::setLogLevel(Level);
+  }
   if (!Self->Cfg.CachePath.empty())
     Self->Shared.load(Self->Cfg.CachePath); // absent file: start empty
 
@@ -737,6 +918,10 @@ bool CheckServer::start(std::string &Error) {
   Self->Watcher.start();
   Self->Listener = std::thread([this] { Self->listenerLoop(); });
   Self->Started.store(true);
+  obs::logf(obs::LogLevel::Info, "server",
+            "listening on %s:%d (%d shards, %d jobs/shard, queue depth %d)",
+            Self->Cfg.BindAddress.c_str(), Self->BoundPort,
+            Self->Cfg.Shards, Self->Cfg.JobsPerShard, Self->Cfg.QueueDepth);
   return true;
 }
 
@@ -750,6 +935,9 @@ void CheckServer::waitStopped() {
   if (!Self->Started.load() || Self->Drained.exchange(true))
     return;
   Self->Stopping.store(true);
+  obs::logf(obs::LogLevel::Info, "server",
+            "draining: %zu queued, %zu in flight",
+            Self->Queued.load(), Self->InFlight.load());
   if (Self->Listener.joinable())
     Self->Listener.join();
   // Every live connection either already holds a queued/running job
@@ -779,6 +967,9 @@ void CheckServer::waitStopped() {
   }
   if (!Self->Cfg.CachePath.empty())
     Self->Shared.save(Self->Cfg.CachePath);
+  obs::logf(obs::LogLevel::Info, "server",
+            "stopped after %llu requests served",
+            static_cast<unsigned long long>(Self->Served.load()));
 }
 
 ServerStats CheckServer::stats() const { return Self->snapshot(); }

@@ -176,6 +176,7 @@ std::string checkfence::server::encodeRequest(const Request &Req) {
   O.field("fastOracle", Req.UseFastOracle);
   O.raw("deadlineSeconds", wireDouble(Req.DeadlineSeconds));
   O.field("useCache", Req.UseCache);
+  O.field("traceFile", Req.TraceFile);
   O.field("synthStrip", Req.SynthStrip);
   if (Req.SynthMinLine)
     O.field("synthMinLine", *Req.SynthMinLine);
@@ -254,6 +255,8 @@ bool checkfence::server::decodeRequest(const JsonValue &V, Request &Out,
   Out.UseFastOracle = boolean(V, "fastOracle", true);
   Out.DeadlineSeconds = dbl(V, "deadlineSeconds");
   Out.UseCache = boolean(V, "useCache", true);
+  if (const JsonValue *F = member(V, "traceFile"))
+    Out.TraceFile = F->asString();
   Out.SynthStrip = boolean(V, "synthStrip", true);
   if (const JsonValue *F = member(V, "synthMinLine"))
     Out.SynthMinLine = F->asInt();
@@ -493,6 +496,17 @@ std::string checkfence::server::rpcResult(const std::string &ResultJson,
   O.field("jsonrpc", "2.0");
   O.field("id", Id);
   O.raw("result", ResultJson);
+  return O.str();
+}
+
+std::string checkfence::server::rpcResultWithTrace(
+    const std::string &ResultJson, int Id,
+    const std::string &TraceEventsJson) {
+  JsonObject O;
+  O.field("jsonrpc", "2.0");
+  O.field("id", Id);
+  O.raw("result", ResultJson);
+  O.raw("trace", TraceEventsJson);
   return O.str();
 }
 

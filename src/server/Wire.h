@@ -65,6 +65,12 @@ bool decodeDivergence(const support::JsonValue &V, ExploreDivergence &Out);
 std::string rpcRequest(const std::string &Method,
                        const std::string &ParamsJson, int Id);
 std::string rpcResult(const std::string &ResultJson, int Id);
+/// rpcResult plus a sibling "trace" member carrying the server-side
+/// span array (the X-Checkfence-Trace round-trip; see
+/// docs/OBSERVABILITY.md). `TraceEventsJson` is a pre-rendered JSON
+/// array (obs::Tracer::eventsJson()).
+std::string rpcResultWithTrace(const std::string &ResultJson, int Id,
+                               const std::string &TraceEventsJson);
 std::string rpcError(int Code, const std::string &Message, int Id);
 
 // JSON-RPC error codes used by the daemon (the -32xxx ones are the

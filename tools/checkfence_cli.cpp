@@ -108,6 +108,12 @@ void usage() {
       "                       daemon's resources and are decided by it\n"
       "  --priority P         remote admission priority: high | normal |\n"
       "                       low (default normal)\n"
+      "  --trace PATH         write a Chrome trace-event JSON timeline\n"
+      "                       of this run (load in ui.perfetto.dev; see\n"
+      "                       docs/OBSERVABILITY.md). With --remote the\n"
+      "                       file also contains the server-side spans.\n"
+      "                       Purely observational: reports and verdicts\n"
+      "                       are byte-identical with or without it\n"
       "  --json PATH          write a JSON report ('-' = stdout)\n"
       "  --no-timings         omit timing fields from the JSON report\n"
       "                       (byte-identical output at any --jobs)\n"
@@ -411,6 +417,8 @@ int main(int argc, char **argv) {
       RemoteUrl = Next();
     } else if (A == "--priority") {
       Priority = Next();
+    } else if (A == "--trace") {
+      Req.traceFile(Next());
     } else if (A == "--json") {
       JsonPath = Next();
     } else if (A == "--no-timings") {

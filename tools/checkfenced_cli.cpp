@@ -5,6 +5,7 @@
 // Usage:
 //   checkfenced [--port N] [--bind ADDR] [--shards N] [--jobs N]
 //               [--queue-depth N] [--cache PATH] [--max-request-seconds S]
+//               [--log-level LEVEL] [--slow-request-seconds S]
 //
 // Runs the long-lived verification server (see docs/SERVER.md). Clients
 // talk JSON-RPC over HTTP POST /rpc - the `checkfence --remote URL`
@@ -48,6 +49,11 @@ void usage() {
       "                           (merge-on-load, atomic multi-process-safe\n"
       "                           save)\n"
       "  --max-request-seconds S  hard per-request deadline (default: none)\n"
+      "  --log-level LEVEL        structured-log verbosity on stderr:\n"
+      "                           debug | info | warn | error | off\n"
+      "                           (default warn; see docs/OBSERVABILITY.md)\n"
+      "  --slow-request-seconds S warn-log requests slower than S seconds\n"
+      "                           (default 10, 0 = never)\n"
       "  --version                print the library version\n"
       "endpoints: POST /rpc (JSON-RPC 2.0), GET /metrics, GET /status\n"
       "SIGTERM/SIGINT drain gracefully and exit 0.\n");
@@ -92,6 +98,10 @@ int main(int argc, char **argv) {
       Cfg.CachePath = Next();
     } else if (A == "--max-request-seconds") {
       Cfg.MaxRequestSeconds = std::atof(Next());
+    } else if (A == "--log-level") {
+      Cfg.LogLevel = Next();
+    } else if (A == "--slow-request-seconds") {
+      Cfg.SlowRequestSeconds = std::atof(Next());
     } else {
       std::fprintf(stderr, "unknown option %s\n", A.c_str());
       return ExitUsage;
